@@ -1,0 +1,68 @@
+"""Ablation — DDIO sizing: the cliff's location is set by the DDIO slice.
+
+The §5 mechanism predicts the breaking point at
+``connections ≈ ddio_capacity / per-connection hot footprint``. Sweeping
+``ddio_ways`` (1, 2, 4 of 11) should move the measured cliff proportionally
+(512, 1024, 2048 connections with the default 6 KiB footprint) — a strong
+check that the model's cliff comes from the claimed mechanism and not from
+an artifact.
+"""
+
+from repro.config import DEFAULT_COSTS
+from repro.experiments.common import fmt_table
+from repro.experiments.e8_connection_scaling import run_point
+
+
+def predicted_breakpoint(costs) -> int:
+    return costs.ddio_capacity_bytes // costs.conn_footprint_bytes
+
+
+def run_ablation(packets_per_point: int = 4_096):
+    rows = []
+    for ways in (1, 2, 4):
+        costs = DEFAULT_COSTS.replace(ddio_ways=ways)
+        expected = predicted_breakpoint(costs)
+        for n in (expected // 2, expected, 2 * expected):
+            row = run_point(n, packets_total=packets_per_point, costs=costs)
+            row["ddio_ways"] = ways
+            row["predicted_break"] = expected
+            rows.append(row)
+    return rows
+
+
+def test_ablation_ddio_ways(once):
+    rows = once(run_ablation)
+    print("\n" + fmt_table(rows, columns=[
+        "ddio_ways", "predicted_break", "connections", "hot_set_mib",
+        "llc_miss_rate", "goodput_gbps", "line_rate_pct",
+    ]))
+    for ways in (1, 2, 4):
+        sub = [r for r in rows if r["ddio_ways"] == ways]
+        half, at, double = sub
+        assert half["llc_miss_rate"] == 0.0
+        assert at["llc_miss_rate"] < 0.01
+        assert double["llc_miss_rate"] > 0.3  # cliff crossed right where predicted
+        assert double["goodput_gbps"] < at["goodput_gbps"]
+
+
+def test_analytic_model_tracks_structural(once):
+    """The closed-form DDIO model and the structural cache agree on the
+    miss rate above the cliff (hit ≈ capacity / working set)."""
+
+    def both():
+        out = []
+        for n in (2_048, 4_096):
+            structural = run_point(n, packets_total=4_096)
+            analytic_hit = min(
+                1.0,
+                DEFAULT_COSTS.ddio_capacity_bytes
+                / (n * DEFAULT_COSTS.conn_footprint_bytes),
+            )
+            out.append((n, structural["llc_miss_rate"], 1 - analytic_hit))
+        return out
+
+    results = once(both)
+    print("\nconnections  structural_miss  analytic_miss")
+    for n, measured, predicted in results:
+        print(f"{n:>10}  {measured:>14.3f}  {predicted:>12.3f}")
+        assert abs(measured - predicted) < 0.05

@@ -1,0 +1,16 @@
+"""E1 — §1 overhead claim: kernel stack ≪ bypass ≈ KOPI."""
+
+from repro.experiments.common import fmt_table
+from repro.experiments.e1_dataplane_overhead import headline, run_e1
+
+
+def test_e1_dataplane_overhead(once):
+    rows = once(run_e1, count=200)
+    print("\n" + fmt_table(rows))
+    h = headline(rows)
+    print(f"kernel/bypass cpu ratio: {h['kernel_vs_bypass_cpu_ratio']:.1f}x; "
+          f"kopi/bypass: {h['kopi_vs_bypass_cpu_ratio']:.2f}x")
+    # Paper shape: kernel an order of magnitude costlier; KOPI ~ bypass.
+    assert h["kernel_vs_bypass_cpu_ratio"] > 5
+    assert h["kopi_vs_bypass_cpu_ratio"] < 1.5
+    assert h["kopi_goodput_gbps"] > 5 * h["kernel_goodput_gbps"]

@@ -1,0 +1,18 @@
+"""E6 — §2 Process scheduling: polling burns cores, blocking doesn't."""
+
+from repro.experiments.common import fmt_table
+from repro.experiments.e6_blocking_io import headline, run_e6
+
+
+def test_e6_blocking_io(once):
+    rows = once(run_e6)
+    print("\n" + fmt_table(rows))
+    h = headline(rows)
+    # Polling pegs the core regardless of load; blocking tracks load.
+    assert h["bypass_poll_util_pct"] > 95
+    assert h["kopi_block_util_pct"] < 2
+    # Everyone served everything — efficiency, not starvation.
+    assert all(r["served"] == 30 for r in rows)
+    # Blocking pays a bounded wake latency (microseconds, not ms).
+    block_rows = [r for r in rows if r["mode"] == "block"]
+    assert all(0 < r["dispatch_us_p50"] < 50 for r in block_rows)

@@ -1,0 +1,19 @@
+"""E8 — §5: throughput vs concurrent connections (the DDIO cliff)."""
+
+from repro.experiments.common import fmt_table
+from repro.experiments.e8_connection_scaling import headline, run_e8
+
+
+def test_e8_connection_scaling(once):
+    rows = once(run_e8, packets_per_point=8_192)
+    print("\n" + fmt_table(rows))
+    h = headline(rows)
+    by_n = {r["connections"]: r for r in rows}
+    # Full line rate through 1024 connections — the paper's breaking point.
+    assert by_n[1_024]["line_rate_pct"] > 99
+    assert by_n[1_024]["llc_miss_rate"] < 0.01
+    # Collapse beyond it.
+    assert by_n[2_048]["line_rate_pct"] < 90
+    assert by_n[4_096]["line_rate_pct"] < by_n[2_048]["line_rate_pct"]
+    assert by_n[4_096]["llc_miss_rate"] > 0.3
+    assert h["last_full_rate_conns"] == 1_024

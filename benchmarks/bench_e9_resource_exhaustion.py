@@ -1,0 +1,39 @@
+"""E9 — §5: NIC SRAM exhaustion and the software fallback."""
+
+from repro.experiments.common import fmt_table
+from repro.experiments.e9_resource_exhaustion import (
+    run_adversary,
+    run_capacity_sweep,
+    run_fallback_penalty,
+)
+
+
+def test_e9_capacity_sweep(once):
+    rows = once(run_capacity_sweep)
+    print("\n" + fmt_table(rows))
+    # Fallback fraction grows once offered connections exceed SRAM capacity.
+    for r in rows:
+        capacity = r["fast_path"] + 0  # fast path never exceeds SRAM slots
+        assert capacity <= r["offered_conns"]
+        if r["offered_conns"] <= r["sram_kib"] * 1024 // 320:
+            assert r["fallback"] == 0
+
+
+def test_e9_fallback_penalty(once):
+    rows = once(run_fallback_penalty, count=150)
+    print("\n" + fmt_table(rows))
+    fast = next(r for r in rows if r["path"] == "fast path")
+    slow = next(r for r in rows if r["path"] == "fallback")
+    assert not fast["fallback"] and slow["fallback"]
+    # Degraded (kernel-path class), not dead.
+    assert slow["goodput_gbps"] > 1
+    assert fast["goodput_gbps"] > 5 * slow["goodput_gbps"]
+
+
+def test_e9_adversary(once):
+    rows = once(run_adversary)
+    print("\n" + fmt_table(rows))
+    attack = next(r for r in rows if r["phase"] == "under attack")
+    fixed = next(r for r in rows if r["phase"] == "after mitigation")
+    assert attack["victim_on_fallback"]
+    assert not fixed["victim_on_fallback"]

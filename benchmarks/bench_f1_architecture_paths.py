@@ -1,0 +1,11 @@
+"""F1 — Figure 1: every architecture arrow verified by live trace."""
+
+from repro.experiments.common import fmt_table
+from repro.experiments.f1_architecture import run_f1
+
+
+def test_f1_architecture_paths(once):
+    rows = once(run_f1)
+    print("\n" + fmt_table(rows))
+    assert all(r["verified"] for r in rows)
+    assert len(rows) == 7

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs its experiment once (rounds=1) — these are simulation
+replays, not microbenchmarks — and prints the table the corresponding
+figure/claim in the paper predicts. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a harness exactly once under the benchmark timer and return its
+    result rows."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""§5, the open scaling question: sweep concurrent connections and watch
+throughput collapse once the ring working set outgrows DDIO — then rerun
+with shared rings (the paper's candidate mitigation).
+
+Run:  python examples/connection_scaling.py         (~1 minute)
+"""
+
+from repro.experiments.common import fmt_table
+from repro.experiments.e8_connection_scaling import run_point
+
+SWEEP = (256, 1_024, 2_048, 4_096)
+
+
+def main() -> None:
+    print("per-connection rings (the paper's current design):")
+    rows = [run_point(n, packets_total=8_192) for n in SWEEP]
+    print(fmt_table(rows, columns=[
+        "connections", "hot_set_mib", "ddio_mib", "llc_miss_rate",
+        "cpu_ns_per_pkt", "goodput_gbps", "line_rate_pct",
+    ]))
+
+    print("\nshared rings per process (the §5 mitigation):")
+    rows = [run_point(n, packets_total=8_192, shared_rings=True) for n in SWEEP]
+    print(fmt_table(rows, columns=[
+        "connections", "hot_set_mib", "llc_miss_rate",
+        "cpu_ns_per_pkt", "goodput_gbps", "line_rate_pct",
+    ]))
+
+    print("\nThe cliff sits where hot_set crosses the DDIO slice (~6 MiB, "
+          "~1024 connections) — and disappears when rings are shared, at the "
+          "cost of per-connection semantics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""§2 Partitioning ports, end to end: only Bob's postgres may use 5432.
+Charlie's misconfigured MySQL tries to take the port.
+
+Run:  python examples/port_partitioning.py
+"""
+
+from repro.core import NormanOS
+from repro.dataplanes import BypassDataplane, Testbed
+from repro.errors import AddressInUse
+from repro.apps import DatabaseServer, MisconfiguredDatabase
+from repro.tools import Iptables, Netstat
+
+N_QUERIES = 10
+
+
+def drive_queries(tb):
+    for i in range(N_QUERIES):
+        tb.sim.after(50_000 * (i + 1), tb.peer.send_udp, 700 + i, 5432, 200)
+    tb.run(until=50_000 * (N_QUERIES + 4))
+
+
+def main() -> None:
+    print("=== kernel bypass ===")
+    tb = Testbed(BypassDataplane)
+    tb.user("bob")
+    legit = DatabaseServer(tb, comm="postgres", user="bob", port=5432, core_id=1).start()
+    thief = MisconfiguredDatabase(tb, core_id=2).start()  # nothing stops this
+    drive_queries(tb)
+    legit.stop()
+    thief.stop()
+    tb.run_all()
+    print(f"  postgres served {legit.queries} queries; the misconfigured app "
+          f"silently absorbed {thief.stolen}")
+
+    print("\n=== KOPI (Norman) ===")
+    tb = Testbed(NormanOS)
+    tb.user("bob")
+    ipt = Iptables(tb.dataplane, tb.kernel)
+    print(" ", ipt("-A INPUT -p udp --dport 5432 -m owner --uid-owner bob "
+                   "--cmd-owner postgres -j ACCEPT"))
+    print(" ", ipt("-A INPUT -p udp --dport 5432 -j DROP"))
+    legit = DatabaseServer(tb, comm="postgres", user="bob", port=5432, core_id=1).start()
+    try:
+        MisconfiguredDatabase(tb, core_id=2).start()
+    except AddressInUse as exc:
+        print(f"  misconfigured bind refused outright: {exc}")
+    drive_queries(tb)
+    legit.stop()
+    tb.run_all()
+    print(f"  postgres served {legit.queries} queries; violations delivered: 0")
+    print("\n" + Netstat(tb.kernel)())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro report [--quick]   # run every experiment, print tables
+    python -m repro matrix             # just the E3 capability matrix
+    python -m repro costs              # dump the calibrated cost model
+    python -m repro e1 .. e11 | f1     # one experiment's table
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .config import DEFAULT_COSTS
+
+
+def _experiment_mains():
+    from .experiments import (
+        e1_dataplane_overhead,
+        e2_interposition_placement,
+        e3_capability_matrix,
+        e4_debugging,
+        e5_port_partitioning,
+        e6_blocking_io,
+        e7_qos_shaping,
+        e8_connection_scaling,
+        e9_resource_exhaustion,
+        e10_reconfiguration,
+        e11_shared_rings,
+        f1_architecture,
+        s1_tail_latency,
+    )
+
+    return {
+        "e1": e1_dataplane_overhead.main,
+        "e2": e2_interposition_placement.main,
+        "e3": e3_capability_matrix.main,
+        "e4": e4_debugging.main,
+        "e5": e5_port_partitioning.main,
+        "e6": e6_blocking_io.main,
+        "e7": e7_qos_shaping.main,
+        "e8": e8_connection_scaling.main,
+        "e9": e9_resource_exhaustion.main,
+        "e10": e10_reconfiguration.main,
+        "e11": e11_shared_rings.main,
+        "f1": f1_architecture.main,
+        "s1": s1_tail_latency.main,
+    }
+
+
+def main(argv: "list[str]") -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    cmd = argv[0]
+    if cmd == "report":
+        from .experiments.report import main as report_main
+
+        print(report_main(argv[1:]))
+        return 0
+    if cmd == "matrix":
+        from .experiments.e3_capability_matrix import main as e3_main
+
+        print(e3_main())
+        return 0
+    if cmd == "costs":
+        for key, value in DEFAULT_COSTS.describe().items():
+            print(f"{key} = {value}")
+        return 0
+    mains = _experiment_mains()
+    if cmd in mains:
+        print(mains[cmd]())
+        return 0
+    print(f"unknown command {cmd!r}; try --help", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,32 @@
+"""Applications — the cast of §2.
+
+Bob runs Postgres, Charlie runs MySQL (and a misconfigured instance that
+binds Postgres's port), both occasionally SSH in to play an online game,
+one buggy app floods ARP, and a mix of polling/blocking workers serve
+intermittent load. All are generator-based simulated processes over the
+common :class:`~repro.dataplanes.base.Endpoint` API, so every app runs
+unchanged on every dataplane.
+"""
+
+from .base import App
+from .arp_flood import ArpFlooder
+from .bulk import BulkSender
+from .databases import DatabaseServer, MisconfiguredDatabase
+from .echo import EchoServer, SinkServer
+from .game import GameClient
+from .rpc import RpcClient
+from .workers import BlockingWorker, PollingWorker
+
+__all__ = [
+    "App",
+    "ArpFlooder",
+    "BlockingWorker",
+    "BulkSender",
+    "DatabaseServer",
+    "EchoServer",
+    "GameClient",
+    "MisconfiguredDatabase",
+    "PollingWorker",
+    "RpcClient",
+    "SinkServer",
+]

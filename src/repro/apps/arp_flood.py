@@ -1,0 +1,42 @@
+"""The buggy ARP flooder — "based on a true story from our research lab"
+(§2, footnote 2)."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..errors import UnsupportedOperation
+from ..net.addresses import IPv4Address
+from ..net.packet import make_arp_request
+from ..dataplanes.testbed import HOST_IP, HOST_MAC, Testbed
+from .base import App
+
+
+class ArpFlooder(App):
+    """An application with a broken ARP implementation: it re-requests the
+    same address in a tight loop, with a bogus source MAC.
+
+    Only possible on dataplanes that allow raw injection (bypass,
+    hypervisor, KOPI); on the kernel path ``send_raw`` refuses — the kernel
+    owns ARP.
+    """
+
+    def __init__(self, testbed: Testbed, user: str, count: int = 50,
+                 gap_ns: int = 10_000, comm: str = "cachesrv", **kwargs):
+        super().__init__(testbed, comm=comm, user=user, **kwargs)
+        self.count = count
+        self.gap_ns = gap_ns
+        self.sent = 0
+        self.refused = False
+
+    def run(self) -> Generator:
+        target = IPv4Address.parse("10.0.0.250")  # never answers
+        for _ in range(self.count):
+            frame = make_arp_request(HOST_MAC, HOST_IP, target)
+            try:
+                yield self.ep.send_raw(frame)
+            except UnsupportedOperation:
+                self.refused = True
+                return
+            self.sent += 1
+            yield self.gap_ns

@@ -1,0 +1,68 @@
+"""Application base class."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..errors import EndpointClosed, ReproError
+from ..net.headers import PROTO_UDP
+from ..sim import MetricSet, SimProcess
+from ..sim.process import ProcessInterrupted
+
+
+class App:
+    """One application: a process, an endpoint, and a behaviour generator.
+
+    Subclasses implement :meth:`run` as a generator (the simulated thread).
+    ``start()`` spawns it; ``stop()`` closes the endpoint and interrupts the
+    thread — both :class:`EndpointClosed` and the interrupt terminate the
+    generator cleanly, so testbeds can always drain to idle.
+    """
+
+    def __init__(
+        self,
+        testbed,
+        comm: str,
+        user: str = "root",
+        core_id: int = 0,
+        proto: int = PROTO_UDP,
+        port: Optional[int] = None,
+    ):
+        self.tb = testbed
+        self.proc = testbed.spawn(comm, user, core_id=core_id)
+        self.ep = testbed.dataplane.open_endpoint(self.proc, proto, port)
+        self.stats = MetricSet(f"{comm}.pid{self.proc.pid}")
+        self.task: Optional[SimProcess] = None
+
+    @property
+    def comm(self) -> str:
+        return self.proc.comm
+
+    @property
+    def sim(self):
+        return self.tb.sim
+
+    def start(self) -> "App":
+        if self.task is not None:
+            raise ReproError(f"{self.comm} already started")
+        self.task = SimProcess(self.sim, self._guarded(), name=self.comm)
+        self.task.done.add_callback(self._on_done)
+        return self
+
+    def _guarded(self) -> Generator:
+        try:
+            yield from self.run()
+        except (EndpointClosed, ProcessInterrupted):
+            return
+
+    def _on_done(self, signal) -> None:
+        if signal.failed:
+            raise signal.exception  # surface app crashes loudly
+
+    def run(self) -> Generator:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        self.ep.close()
+        if self.task is not None and not self.task.finished:
+            self.task.interrupt()

@@ -1,0 +1,55 @@
+"""Closed-loop bulk sender — the throughput workhorse of E1/E2/E7."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+from ..net.addresses import IPv4Address
+from ..dataplanes.testbed import PEER_IP, Testbed
+from .base import App
+
+
+class BulkSender(App):
+    """Sends ``count`` messages (or forever) back to back.
+
+    Closed loop: the next send starts when the previous completed, so the
+    achieved rate is set by the dataplane's per-message cost and the wire —
+    exactly the quantity E1 compares across architectures.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        payload_len: int = 1_458,
+        count: Optional[int] = None,
+        dst: Tuple[IPv4Address, int] = (PEER_IP, 9_000),
+        **kwargs,
+    ):
+        super().__init__(testbed, **kwargs)
+        self.payload_len = payload_len
+        self.count = count
+        self.dst = dst
+        self.sent = 0
+        self.sent_bytes = 0
+        self.first_send_ns: Optional[int] = None
+        self.last_send_ns: Optional[int] = None
+
+    def run(self) -> Generator:
+        yield self.ep.connect(self.dst[0], self.dst[1])
+        while self.count is None or self.sent < self.count:
+            ok = yield self.ep.send(self.payload_len)
+            if self.first_send_ns is None:
+                self.first_send_ns = self.sim.now
+            if ok:
+                self.sent += 1
+                self.sent_bytes += self.payload_len
+                self.last_send_ns = self.sim.now
+
+    def goodput_bps(self, end_ns: Optional[int] = None) -> float:
+        from .. import units
+
+        if self.first_send_ns is None:
+            return 0.0
+        end = end_ns if end_ns is not None else self.last_send_ns
+        assert end is not None
+        return units.throughput_bps(self.sent_bytes, max(1, end - self.first_send_ns))

@@ -1,0 +1,58 @@
+"""Bob's Postgres, Charlie's MySQL, and the misconfigured instance that
+binds the wrong port — the §2 port-partitioning cast."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..dataplanes.testbed import Testbed
+from .base import App
+
+POSTGRES_PORT = 5432
+MYSQL_PORT = 3306
+
+
+class DatabaseServer(App):
+    """Serves queries on its well-known port: recv, think, reply."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        comm: str,
+        user: str,
+        port: int,
+        query_work_ns: int = 5_000,
+        reply_len: int = 512,
+        **kwargs,
+    ):
+        super().__init__(testbed, comm=comm, user=user, port=port, **kwargs)
+        self.query_work_ns = query_work_ns
+        self.reply_len = reply_len
+        self.queries = 0
+
+    def run(self) -> Generator:
+        core = self.tb.machine.cpus[self.proc.core_id]
+        while True:
+            _size, src_ip, sport = yield self.ep.recv(blocking=True)
+            yield core.execute(self.query_work_ns, "query")
+            yield self.ep.send(self.reply_len, dst=(src_ip, sport))
+            self.queries += 1
+
+
+class MisconfiguredDatabase(App):
+    """Charlie's MySQL with a typo in its config: it binds 5432.
+
+    Under kernel bypass nothing stops it and it silently absorbs Postgres
+    traffic (E5 counts those deliveries); under the kernel path or KOPI the
+    bind itself fails or the traffic is filtered.
+    """
+
+    def __init__(self, testbed: Testbed, user: str = "charlie", port: int = POSTGRES_PORT,
+                 **kwargs):
+        super().__init__(testbed, comm="mysql", user=user, port=port, **kwargs)
+        self.stolen = 0
+
+    def run(self) -> Generator:
+        while True:
+            yield self.ep.recv(blocking=True)
+            self.stolen += 1

@@ -1,0 +1,41 @@
+"""Receive-side servers."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..dataplanes.testbed import Testbed
+from .base import App
+
+
+class SinkServer(App):
+    """Receives forever, counts messages — the plain consumer."""
+
+    def __init__(self, testbed: Testbed, port: int, blocking: bool = True, **kwargs):
+        super().__init__(testbed, port=port, **kwargs)
+        self.blocking = blocking
+        self.messages = 0
+        self.bytes = 0
+
+    def run(self) -> Generator:
+        while True:
+            size, _src, _sport = yield self.ep.recv(blocking=True)
+            self.messages += 1
+            self.bytes += size
+            self.stats.meter("rx").record(self.sim.now, size)
+
+
+class EchoServer(App):
+    """Replies to every message with a payload of the same size."""
+
+    def __init__(self, testbed: Testbed, port: int, reply_len: Optional[int] = None, **kwargs):
+        super().__init__(testbed, port=port, **kwargs)
+        self.reply_len = reply_len
+        self.served = 0
+
+    def run(self) -> Generator:
+        while True:
+            size, src_ip, sport = yield self.ep.recv(blocking=True)
+            reply = self.reply_len if self.reply_len is not None else size
+            yield self.ep.send(reply, dst=(src_ip, sport))
+            self.served += 1

@@ -1,0 +1,55 @@
+"""The online game from the §2 QoS scenario.
+
+The crucial property: "the game server uses different ports in each
+session", so port-based shaping cannot pin it down — only a process/cgroup
+view can. Each session picks a fresh server port and blasts bursty traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..dataplanes.testbed import PEER_IP, Testbed
+from ..sim.rand import exponential_ns, make_rng
+from .base import App
+
+
+class GameClient(App):
+    """Bursty sender that hops ports between sessions."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        user: str,
+        payload_len: int = 1_200,
+        packets_per_session: int = 200,
+        sessions: int = 4,
+        session_gap_mean_ns: int = 50_000,
+        seed: int = 0,
+        **kwargs,
+    ):
+        super().__init__(testbed, comm="game", user=user, **kwargs)
+        self.payload_len = payload_len
+        self.packets_per_session = packets_per_session
+        self.sessions = sessions
+        self.session_gap_mean_ns = session_gap_mean_ns
+        self.rng = make_rng(seed, f"game.{self.proc.pid}")
+        self.ports_used: "list[int]" = []
+        self.sent = 0
+        self.sent_bytes = 0
+
+    def run(self) -> Generator:
+        for session in range(self.sessions):
+            # A new session lands on a new, unpredictable server port.
+            port = self.rng.randrange(20_000, 60_000)
+            self.ports_used.append(port)
+            for _ in range(self.packets_per_session):
+                ok = yield self.ep.send(self.payload_len, dst=(PEER_IP, port))
+                if ok:
+                    self.sent += 1
+                    self.sent_bytes += self.payload_len
+            if session < self.sessions - 1:
+                yield exponential_ns(self.rng, self.session_gap_mean_ns)
+
+    def goodput_bytes_at_peer(self) -> int:
+        return sum(self.tb.peer.bytes_to_dport(p) for p in self.ports_used)

@@ -1,0 +1,208 @@
+"""Calibrated cost model for the simulated host.
+
+Every latency/size/rate constant used anywhere in the simulator lives here,
+in one frozen dataclass, so that experiments can state exactly which knobs
+they sweep and ablations can build modified copies via
+:meth:`CostModel.replace`.
+
+The defaults are calibrated to the literature the paper cites rather than to
+any particular machine: syscall and copy costs from FlexSC/TAS-era
+measurements, kernel per-packet costs consistent with ~1–2 Mpps/core Linux
+forwarding, bypass per-packet costs consistent with DPDK-class 10s of
+Mpps/core, DDIO sizing from Intel's documented 2-of-11-way LLC allocation,
+and FPGA reconfiguration times from the paper's own "seconds or longer" for
+full bitstreams versus microseconds for overlay program loads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+from . import units
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All tunable constants of the simulated host, NIC, and network.
+
+    Times are integer nanoseconds, sizes bytes, rates bits/second, unless the
+    field name says otherwise. ``*_ns_per_byte`` fields are floats; derived
+    costs are rounded to whole nanoseconds at the point of use.
+    """
+
+    # --- CPU / OS ----------------------------------------------------------
+    syscall_ns: int = 500
+    """One user->kernel->user crossing (entry + exit, no work)."""
+
+    context_switch_ns: int = 2_000
+    """Direct cost of switching a core between two threads."""
+
+    interrupt_ns: int = 3_000
+    """Interrupt delivery + handler entry, used for blocking wakeups."""
+
+    wakeup_schedule_ns: int = 1_500
+    """Scheduler cost to move a woken thread onto a core."""
+
+    copy_ns_per_byte: float = 0.06
+    """Software memcpy, ~16 GB/s per core (user<->kernel copies)."""
+
+    poll_iteration_ns: int = 80
+    """One spin of a userspace poll loop that finds nothing."""
+
+    # --- kernel network stack ----------------------------------------------
+    kernel_rx_pkt_ns: int = 1_600
+    """Per-packet kernel RX protocol processing (skb, IP/TCP demux)."""
+
+    kernel_tx_pkt_ns: int = 1_400
+    """Per-packet kernel TX protocol processing (skb alloc, headers, route)."""
+
+    netfilter_rule_ns: int = 25
+    """Cost of evaluating one netfilter rule in software."""
+
+    qdisc_enqueue_ns: int = 120
+    """Software qdisc enqueue+dequeue bookkeeping per packet."""
+
+    socket_demux_ns: int = 150
+    """Kernel socket table lookup per packet."""
+
+    # --- userspace dataplane (bypass / Norman library) ----------------------
+    bypass_rx_pkt_ns: int = 60
+    """Per-packet userspace RX cost on a bypass ring (descriptor + header)."""
+
+    bypass_tx_pkt_ns: int = 55
+    """Per-packet userspace TX cost on a bypass ring."""
+
+    app_pkt_work_ns: int = 100
+    """Application-level work per packet (parse/serve), common to all paths."""
+
+    # --- memory hierarchy ---------------------------------------------------
+    llc_size_bytes: int = 33 * units.MB
+    llc_ways: int = 11
+    cache_line_bytes: int = 64
+    ddio_ways: int = 2
+    """Ways of the LLC that inbound DMA may allocate into (Intel DDIO)."""
+
+    llc_hit_ns: int = 16
+    dram_ns: int = 90
+    coherence_line_ns: int = 60
+    """Transferring one modified line between cores (physical movement)."""
+
+    # --- PCIe / NIC ---------------------------------------------------------
+    pcie_dma_latency_ns: int = 800
+    """One DMA transaction NIC<->host memory, latency component."""
+
+    pcie_bandwidth_bps: int = 120 * units.GBPS
+    """Usable PCIe bandwidth (x16 Gen4-ish after overheads)."""
+
+    mmio_write_ns: int = 100
+    """CPU-visible cost of a posted MMIO write (doorbell)."""
+
+    mmio_read_ns: int = 800
+    """Non-posted MMIO read round trip."""
+
+    nic_pipeline_ns: int = 350
+    """Fixed latency of the conventional NIC's internal pipeline."""
+
+    nic_line_rate_bps: int = 100 * units.GBPS
+
+    rx_ring_entries: int = 256
+    tx_ring_entries: int = 256
+    ring_desc_bytes: int = 16
+    rx_buf_bytes: int = 2_048
+
+    conn_hot_lines: int = 96
+    """Cache lines of ring+buffer state a busy connection keeps hot (~6 KiB).
+
+    Chosen so that, with the default 2-of-11-way DDIO allocation of a 33 MiB
+    LLC (= 6 MiB), the active working set outgrows DDIO near 1024 concurrent
+    connections — the cliff §5 of the paper reports.
+    """
+
+    # --- SmartNIC ------------------------------------------------------------
+    smartnic_sram_bytes: int = 16 * units.MB
+    """On-NIC memory for rules, connection state, and queues."""
+
+    smartnic_stage_ns: int = 45
+    """Latency of one SmartNIC pipeline stage (filter, conntrack, ...)."""
+
+    overlay_instr_ns: int = 2
+    """Per-instruction latency of the overlay processor (pipelined FPGA)."""
+
+    overlay_max_instrs: int = 4_096
+    """Program capacity of one overlay slot."""
+
+    conn_state_bytes: int = 320
+    """On-NIC per-connection state (steering entry, seq/ack, counters)."""
+
+    filter_entry_bytes: int = 64
+    """On-NIC bytes per compiled filter rule."""
+
+    # --- reconfiguration (experiment E10) ------------------------------------
+    bitstream_load_ns: int = 2 * units.SEC
+    """Full FPGA reprogram — 'seconds or longer' per the paper."""
+
+    overlay_load_ns: int = 50 * units.US
+    """Loading a new program into an existing overlay."""
+
+    table_update_ns: int = 2 * units.US
+    """MMIO-driven table entry insert/remove on the NIC."""
+
+    kernel_update_ns: int = 10 * units.US
+    """Updating a software policy inside the kernel (e.g. iptables insert)."""
+
+    # --- links ----------------------------------------------------------------
+    link_propagation_ns: int = 500
+    """One-way propagation on the host's access link."""
+
+    def __post_init__(self) -> None:
+        for name, value in dataclasses.asdict(self).items():
+            if isinstance(value, (int, float)) and value < 0:
+                raise ConfigError(f"CostModel.{name} must be >= 0, got {value}")
+        if self.ddio_ways > self.llc_ways:
+            raise ConfigError(
+                f"ddio_ways ({self.ddio_ways}) cannot exceed llc_ways ({self.llc_ways})"
+            )
+        if self.llc_size_bytes % (self.llc_ways * self.cache_line_bytes) != 0:
+            raise ConfigError("LLC size must be divisible by ways * line size")
+
+    # --- derived quantities ---------------------------------------------------
+
+    @property
+    def llc_sets(self) -> int:
+        """Number of sets in the modeled LLC."""
+        return self.llc_size_bytes // (self.llc_ways * self.cache_line_bytes)
+
+    @property
+    def ddio_capacity_bytes(self) -> int:
+        """Bytes of LLC that inbound DMA can occupy."""
+        return self.llc_sets * self.ddio_ways * self.cache_line_bytes
+
+    @property
+    def conn_footprint_bytes(self) -> int:
+        """Hot bytes per busy connection."""
+        return self.conn_hot_lines * self.cache_line_bytes
+
+    def copy_ns(self, nbytes: int) -> int:
+        """Software copy cost for ``nbytes``, in whole ns."""
+        if nbytes <= 0:
+            return 0
+        return max(1, round(nbytes * self.copy_ns_per_byte))
+
+    def replace(self, **changes: object) -> "CostModel":
+        """Return a copy with the given fields changed (ablation helper)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat dict of every constant plus key derived values."""
+        out: Dict[str, object] = dataclasses.asdict(self)
+        out["derived.llc_sets"] = self.llc_sets
+        out["derived.ddio_capacity_bytes"] = self.ddio_capacity_bytes
+        out["derived.conn_footprint_bytes"] = self.conn_footprint_bytes
+        return out
+
+
+DEFAULT_COSTS = CostModel()
+"""Shared default cost model; treat as immutable."""

@@ -1,0 +1,118 @@
+"""On-NIC congestion control (§4.2).
+
+The dataplane's scheduler queue is the earliest congestion signal a host
+has: when it backs up, the aggregate offered load exceeds the wire. The
+manager reacts PicNIC-style, entirely on the NIC:
+
+* **backpressure** — when a connection's packet meets a deep scheduler
+  backlog (or is dropped), halve that connection's pacing rate
+  (multiplicative decrease, with a per-connection cooldown so one burst
+  triggers one decrease);
+* **recovery** — a periodic tick adds back bandwidth (additive increase)
+  until the connection is unpaced again.
+
+Pacing is enforanced by the TX ring drain engine: a paced connection's
+descriptors are fetched no faster than its rate, so excess load waits in
+the application's ring (bounded, visible via `ss`) instead of being
+dropped at the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import units
+from ..config import CostModel
+from ..errors import KernelError
+from ..sim import MetricSet, Simulator
+from .connection import NormanConnection
+
+
+class LocalCongestionManager:
+    """AIMD pacing of connections against local egress congestion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        wire_rate_bps: Optional[int] = None,
+        backlog_threshold: int = 64,
+        min_rate_bps: int = 10 * units.MBPS,
+        increase_bps: int = 100 * units.MBPS,
+        tick_ns: int = 100 * units.US,
+        cooldown_ns: int = 50 * units.US,
+    ):
+        if backlog_threshold < 1:
+            raise KernelError(f"backlog threshold must be >= 1: {backlog_threshold}")
+        if min_rate_bps < 1 or increase_bps < 1:
+            raise KernelError("rates must be positive")
+        self.sim = sim
+        self.costs = costs
+        self.wire_rate_bps = wire_rate_bps or costs.nic_line_rate_bps
+        self.backlog_threshold = backlog_threshold
+        self.min_rate_bps = min_rate_bps
+        self.increase_bps = increase_bps
+        self.tick_ns = tick_ns
+        self.cooldown_ns = cooldown_ns
+        self.metrics = MetricSet("nic_cc")
+        self._last_decrease: Dict[int, int] = {}
+        self._ticking = False
+
+    # --- signals from the NIC -------------------------------------------
+
+    def on_backpressure(self, conn: NormanConnection, backlog: int, dropped: bool) -> None:
+        """Called by the TX pipeline when ``conn``'s packet hit a deep
+        scheduler queue (or was dropped there)."""
+        if not dropped and backlog <= self.backlog_threshold:
+            return
+        now = self.sim.now
+        if now - self._last_decrease.get(conn.conn_id, -self.cooldown_ns) < self.cooldown_ns:
+            return
+        self._last_decrease[conn.conn_id] = now
+        if conn.rate_bps is None:
+            # First signal: the NIC knows its own drain rate — clamp
+            # straight to the wire instead of halving down from line rate
+            # (a 100 Gbps ring feeding a 100 Mbps uplink would otherwise
+            # overflow the scheduler long before AIMD converges).
+            conn.rate_bps = max(self.min_rate_bps, self.wire_rate_bps)
+        else:
+            conn.rate_bps = max(self.min_rate_bps, conn.rate_bps // 2)
+        self.metrics.counter("decreases").inc()
+        self._arm()
+
+    # --- recovery ----------------------------------------------------------
+
+    def _arm(self) -> None:
+        if self._ticking:
+            return
+        self._ticking = True
+        self.sim.after(self.tick_ns, self._tick)
+
+    def _tick(self) -> None:
+        self._ticking = False
+        paced = [cid for cid in self._last_decrease]
+        still_paced = False
+        for conn_id in paced:
+            conn = self._resolve(conn_id)
+            if conn is None or conn.closed or conn.rate_bps is None:
+                self._last_decrease.pop(conn_id, None)
+                continue
+            conn.rate_bps = conn.rate_bps + self.increase_bps
+            self.metrics.counter("increases").inc()
+            if conn.rate_bps >= self.costs.nic_line_rate_bps:  # noqa: SIM114
+                # Back at line rate: pacing is a no-op, stop tracking.
+                conn.rate_bps = None  # fully recovered: unpaced
+                self._last_decrease.pop(conn_id, None)
+            else:
+                still_paced = True
+        if still_paced:
+            self._arm()
+
+    # Wired by the control plane so ticks can see live connections.
+    _resolve = staticmethod(lambda _cid: None)  # type: ignore[assignment]
+
+    def bind_resolver(self, resolver) -> None:
+        self._resolve = resolver  # type: ignore[assignment]
+
+    def paced_connections(self) -> int:
+        return len(self._last_decrease)

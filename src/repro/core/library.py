@@ -1,0 +1,148 @@
+"""The Norman userspace library (§4.2/§4.3).
+
+POSIX-shaped send/recv over per-connection rings: sends post a descriptor
+and ring the doorbell; receives consume directly from the RX ring. Blocking
+variants go through the control plane's notification machinery instead of
+spinning. Connections that fell back to the software path (§5) transparently
+use the kernel stack — same API, kernel-path costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
+from ..net.addresses import IPv4Address
+from ..net.headers import PROTO_TCP
+from ..net.packet import Packet, make_tcp, make_udp
+from ..sim import Signal
+from ..dataplanes.base import Endpoint
+from .connection import NormanConnection
+
+Message = Tuple[int, IPv4Address, int]
+
+
+class NormanEndpoint(Endpoint):
+    """Application handle over one Norman connection."""
+
+    def __init__(self, norman, conn: NormanConnection):
+        super().__init__(norman, conn.proc, conn.proto, conn.port)
+        self._os = norman
+        self.conn = conn
+
+    @property
+    def _core(self):
+        return self._os.machine.cpus[self.proc.core_id]
+
+    @property
+    def _costs(self):
+        return self._os.machine.costs
+
+    # --- connection -----------------------------------------------------
+
+    def connect(self, dst_ip: IPv4Address, dport: int) -> Signal:
+        return self._os.control.connect_peer(self.conn, dst_ip, dport)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._os.control.close_connection(self.conn)
+        super().close()
+
+    # --- TX ------------------------------------------------------------------
+
+    def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        dst = dst or self.conn.sock.peer
+        if dst is None:
+            raise UnsupportedOperation("send without destination on unconnected endpoint")
+        if self.conn.fallback:
+            return self._os.kernel.netstack.sendto(
+                self.proc, self.conn.sock, dst[0], dst[1], payload_len
+            )
+        pkt = self._build(dst[0], dst[1], payload_len)
+        return self.send_raw(pkt)
+
+    def send_raw(self, pkt: Packet) -> Signal:
+        """Zero-copy post + doorbell. Blocks (via the tx_drained
+        notification) when the TX ring is full."""
+        if self.conn.fallback:
+            raise UnsupportedOperation("fallback connections cannot inject raw frames")
+        result = Signal("norman.send")
+        pkt.meta.created_ns = self._os.machine.sim.now
+        # mmio_write_cost both prices the doorbell and counts it.
+        cost = self._costs.bypass_tx_pkt_ns + self._os.machine.dma.mmio_write_cost()
+
+        def _attempt(_sig: Optional[Signal] = None) -> None:
+            if self.closed:
+                result.succeed(False)
+                return
+            if self.conn.rings.tx.try_post(pkt):
+                self._os.nic.doorbell(self.conn)
+                result.succeed(True)
+                return
+            woken = self._os.control.block_on_tx(self.conn, self.proc)
+            woken.add_callback(_attempt)
+
+        self._core.execute(cost, "norman_tx").add_callback(_attempt)
+        return result
+
+    def _build(self, dst_ip: IPv4Address, dport: int, payload_len: int) -> Packet:
+        dst_mac = self._os.kernel.mac_for(dst_ip)
+        maker = make_tcp if self.proto == PROTO_TCP else make_udp
+        return maker(
+            self._os.kernel.host_mac, dst_mac, self._os.kernel.host_ip, dst_ip,
+            self.port, dport, payload_len,
+        )
+
+    # --- RX -----------------------------------------------------------------------
+
+    def recv(self, blocking: bool = True) -> Signal:
+        """Consume one message from the RX ring.
+
+        The read cost is honest about the memory hierarchy: freshly
+        DMA-written lines are cheap while the active working set fits DDIO
+        and DRAM-expensive once it does not — the E8 mechanism.
+        """
+        if self.conn.fallback:
+            return self._os.kernel.netstack.recv(self.proc, self.conn.sock, blocking=blocking)
+        result = Signal("norman.recv")
+
+        def _attempt(_sig: Optional[Signal] = None) -> None:
+            if self.closed:
+                result.fail(EndpointClosed(f"endpoint :{self.port} closed"))
+                return
+            pkt = self.conn.rings.rx.try_consume()
+            if pkt is not None:
+                cost = self._costs.bypass_rx_pkt_ns + self._read_cost(pkt)
+                self._core.execute(cost, "norman_rx").add_callback(
+                    lambda _s: result.succeed(_message_of(pkt))
+                )
+                return
+            if not blocking:
+                result.fail(WouldBlock(f"ring empty on :{self.port}"))
+                return
+            woken = self._os.control.block_on_rx(self.conn, self.proc)
+            woken.add_callback(_attempt)
+
+        _attempt()
+        return result
+
+    def _read_cost(self, pkt: Packet) -> int:
+        lines = pkt.meta.notes.get("lines")
+        machine = self._os.machine
+        if machine.llc is not None and lines:
+            costs = self._costs
+            total = 0
+            for addr in lines:
+                total += costs.llc_hit_ns if machine.llc.cpu_read(addr) else costs.dram_ns
+            return total
+        n_lines = len(lines) if lines else 2
+        return machine.ddio_model.read_cost_ns(
+            self._os.control.active_hot_bytes(), n_lines
+        )
+
+
+def _message_of(pkt: Packet) -> Message:
+    ft = pkt.five_tuple
+    if ft is None:
+        return (pkt.wire_len, IPv4Address(0), 0)
+    return (pkt.payload_len, ft.src_ip, ft.sport)

@@ -1,0 +1,315 @@
+"""The on-SmartNIC interposition dataplane.
+
+Every packet, both directions, passes through (Figure 1):
+
+``wire → [attribute → filter → classify → mirror → steer] → per-conn ring``
+``ring → [attribute → filter → classify → mirror] → scheduler → wire``
+
+*attribute* stamps pid/uid/comm resolved from the connection registry the
+kernel maintains; *filter* and *classify* run verified overlay programs;
+*mirror* feeds sniffer sessions; the egress *scheduler* is a qdisc (DRR for
+QoS) drained at line rate. Per-packet latency is the fixed pipeline cost
+plus the overlay programs' instruction counts — bounded because the
+verifier forbids loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..config import CostModel
+from ..errors import NicError
+from ..host.machine import Machine
+from ..kernel.qdisc import DEFAULT_CLASS, DrrQdisc, PfifoQdisc, Qdisc
+from ..kernel.qdisc_runner import PacedQdiscRunner
+from ..net.link import Link
+from ..net.packet import Packet
+from ..nic.smartnic.fpga import Bitstream, FpgaFabric
+from ..nic.smartnic.sram import SramAllocator
+from ..nic.steering import SteeringTable
+from ..overlay.isa import VERDICT_DROP
+from ..sim import MetricSet
+from .connection import NormanConnection
+from .sniffer import Sniffer
+
+SLOT_FILTER_RX = "filter_rx"
+SLOT_FILTER_TX = "filter_tx"
+SLOT_CLASSIFIER = "classifier"
+SLOT_POLICER = "policer"
+
+KOPI_BITSTREAM = Bitstream(
+    name="norman-kopi-v1",
+    overlay_slots=(
+        (SLOT_FILTER_RX, 4_096),
+        (SLOT_FILTER_TX, 4_096),
+        (SLOT_CLASSIFIER, 2_048),
+        (SLOT_POLICER, 2_048),
+    ),
+    logic_units=600_000,
+)
+
+N_PIPELINE_STAGES = 4  # attribute, filter, classify, mirror/steer
+
+ConnResolver = Callable[[int], Optional[NormanConnection]]
+NotifyFn = Callable[[NormanConnection, str], None]
+ArpHook = Callable[[Packet], None]
+FallbackRx = Callable[[Packet], None]
+
+
+class KopiNic:
+    """The SmartNIC running Norman's dataplane."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        egress: Link,
+        sniffer: Sniffer,
+        name: str = "kopi0",
+    ):
+        self.machine = machine
+        self.sim = machine.sim
+        self.costs: CostModel = machine.costs
+        self.egress = egress
+        self.sniffer = sniffer
+        self.name = name
+        self.metrics = MetricSet(name)
+
+        self.fpga = FpgaFabric(self.sim, self.costs, name=f"{name}.fpga")
+        self.sram = SramAllocator(self.costs.smartnic_sram_bytes, name=f"{name}.sram")
+        self.steering = SteeringTable(n_queues=1, name=f"{name}.steer")
+        self.scheduler = PacedQdiscRunner(
+            self.sim, PfifoQdisc(limit=4_096), egress.rate_bps, self._tx_out,
+            name=f"{name}.sched",
+        )
+        self._sched_classes: "set[str]" = set()
+        self._draining: "set[int]" = set()
+        self.offline = False
+        self.fpga.on_offline_change(self._set_offline)
+
+        # Wired by the control plane.
+        self.conn_resolver: ConnResolver = lambda _cid: None
+        self.notify: Optional[NotifyFn] = None
+        self.on_arp: Optional[ArpHook] = None
+        self.fallback_rx: Optional[FallbackRx] = None
+
+        # Optional offloaded kernel functionality (§3: "per-connection
+        # state, NAT, and everything else the kernel does today").
+        self.conntrack = None  # Optional[ConntrackTable]
+        self.nat = None  # Optional[NatTable]
+        self.congestion = None  # Optional[LocalCongestionManager]
+
+    def _set_offline(self, offline: bool) -> None:
+        self.offline = offline
+
+    # --- pipeline cost helpers -----------------------------------------------
+
+    def _fixed_latency(self) -> int:
+        return self.costs.nic_pipeline_ns + N_PIPELINE_STAGES * self.costs.smartnic_stage_ns
+
+    def _lines_for(self, pkt: Packet) -> int:
+        line = self.costs.cache_line_bytes
+        return math.ceil((pkt.wire_len + self.costs.ring_desc_bytes) / line)
+
+    # --- RX path ----------------------------------------------------------------
+
+    def rx_from_wire(self, pkt: Packet) -> None:
+        if self.offline:
+            self.metrics.counter("rx_offline_drops").inc()
+            return
+        self.metrics.counter("rx_pkts").inc()
+        self.metrics.meter("rx_bytes").record(self.sim.now, pkt.wire_len)
+
+        if self.nat is not None and not pkt.is_arp:
+            pkt = self.nat.translate_in(pkt)
+
+        # Resolve + attribute before filtering so owner-compiled rules and
+        # the sniffer both see identity.
+        conn = self._resolve_rx(pkt)
+        if conn is not None:
+            pkt.meta.conn_id = conn.conn_id
+            pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = conn.owner
+
+        latency = self._fixed_latency()
+        verdict = None
+        machine = self.fpga.machine(SLOT_FILTER_RX)
+        if machine is not None:
+            result = machine.execute(pkt, self.sim.now)
+            latency += result.cost_ns
+            verdict = result.verdict
+        self.sim.after(latency, self._rx_effects, pkt, conn, verdict)
+
+    def _resolve_rx(self, pkt: Packet) -> Optional[NormanConnection]:
+        ft = pkt.five_tuple
+        if ft is None:
+            return None
+        # The control plane installs inbound-perspective entries: exact
+        # (remote -> host) flows for connected sockets, (proto, local port)
+        # wildcards for listeners.
+        conn_id = self.steering.lookup(ft)
+        if conn_id is None:
+            return None
+        return self.conn_resolver(conn_id)
+
+    def _rx_effects(
+        self, pkt: Packet, conn: Optional[NormanConnection], verdict: Optional[str]
+    ) -> None:
+        if pkt.is_arp and self.on_arp is not None:
+            self.on_arp(pkt)
+        self.sniffer.mirror(pkt)
+        if verdict == VERDICT_DROP:
+            self.metrics.counter("rx_filtered").inc()
+            return
+        if pkt.is_arp:
+            return
+        if self.conntrack is not None:
+            self.conntrack.observe(pkt, self.sim.now)
+        if conn is None or conn.closed:
+            if self.fallback_rx is not None:
+                self.metrics.counter("rx_fallback").inc()
+                self.fallback_rx(pkt)
+            else:
+                self.metrics.counter("rx_no_conn_drops").inc()
+            return
+        if conn.fallback:
+            # Connection exists but lives on the software path (E9).
+            self.metrics.counter("rx_fallback").inc()
+            if self.fallback_rx is not None:
+                self.fallback_rx(pkt)
+            return
+        self._deliver_to_ring(pkt, conn)
+
+    def _deliver_to_ring(self, pkt: Packet, conn: NormanConnection) -> None:
+        lines = self._lines_for(pkt)
+        ring = conn.rings.rx
+        capped = min(lines, len(ring.region.line_addrs()))
+        addrs = ring.next_lines(capped)
+        llc = self.machine.llc
+        if llc is not None:
+            for addr in addrs:
+                llc.dma_write(addr)
+        pkt.meta.notes["lines"] = addrs
+        if not ring.try_post(pkt):
+            self.metrics.counter("rx_ring_drops").inc()
+            return
+        conn.rx_packets += 1
+        if conn.notify_rx and self.notify is not None:
+            from ..nic.notification import KIND_RX_READY
+
+            self.notify(conn, KIND_RX_READY)
+
+    # --- TX path -------------------------------------------------------------------
+
+    def doorbell(self, conn: NormanConnection) -> None:
+        """MMIO write from the library: TX descriptors are available.
+
+        One drain engine runs per connection; a doorbell while it is
+        already active is a no-op (otherwise every doorbell would spawn a
+        parallel drain chain and pacing would multiply away).
+        """
+        if self.offline:
+            self.metrics.counter("tx_offline_drops").inc()
+            return
+        if conn.conn_id in self._draining:
+            return
+        self._draining.add(conn.conn_id)
+        self.sim.after(self.costs.pcie_dma_latency_ns, self._drain_tx, conn)
+
+    def _drain_tx(self, conn: NormanConnection) -> None:
+        pkt = conn.rings.tx.try_consume()
+        if pkt is None:
+            self._draining.discard(conn.conn_id)
+            return
+        pkt.meta.conn_id = conn.conn_id
+        pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = conn.owner
+        conn.tx_packets += 1
+
+        latency = self._fixed_latency()
+        verdict = None
+        sched_class: Optional[int] = None
+        filt = self.fpga.machine(SLOT_FILTER_TX)
+        if filt is not None:
+            result = filt.execute(pkt, self.sim.now)
+            latency += result.cost_ns
+            verdict = result.verdict
+        classifier = self.fpga.machine(SLOT_CLASSIFIER)
+        if classifier is not None and verdict != VERDICT_DROP:
+            cresult = classifier.execute(pkt, self.sim.now)
+            latency += cresult.cost_ns
+            sched_class = cresult.sched_class
+        policer = self.fpga.machine(SLOT_POLICER)
+        if policer is not None and verdict != VERDICT_DROP:
+            presult = policer.execute(pkt, self.sim.now)
+            latency += presult.cost_ns
+            if presult.verdict == VERDICT_DROP:
+                verdict = VERDICT_DROP
+                self.metrics.counter("tx_policed").inc()
+        self.sim.after(latency, self._tx_effects, pkt, conn, verdict, sched_class)
+
+        if not conn.rings.tx.is_empty:
+            # Keep draining, paced by PCIe fetch bandwidth — or by the
+            # connection's congestion-control rate when one is set.
+            from .. import units
+
+            gap = units.transmit_time_ns(pkt.wire_len, self.costs.pcie_bandwidth_bps)
+            if conn.rate_bps is not None:
+                gap = max(gap, units.transmit_time_ns(pkt.wire_len, conn.rate_bps))
+            self.sim.after(max(gap, 1), self._drain_tx, conn)
+        else:
+            self._draining.discard(conn.conn_id)
+            if self.notify is not None:
+                from ..nic.notification import KIND_TX_DRAINED
+
+                self.notify(conn, KIND_TX_DRAINED)
+
+    def _tx_effects(
+        self,
+        pkt: Packet,
+        conn: NormanConnection,
+        verdict: Optional[str],
+        sched_class: Optional[int],
+    ) -> None:
+        if pkt.is_arp and self.on_arp is not None:
+            self.on_arp(pkt)
+        if verdict == VERDICT_DROP:
+            self.sniffer.mirror(pkt)
+            self.metrics.counter("tx_filtered").inc()
+            return
+        if self.conntrack is not None and not pkt.is_arp:
+            self.conntrack.observe(pkt, self.sim.now)
+        if self.nat is not None and not pkt.is_arp:
+            translated = self.nat.translate_out(pkt)
+            if translated is None:
+                self.metrics.counter("tx_nat_exhausted").inc()
+                self.sniffer.mirror(pkt)
+                return
+            pkt = translated
+        # Mirror post-NAT: captures show what is actually on the wire.
+        self.sniffer.mirror(pkt)
+        cls = str(sched_class) if sched_class is not None else DEFAULT_CLASS
+        if cls not in self._sched_classes:
+            cls = DEFAULT_CLASS
+        admitted = self.scheduler.submit(pkt, cls)
+        if not admitted:
+            self.metrics.counter("tx_sched_drops").inc()
+        if self.congestion is not None:
+            self.congestion.on_backpressure(
+                conn, backlog=self.scheduler.backlog, dropped=not admitted
+            )
+
+    def _tx_out(self, pkt: Packet) -> None:
+        self.metrics.counter("tx_pkts").inc()
+        self.metrics.meter("tx_bytes").record(self.sim.now, pkt.wire_len)
+        self.egress.send(pkt)
+
+    # --- control-plane configuration ------------------------------------------------
+
+    def set_scheduler(self, qdisc: Qdisc, class_names: "set[str]") -> None:
+        """Install a new egress discipline (compiled from tc)."""
+        if isinstance(qdisc, DrrQdisc) and DEFAULT_CLASS not in qdisc.weights:
+            raise NicError("scheduler must include the default class")
+        self._sched_classes = set(class_names)
+        self.scheduler.replace_qdisc(qdisc)
+
+    def stats(self) -> Dict[str, float]:
+        return self.metrics.snapshot()

@@ -1,0 +1,116 @@
+"""NormanOS — the assembled KOPI operating system (Figure 1).
+
+Implements the same :class:`~repro.dataplanes.base.Dataplane` interface as
+the baselines, so every experiment can swap it in directly. The claims it
+embodies:
+
+* dataplane packets never pass the software kernel (bypass-class per-packet
+  cost);
+* the kernel configures the NIC, so iptables/tc/tcpdump/netstat keep
+  working — including owner matches and cgroup shaping;
+* blocking I/O works via notification queues;
+* every packet is attributable to a process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..host.machine import Machine
+from ..kernel.kernel import Kernel
+from ..kernel.netfilter import NetfilterRule
+from ..kernel.qdisc import DEFAULT_CLASS
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.link import Link
+from ..net.packet import Packet
+from ..sim import Signal
+from ..dataplanes.base import CaptureSession, Dataplane, PacketFilter, QosConfig
+from .control_plane import ControlPlane
+from .library import NormanEndpoint
+from .nic_dataplane import KOPI_BITSTREAM, KopiNic
+from .sniffer import Sniffer
+
+
+class NormanOS(Dataplane):
+    """KOPI: kernel-managed dataplane on a programmable SmartNIC."""
+
+    name = "kopi"
+    supports_blocking_io = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        host_ip: IPv4Address,
+        host_mac: MacAddress,
+        egress: Link,
+        shared_rings: bool = False,
+        smartnic_sram_bytes: Optional[int] = None,
+    ):
+        self.machine = machine
+        self.costs: CostModel = machine.costs
+        self.sniffer = Sniffer(machine.sim)
+        self.nic = KopiNic(machine, egress, self.sniffer)
+        if smartnic_sram_bytes is not None:
+            from ..nic.smartnic.sram import SramAllocator
+
+            self.nic.sram = SramAllocator(smartnic_sram_bytes, name="kopi0.sram")
+        # The NIC ships factory-flashed with the KOPI image; later policy
+        # changes use overlay loads, feature changes use load_bitstream.
+        self.nic.fpga.factory_flash(KOPI_BITSTREAM)
+        # Software-path egress (fallback connections, kernel's own traffic)
+        # still flows through the NIC scheduler and the sniffer, so the
+        # global view holds even for slow-path packets.
+        self.kernel = Kernel(
+            machine, host_ip, host_mac,
+            nic_send=self._slowpath_tx, tx_rate_bps=egress.rate_bps,
+        )
+        self.control = ControlPlane(self.kernel, self.nic, machine, shared_rings=shared_rings)
+
+    # --- wire plumbing ------------------------------------------------------
+
+    def wire_rx(self, pkt: Packet) -> None:
+        self.nic.rx_from_wire(pkt)
+
+    def _slowpath_tx(self, pkt: Packet) -> None:
+        self.sniffer.mirror(pkt)
+        self.nic.scheduler.submit(pkt, DEFAULT_CLASS)
+
+    # --- application surface ---------------------------------------------------
+
+    def open_endpoint(self, proc, proto: int, port: Optional[int] = None) -> NormanEndpoint:
+        conn = self.control.open_connection(proc, proto, port)
+        return NormanEndpoint(self, conn)
+
+    # --- administrative surface ---------------------------------------------------
+
+    def install_filter_rule(self, rule: NetfilterRule) -> Signal:
+        """Owner rules welcome: the control plane resolves them to
+        connection ids and compiles an overlay program."""
+        return self.control.install_filter_rule(rule)
+
+    def configure_qos(self, config: QosConfig) -> Signal:
+        return self.control.configure_qos(config)
+
+    def start_capture(
+        self, match: Optional[PacketFilter] = None, name: str = "capture"
+    ) -> CaptureSession:
+        return self.sniffer.start(match, name)
+
+    def attribution_of(self, pkt: Packet) -> Optional[Tuple[int, int, str]]:
+        if pkt.meta.owner_pid is None:
+            return None
+        return (pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm)
+
+    def arp_entries(self) -> List[object]:
+        return self.kernel.arp_cache.entries()
+
+    def data_movements(self) -> Dict[str, int]:
+        """Steady-state dataplane movement is zero; syscalls happen only at
+        connection setup and policy changes (the control plane)."""
+        return {
+            "virtual": 0,
+            "virtual_copied_bytes": 0,
+            "physical": 0,
+            "control_plane_syscalls": self.kernel.syscalls.total_syscalls,
+        }

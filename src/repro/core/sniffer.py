@@ -1,0 +1,49 @@
+"""On-NIC packet sniffing (the tcpdump backend under KOPI).
+
+Because the SmartNIC is on-path for *every* packet of *every* application,
+a sniffer session sees the global view; because the control plane stamps
+each packet's owner from the connection registry, the capture is
+process-attributed — the combination §2 says debugging needs.
+Captured packets can be serialized to a genuine pcap file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..net.packet import Packet
+from ..net.pcap import PcapWriter
+from ..sim import MetricSet, Simulator
+from ..dataplanes.base import CaptureSession, PacketFilter
+
+
+class Sniffer:
+    """Mirror stage in the KOPI pipeline."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._sessions: List[Tuple[Optional[PacketFilter], CaptureSession, PcapWriter]] = []
+        self.metrics = MetricSet("sniffer")
+
+    def start(self, match: Optional[PacketFilter] = None, name: str = "capture") -> CaptureSession:
+        session = CaptureSession(name=name, attributed=True)
+        writer = PcapWriter()
+        session.pcap = writer
+        entry = (match, session, writer)
+        self._sessions.append(entry)
+        session._detach = lambda: self._sessions.remove(entry)
+        return session
+
+    def mirror(self, pkt: Packet) -> None:
+        """Called by the NIC pipeline for every packet (both directions)."""
+        if not self._sessions:
+            return
+        for match, session, writer in self._sessions:
+            if match is None or match(pkt):
+                session.packets.append(pkt)
+                writer.write(self.sim.now, pkt)
+                self.metrics.counter("mirrored").inc()
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)

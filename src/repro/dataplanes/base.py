@@ -1,0 +1,134 @@
+"""The dataplane interface every architecture implements.
+
+The administrative surface mirrors §2's four scenarios:
+
+* :meth:`Dataplane.install_filter_rule` — iptables (port partitioning);
+* :meth:`Dataplane.configure_qos` — tc (traffic shaping);
+* :meth:`Dataplane.start_capture` — tcpdump (debugging);
+* blocking :meth:`Endpoint.recv` — the process-scheduling scenario.
+
+Implementations raise :class:`~repro.errors.UnsupportedOperation` for
+anything their placement cannot do; the capability matrix is computed from
+those refusals, not from hand-written tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import UnsupportedOperation
+from ..kernel.netfilter import NetfilterRule
+from ..net.addresses import IPv4Address
+from ..net.packet import Packet
+from ..sim import Signal
+
+Message = Tuple[int, IPv4Address, int]  # (payload_len, src_ip, sport)
+PacketFilter = Callable[[Packet], bool]
+
+
+@dataclass
+class QosConfig:
+    """A tc-style shaping policy: relative weights per cgroup path, drained
+    work-conservingly at the link rate (WFQ/DRR semantics)."""
+
+    weights_by_cgroup: Dict[str, int]
+    quantum_bytes: int = 1_514
+
+    def __post_init__(self) -> None:
+        if not self.weights_by_cgroup:
+            raise UnsupportedOperation("QoS config needs at least one class")
+
+
+@dataclass
+class CaptureSession:
+    """A running tcpdump-style capture."""
+
+    name: str
+    packets: List[Packet] = field(default_factory=list)
+    _detach: Optional[Callable[[], None]] = None
+    attributed: bool = False
+    """True when captured packets carry owner (pid/uid/comm) metadata."""
+
+    pcap: Optional[object] = None
+    """A :class:`~repro.net.pcap.PcapWriter` when the backend produces one."""
+
+    def stop(self) -> None:
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+
+    def summaries(self) -> List[str]:
+        return [p.summary() for p in self.packets]
+
+
+class Endpoint:
+    """One application's handle onto the network."""
+
+    def __init__(self, dataplane: "Dataplane", proc, proto: int, port: int):
+        self.dataplane = dataplane
+        self.proc = proc
+        self.proto = proto
+        self.port = port
+        self.closed = False
+
+    def connect(self, dst_ip: IPv4Address, dport: int) -> Signal:
+        """Establish a connection to a peer; resolves when usable."""
+        raise NotImplementedError
+
+    def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        """Send one message; resolves True when handed to the wire layer,
+        False when dropped by policy or backpressure."""
+        raise NotImplementedError
+
+    def recv(self, blocking: bool = True) -> Signal:
+        """Receive one :data:`Message`. Blocking semantics (sleep vs poll)
+        are the dataplane's — that difference is experiment E6."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class Dataplane:
+    """Interface + shared refusal helpers."""
+
+    name = "abstract"
+
+    #: Whether a blocked receiver sleeps (True) or must burn a core polling.
+    supports_blocking_io = False
+
+    def open_endpoint(self, proc, proto: int, port: Optional[int] = None) -> Endpoint:
+        raise NotImplementedError
+
+    # --- administrative surface ------------------------------------------
+
+    def install_filter_rule(self, rule: NetfilterRule) -> None:
+        """Apply an iptables-style rule (owner matches included)."""
+        raise UnsupportedOperation(f"{self.name}: no interposition point for filtering")
+
+    def configure_qos(self, config: QosConfig) -> None:
+        """Apply a tc-style cgroup shaping policy."""
+        raise UnsupportedOperation(f"{self.name}: no interposition point for QoS")
+
+    def start_capture(
+        self, match: Optional[PacketFilter] = None, name: str = "capture"
+    ) -> CaptureSession:
+        """tcpdump: observe *all* of the host's traffic."""
+        raise UnsupportedOperation(f"{self.name}: no global capture point")
+
+    def attribution_of(self, pkt: Packet) -> Optional[Tuple[int, int, str]]:
+        """(pid, uid, comm) for a packet, if this layer can know it."""
+        return None
+
+    def arp_entries(self) -> List[object]:
+        """The host-wide ARP view an admin can inspect (``ifconfig``/ARP
+        cache); empty when no layer observes ARP globally."""
+        return []
+
+    # --- accounting -----------------------------------------------------------
+
+    def data_movements(self) -> Dict[str, int]:
+        """How many virtual (copy/syscall) and physical (cross-core) moves
+        this dataplane performed — §1's taxonomy, reported by E2."""
+        return {"virtual": 0, "physical": 0}

@@ -1,0 +1,229 @@
+"""DPDK-style kernel bypass.
+
+Applications own NIC queues and descriptor rings outright. Per-packet cost
+is tiny (tens of nanoseconds, no syscalls, no copies) — and that is the
+entire story of §2's pathologies:
+
+* there is no interposition point, so filters/QoS/capture all refuse;
+* there is no port arbitration — two apps can claim the same port, and a
+  misconfigured app simply takes traffic it shouldn't (the port-partition
+  violation E5 counts);
+* the kernel cannot see packet arrivals, so blocking I/O is impossible and
+  ``recv`` spins, burning the application's core (E6);
+* each application speaks its own ARP and the kernel ARP cache stays empty
+  (the E4 debugging scenario).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..errors import EndpointClosed, UnsupportedOperation
+from ..host.machine import Machine
+from ..kernel.kernel import Kernel
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.link import Link
+from ..net.packet import Packet, make_udp, make_tcp
+from ..net.headers import PROTO_TCP
+from ..nic.base import BasicNic
+from ..nic.rings import DescriptorRing, RingPair
+from ..sim import Signal
+from .base import Dataplane, Endpoint
+
+
+class BypassEndpoint(Endpoint):
+    """An application's raw queue pair."""
+
+    def __init__(
+        self,
+        dataplane: "BypassDataplane",
+        proc,
+        proto: int,
+        port: int,
+        rings: RingPair,
+    ):
+        super().__init__(dataplane, proc, proto, port)
+        self._dp = dataplane
+        self.rings = rings
+        self.peer: Optional[Tuple[IPv4Address, int]] = None
+        self.polls = 0
+
+    @property
+    def _core(self):
+        return self._dp.machine.cpus[self.proc.core_id]
+
+    def connect(self, dst_ip: IPv4Address, dport: int) -> Signal:
+        """Purely local: record the peer, install exact steering for the
+        return flow. No kernel involvement at all."""
+        self.peer = (dst_ip, dport)
+        flow_back = None
+        ft = self._dp.flow_for(self, dst_ip, dport)
+        if ft is not None:
+            flow_back = ft.reversed()
+            self._dp.nic.steering.install(flow_back, self.rings.conn_id)
+        done = Signal("bypass.connect")
+        self._dp.machine.sim.after(0, done.succeed, True)
+        return done
+
+    def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        dst = dst or self.peer
+        if dst is None:
+            raise UnsupportedOperation("send without destination on unconnected endpoint")
+        pkt = self._dp.build_packet(self, dst[0], dst[1], payload_len)
+        return self.send_raw(pkt)
+
+    def send_raw(self, pkt: Packet) -> Signal:
+        """Raw injection — bypass apps can put anything on the wire, which
+        is exactly why Alice cannot enforce her policies."""
+        result = Signal("bypass.send")
+        pkt.meta.created_ns = self._dp.machine.sim.now
+        cost = self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
+
+        def _done(_sig: Signal) -> None:
+            if self.closed:
+                result.succeed(False)
+                return
+            ok = self.rings.tx.try_post(pkt)
+            if ok:
+                self._dp.nic_consume_tx(self.rings)
+            result.succeed(ok)
+
+        self._core.execute(cost, "bypass_tx").add_callback(_done)
+        return result
+
+    def recv(self, blocking: bool = True) -> Signal:
+        """Poll the RX ring. ``blocking=True`` here means *spin until data*:
+        the core stays 100% busy — there is nothing to sleep on."""
+        result = Signal("bypass.recv")
+
+        def _attempt(_sig: Optional[Signal] = None) -> None:
+            if self.closed:
+                result.fail(EndpointClosed(f"endpoint :{self.port} closed"))
+                return
+            pkt = self.rings.rx.try_consume()
+            if pkt is not None:
+                cost = self._dp.costs.bypass_rx_pkt_ns
+                self._core.execute(cost, "bypass_rx").add_callback(
+                    lambda _s: result.succeed(_message_of(pkt))
+                )
+                return
+            if not blocking:
+                from ..errors import WouldBlock
+
+                result.fail(WouldBlock(f"ring empty on :{self.port}"))
+                return
+            self.polls += 1
+            self._core.execute(self._dp.costs.poll_iteration_ns, "poll").add_callback(_attempt)
+
+        _attempt()
+        return result
+
+
+def _message_of(pkt: Packet) -> Tuple[int, IPv4Address, int]:
+    ft = pkt.five_tuple
+    if ft is None:
+        return (pkt.wire_len, IPv4Address(0), 0)
+    return (pkt.payload_len, ft.src_ip, ft.sport)
+
+
+class BypassDataplane(Dataplane):
+    """Apps directly on the NIC; the kernel exists but is off-path."""
+
+    name = "bypass"
+    supports_blocking_io = False
+
+    def __init__(
+        self,
+        machine: Machine,
+        host_ip: IPv4Address,
+        host_mac: MacAddress,
+        egress: Link,
+        n_queues: int = 64,
+        ring_entries: int = 256,
+    ):
+        self.machine = machine
+        self.costs: CostModel = machine.costs
+        self.host_ip = host_ip
+        self.host_mac = host_mac
+        self.ring_entries = ring_entries
+        self.nic = BasicNic(
+            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues
+        )
+        # The kernel still runs the machine — it is just not on the datapath.
+        self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
+        self._endpoints: List[BypassEndpoint] = []
+        self._next_conn = 0
+
+    # --- wire plumbing ---------------------------------------------------------
+
+    def wire_rx(self, pkt: Packet) -> None:
+        self.nic.rx_from_wire(pkt)
+
+    def nic_consume_tx(self, rings: RingPair) -> None:
+        """NIC side: fetch the posted descriptor and transmit."""
+        delay = self.costs.pcie_dma_latency_ns + self.costs.nic_pipeline_ns
+
+        def _fetch() -> None:
+            pkt = rings.tx.try_consume()
+            if pkt is not None:
+                self.nic.tx(pkt)
+
+        self.machine.sim.after(delay, _fetch)
+
+    # --- application surface ------------------------------------------------------
+
+    def open_endpoint(self, proc, proto: int, port: Optional[int] = None) -> BypassEndpoint:
+        """Claim a queue. NOTE: no conflict detection — any app can steer
+        any port to itself. That is a feature of the measurement, not a bug
+        of the model."""
+        if port is None:
+            port = 50_000 + self._next_conn
+        conn_id = self._allocate_queue()
+        region_rx = self.machine.memory.alloc_pinned(
+            self.ring_entries * 64, owner=f"pid{proc.pid}", name=f"rx{conn_id}"
+        )
+        region_tx = self.machine.memory.alloc_pinned(
+            self.ring_entries * 64, owner=f"pid{proc.pid}", name=f"tx{conn_id}"
+        )
+        rings = RingPair(
+            conn_id,
+            rx=DescriptorRing(self.ring_entries, region_rx, f"rx{conn_id}"),
+            tx=DescriptorRing(self.ring_entries, region_tx, f"tx{conn_id}"),
+        )
+        self.nic.queues[conn_id % len(self.nic.queues)].ring = rings.rx
+        self.nic.steering.install_dport(proto, port, conn_id)
+        ep = BypassEndpoint(self, proc, proto, port, rings)
+        self._endpoints.append(ep)
+        return ep
+
+    def _allocate_queue(self) -> int:
+        if self._next_conn >= len(self.nic.queues):
+            from ..errors import NicResourceExhausted
+
+            raise NicResourceExhausted(
+                f"all {len(self.nic.queues)} NIC queues claimed by applications"
+            )
+        conn = self._next_conn
+        self._next_conn += 1
+        return conn
+
+    def build_packet(
+        self, ep: BypassEndpoint, dst_ip: IPv4Address, dport: int, payload_len: int
+    ) -> Packet:
+        dst_mac = MacAddress.from_index(dst_ip.value & 0xFF_FFFF)
+        maker = make_tcp if ep.proto == PROTO_TCP else make_udp
+        return maker(self.host_mac, dst_mac, self.host_ip, dst_ip, ep.port, dport, payload_len)
+
+    def flow_for(self, ep: BypassEndpoint, dst_ip: IPv4Address, dport: int):
+        from ..net.flow import FiveTuple
+
+        return FiveTuple(ep.proto, self.host_ip, ep.port, dst_ip, dport)
+
+    # --- the administrative surface refuses everything (inherited) -----------------
+
+    def data_movements(self) -> Dict[str, int]:
+        return {"virtual": 0, "virtual_copied_bytes": 0, "physical": 0}
+
+    def total_polls(self) -> int:
+        return sum(ep.polls for ep in self._endpoints)

@@ -1,0 +1,236 @@
+"""AccelNet-style hypervisor vswitch offloaded to the NIC.
+
+Performance is bypass-class (the switch sits in NIC hardware, on-path), and
+unlike raw bypass there *is* a global interposition point — but it is
+logically isolated from the OS: it sees headers, never processes. Owner
+rules, cgroup QoS, blocking I/O, and packet→process attribution all refuse,
+which is the paper's §1 argument for OS-integrated (not hypervisor-level)
+interposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
+from ..host.machine import Machine
+from ..kernel.arp import ArpCache
+from ..kernel.kernel import Kernel
+from ..kernel.netfilter import NetfilterRule
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.headers import PROTO_TCP
+from ..net.link import Link
+from ..net.packet import Packet, make_tcp, make_udp
+from ..net.switch import MatchAction
+from ..nic.base import BasicNic
+from ..nic.rings import DescriptorRing, RingPair
+from ..sim import MetricSet, Signal
+from .base import CaptureSession, Dataplane, Endpoint, PacketFilter, QosConfig
+from .bypass import _message_of
+
+
+class HypervisorEndpoint(Endpoint):
+    """App view: identical to bypass (direct rings, polling only)."""
+
+    def __init__(self, dataplane: "HypervisorDataplane", proc, proto: int, port: int,
+                 rings: RingPair):
+        super().__init__(dataplane, proc, proto, port)
+        self._dp = dataplane
+        self.rings = rings
+        self.peer: Optional[Tuple[IPv4Address, int]] = None
+        self.polls = 0
+
+    @property
+    def _core(self):
+        return self._dp.machine.cpus[self.proc.core_id]
+
+    def connect(self, dst_ip: IPv4Address, dport: int) -> Signal:
+        self.peer = (dst_ip, dport)
+        done = Signal("hv.connect")
+        self._dp.machine.sim.after(0, done.succeed, True)
+        return done
+
+    def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        dst = dst or self.peer
+        if dst is None:
+            raise UnsupportedOperation("send without destination on unconnected endpoint")
+        dst_mac = MacAddress.from_index(dst[0].value & 0xFF_FFFF)
+        maker = make_tcp if self.proto == PROTO_TCP else make_udp
+        pkt = maker(self._dp.host_mac, dst_mac, self._dp.host_ip, dst[0],
+                    self.port, dst[1], payload_len)
+        return self.send_raw(pkt)
+
+    def send_raw(self, pkt: Packet) -> Signal:
+        result = Signal("hv.send")
+        pkt.meta.created_ns = self._dp.machine.sim.now
+        cost = self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
+
+        def _done(_sig: Signal) -> None:
+            ok = (not self.closed) and self.rings.tx.try_post(pkt)
+            if ok:
+                self._dp.nic_consume_tx(self.rings)
+            result.succeed(bool(ok))
+
+        self._core.execute(cost, "hv_tx").add_callback(_done)
+        return result
+
+    def recv(self, blocking: bool = True) -> Signal:
+        result = Signal("hv.recv")
+
+        def _attempt(_sig: Optional[Signal] = None) -> None:
+            if self.closed:
+                result.fail(EndpointClosed(f"endpoint :{self.port} closed"))
+                return
+            pkt = self.rings.rx.try_consume()
+            if pkt is not None:
+                self._core.execute(self._dp.costs.bypass_rx_pkt_ns, "hv_rx").add_callback(
+                    lambda _s: result.succeed(_message_of(pkt))
+                )
+                return
+            if not blocking:
+                result.fail(WouldBlock(f"ring empty on :{self.port}"))
+                return
+            self.polls += 1
+            self._core.execute(self._dp.costs.poll_iteration_ns, "poll").add_callback(_attempt)
+
+        _attempt()
+        return result
+
+
+class HypervisorDataplane(Dataplane):
+    """vswitch-on-NIC: global header view, zero process view."""
+
+    name = "hypervisor"
+    supports_blocking_io = False
+
+    def __init__(
+        self,
+        machine: Machine,
+        host_ip: IPv4Address,
+        host_mac: MacAddress,
+        egress: Link,
+        n_queues: int = 64,
+        ring_entries: int = 256,
+    ):
+        self.machine = machine
+        self.costs: CostModel = machine.costs
+        self.host_ip = host_ip
+        self.host_mac = host_mac
+        self.ring_entries = ring_entries
+        self.nic = BasicNic(machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues)
+        self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
+        self.vswitch_rules: List[MatchAction] = []
+        self.arp_observed = ArpCache()
+        self.metrics = MetricSet("vswitch")
+        self._captures: List[Tuple[Optional[PacketFilter], CaptureSession]] = []
+        self._endpoints: List[HypervisorEndpoint] = []
+        self._next_conn = 0
+
+    # --- vswitch pipeline (runs on the NIC, both directions) ---------------------
+
+    def _vswitch(self, pkt: Packet) -> bool:
+        """Returns False when dropped. Header-only: meta.owner_* is never
+        consulted — the hypervisor cannot know it."""
+        if pkt.is_arp:
+            self.arp_observed.observe(pkt, self.machine.sim.now)
+        for match, session in self._captures:
+            if match is None or match(pkt):
+                session.packets.append(pkt)
+        for rule in self.vswitch_rules:
+            if rule.matches(pkt):
+                if rule.action == "drop":
+                    self.metrics.counter("dropped").inc()
+                    return False
+                break
+        return True
+
+    def wire_rx(self, pkt: Packet) -> None:
+        if not self._vswitch(pkt):
+            return
+        self.nic.rx_from_wire(pkt)
+
+    def nic_consume_tx(self, rings: RingPair) -> None:
+        delay = self.costs.pcie_dma_latency_ns + self.costs.nic_pipeline_ns
+
+        def _fetch() -> None:
+            pkt = rings.tx.try_consume()
+            if pkt is not None and self._vswitch(pkt):
+                self.nic.tx(pkt)
+
+        self.machine.sim.after(delay, _fetch)
+
+    # --- application surface ------------------------------------------------------
+
+    def open_endpoint(self, proc, proto: int, port: Optional[int] = None) -> HypervisorEndpoint:
+        if port is None:
+            port = 50_000 + self._next_conn
+        if self._next_conn >= len(self.nic.queues):
+            from ..errors import NicResourceExhausted
+
+            raise NicResourceExhausted("all vswitch queues claimed")
+        conn_id = self._next_conn
+        self._next_conn += 1
+        rx = DescriptorRing(
+            self.ring_entries,
+            self.machine.memory.alloc_pinned(self.ring_entries * 64, owner=f"pid{proc.pid}"),
+            f"hv.rx{conn_id}",
+        )
+        tx = DescriptorRing(
+            self.ring_entries,
+            self.machine.memory.alloc_pinned(self.ring_entries * 64, owner=f"pid{proc.pid}"),
+            f"hv.tx{conn_id}",
+        )
+        rings = RingPair(conn_id, rx=rx, tx=tx)
+        self.nic.queues[conn_id].ring = rx
+        self.nic.steering.install_dport(proto, port, conn_id)
+        ep = HypervisorEndpoint(self, proc, proto, port, rings)
+        self._endpoints.append(ep)
+        return ep
+
+    # --- administrative surface ------------------------------------------------------
+
+    def install_filter_rule(self, rule: NetfilterRule) -> None:
+        """Header rules compile to vswitch match-action; owner rules are
+        impossible off-OS."""
+        if rule.needs_owner:
+            raise UnsupportedOperation(
+                "hypervisor vswitch cannot match on process owner: it is "
+                "logically isolated from the OS process table"
+            )
+        self.vswitch_rules.append(
+            MatchAction(
+                action="drop" if rule.verdict == "DROP" else "allow",
+                proto=rule.proto,
+                src_ip=rule.src_ip,
+                dst_ip=rule.dst_ip,
+                sport=rule.sport,
+                dport=rule.dport,
+            )
+        )
+
+    def configure_qos(self, config: QosConfig) -> None:
+        raise UnsupportedOperation(
+            "hypervisor vswitch cannot shape by cgroup/user/process: "
+            "packets carry no process identity (it could shape by port, but "
+            "the game hops ports — §2)"
+        )
+
+    def start_capture(
+        self, match: Optional[PacketFilter] = None, name: str = "capture"
+    ) -> CaptureSession:
+        """Global capture works — but unattributed."""
+        session = CaptureSession(name=name, attributed=False)
+        self._captures.append((match, session))
+        session._detach = lambda: self._captures.remove((match, session))
+        return session
+
+    def attribution_of(self, pkt: Packet) -> Optional[Tuple[int, int, str]]:
+        return None  # by construction
+
+    def arp_entries(self) -> List[object]:
+        """MAC/IP pairs only; ``source_pid`` is always None here."""
+        return self.arp_observed.entries()
+
+    def data_movements(self) -> Dict[str, int]:
+        return {"virtual": 0, "virtual_copied_bytes": 0, "physical": 0}

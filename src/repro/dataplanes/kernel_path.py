@@ -1,0 +1,162 @@
+"""The classic kernel-stack dataplane.
+
+Everything §2 wants works here — owner filtering, cgroup QoS, attributed
+tcpdump, blocking I/O, a global ARP cache — because every packet crosses the
+kernel. The price is §1's virtual data movement: a syscall and a copy per
+packet, all on the application's core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..errors import UnsupportedOperation
+from ..host.machine import Machine
+from ..kernel.kernel import Kernel
+from ..kernel.netfilter import NetfilterRule
+from ..kernel.qdisc import DEFAULT_CLASS, DrrQdisc
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.link import Link
+from ..net.packet import Packet
+from ..nic.base import BasicNic
+from ..sim import Signal
+from .base import CaptureSession, Dataplane, Endpoint, PacketFilter, QosConfig
+
+
+class KernelEndpoint(Endpoint):
+    """Endpoint over a kernel socket."""
+
+    def __init__(self, dataplane: "KernelPathDataplane", proc, proto: int, port: Optional[int]):
+        self._dp = dataplane
+        if port is None:
+            self.sock = dataplane.kernel.sockets.bind_ephemeral(proc, proto)
+        else:
+            self.sock = dataplane.kernel.sockets.bind(proc, proto, port)
+        super().__init__(dataplane, proc, proto, self.sock.port)
+
+    def connect(self, dst_ip: IPv4Address, dport: int) -> Signal:
+        return self._dp.kernel.netstack.connect(self.proc, self.sock, dst_ip, dport)
+
+    def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        if dst is None:
+            if self.sock.peer is None:
+                raise UnsupportedOperation("send without destination on unconnected socket")
+            dst = self.sock.peer
+        return self._dp.kernel.netstack.sendto(
+            self.proc, self.sock, dst[0], dst[1], payload_len
+        )
+
+    def recv(self, blocking: bool = True) -> Signal:
+        return self._dp.kernel.netstack.recv(self.proc, self.sock, blocking=blocking)
+
+    def send_raw(self, pkt: Packet) -> Signal:
+        raise UnsupportedOperation(
+            "kernel path: applications cannot inject raw frames; the kernel "
+            "owns ARP and L2"
+        )
+
+    def close(self) -> None:
+        if not self.closed:
+            self._dp.kernel.sockets.close(self.sock)
+        super().close()
+
+
+class KernelPathDataplane(Dataplane):
+    """Kernel stack + conventional NIC."""
+
+    name = "kernel"
+    supports_blocking_io = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        host_ip: IPv4Address,
+        host_mac: MacAddress,
+        egress: Link,
+        n_queues: int = 8,
+    ):
+        self.machine = machine
+        self.costs: CostModel = machine.costs
+        self.nic = BasicNic(
+            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues
+        )
+        self.kernel = Kernel(
+            machine, host_ip, host_mac,
+            nic_send=self._kernel_tx, tx_rate_bps=egress.rate_bps,
+        )
+        for queue in self.nic.queues:
+            queue.set_handler(self._nic_rx)
+
+    # --- wire plumbing -----------------------------------------------------
+
+    def _kernel_tx(self, pkt: Packet) -> None:
+        self.nic.tx(pkt)
+
+    def wire_rx(self, pkt: Packet) -> None:
+        """Attach this to the ingress link."""
+        self.nic.rx_from_wire(pkt)
+
+    def _nic_rx(self, pkt: Packet) -> None:
+        if pkt.is_arp:
+            self.kernel.observe_arp(pkt)
+            self.kernel.netstack._run_taps(pkt)
+            return
+        self.kernel.netstack.deliver(pkt)
+
+    # --- application surface --------------------------------------------------
+
+    def open_endpoint(self, proc, proto: int, port: Optional[int] = None) -> KernelEndpoint:
+        return KernelEndpoint(self, proc, proto, port)
+
+    # --- administrative surface --------------------------------------------------
+
+    def install_filter_rule(self, rule: NetfilterRule) -> None:
+        self.kernel.filters.append(rule)
+
+    def configure_qos(self, config: QosConfig) -> None:
+        weights = dict(config.weights_by_cgroup)
+        weights.setdefault(DEFAULT_CLASS, 1)
+        qdisc = DrrQdisc(weights=weights, quantum_bytes=config.quantum_bytes)
+        self.kernel.netstack.egress.replace_qdisc(qdisc)
+        cgroups = self.kernel.cgroups
+
+        def classify(_pkt: Packet, pid: Optional[int]) -> str:
+            if pid is None:
+                return DEFAULT_CLASS
+            path = cgroups.group_of(pid).path
+            return path if path in weights else DEFAULT_CLASS
+
+        self.kernel.netstack.classify = classify
+
+    def start_capture(
+        self, match: Optional[PacketFilter] = None, name: str = "capture"
+    ) -> CaptureSession:
+        from ..net.pcap import PcapWriter
+
+        session = CaptureSession(name=name, attributed=True)
+        session.pcap = PcapWriter()
+
+        def tap(pkt: Packet) -> None:
+            if match is None or match(pkt):
+                session.packets.append(pkt)
+                session.pcap.write(self.machine.sim.now, pkt)
+
+        session._detach = self.kernel.netstack.add_tap(tap)
+        return session
+
+    def attribution_of(self, pkt: Packet) -> Optional[Tuple[int, int, str]]:
+        if pkt.meta.owner_pid is None:
+            return None
+        return (pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm)
+
+    def arp_entries(self) -> List[object]:
+        return self.kernel.arp_cache.entries()
+
+    def data_movements(self) -> Dict[str, int]:
+        syscalls = self.kernel.syscalls.metrics.counter("total").value
+        copies = (
+            self.kernel.syscalls.metrics.counter("copy_in_bytes").value
+            + self.kernel.syscalls.metrics.counter("copy_out_bytes").value
+        )
+        return {"virtual": syscalls, "virtual_copied_bytes": copies, "physical": 0}

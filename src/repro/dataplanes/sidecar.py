@@ -1,0 +1,262 @@
+"""IX/Snap-style sidecar dataplane: interposition on a dedicated core.
+
+The paper's "physical movement" case: instead of crossing the user/kernel
+boundary, every packet crosses a *core* boundary. The sidecar is
+OS-integrated (it knows which process owns each queue, can block/wake
+threads, runs filters and qdiscs), so it supports everything the kernel
+path does — but each packet pays cross-core coherence traffic plus the
+sidecar core's time, and the sidecar core itself is burned for the
+deployment's lifetime. E2 measures both.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..config import CostModel
+from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
+from ..host.machine import Machine
+from ..kernel.kernel import Kernel
+from ..kernel.netfilter import CHAIN_INPUT, CHAIN_OUTPUT, DROP, NetfilterRule
+from ..kernel.process import owner_info
+from ..kernel.qdisc import DEFAULT_CLASS, DrrQdisc, PfifoQdisc
+from ..kernel.qdisc_runner import PacedQdiscRunner
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.headers import PROTO_TCP
+from ..net.link import Link
+from ..net.packet import Packet, make_tcp, make_udp
+from ..nic.base import BasicNic
+from ..sim import Signal
+from .base import CaptureSession, Dataplane, Endpoint, PacketFilter, QosConfig
+
+Message = Tuple[int, IPv4Address, int]
+
+
+class SidecarEndpoint(Endpoint):
+    """App-side queue pair into the sidecar."""
+
+    def __init__(self, dataplane: "SidecarDataplane", proc, proto: int, port: int):
+        super().__init__(dataplane, proc, proto, port)
+        self._dp = dataplane
+        self.rx_queue: Deque[Message] = deque()
+        self.peer: Optional[Tuple[IPv4Address, int]] = None
+
+    @property
+    def _core(self):
+        return self._dp.machine.cpus[self.proc.core_id]
+
+    def connect(self, dst_ip: IPv4Address, dport: int) -> Signal:
+        self.peer = (dst_ip, dport)
+        done = Signal("sidecar.connect")
+        self._dp.machine.sim.after(0, done.succeed, True)
+        return done
+
+    def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        dst = dst or self.peer
+        if dst is None:
+            raise UnsupportedOperation("send without destination on unconnected endpoint")
+        pkt = self._dp.build_packet(self, dst[0], dst[1], payload_len)
+        return self.send_raw(pkt)
+
+    def send_raw(self, pkt: Packet) -> Signal:
+        return self._dp.app_tx(self, pkt)
+
+    def recv(self, blocking: bool = True) -> Signal:
+        result = Signal("sidecar.recv")
+        if self.closed:
+            self._dp.machine.sim.after(0, result.fail, EndpointClosed("closed"))
+            return result
+        if self.rx_queue:
+            msg = self.rx_queue.popleft()
+            self._core.execute(self._dp.costs.bypass_rx_pkt_ns, "rx").add_callback(
+                lambda _s: result.succeed(msg)
+            )
+            return result
+        if not blocking:
+            self._dp.machine.sim.after(0, result.fail, WouldBlock("queue empty"))
+            return result
+        woken = self._dp.kernel.scheduler.block(self.proc, f"sidecar:{self.port}")
+        self._dp.register_waiter(self, woken)
+        woken.add_callback(lambda sig: result.succeed(sig.value))
+        return result
+
+
+class SidecarDataplane(Dataplane):
+    """Interposition proxy pinned to a dedicated core."""
+
+    name = "sidecar"
+    supports_blocking_io = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        host_ip: IPv4Address,
+        host_mac: MacAddress,
+        egress: Link,
+        sidecar_core: Optional[int] = None,
+        n_queues: int = 8,
+    ):
+        self.machine = machine
+        self.costs: CostModel = machine.costs
+        self.host_ip = host_ip
+        self.host_mac = host_mac
+        self.sidecar_core_id = (
+            sidecar_core if sidecar_core is not None else len(machine.cpus) - 1
+        )
+        self.nic = BasicNic(machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues)
+        self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
+        for queue in self.nic.queues:
+            queue.set_handler(self._sidecar_rx)
+        self.egress_runner = PacedQdiscRunner(
+            machine.sim, PfifoQdisc(), egress.rate_bps, self.nic.tx, name="sidecar_egress"
+        )
+        self._qos_weights: Dict[str, int] = {}
+        self._endpoints: Dict[Tuple[int, int], SidecarEndpoint] = {}
+        self._waiters: Dict[Tuple[int, int], Signal] = {}
+        self._taps: List[PacketFilter] = []
+        self._captures: List[Tuple[Optional[PacketFilter], CaptureSession]] = []
+
+    @property
+    def _score(self):
+        return self.machine.cpus[self.sidecar_core_id]
+
+    # --- app-facing -------------------------------------------------------------
+
+    def open_endpoint(self, proc, proto: int, port: Optional[int] = None) -> SidecarEndpoint:
+        # The sidecar is OS-integrated: ports go through the kernel socket
+        # table, so conflicts and privileged ports are enforced (and
+        # netstat keeps working).
+        if port is None:
+            sock = self.kernel.sockets.bind_ephemeral(proc, proto)
+        else:
+            sock = self.kernel.sockets.bind(proc, proto, port)
+        ep = SidecarEndpoint(self, proc, proto, sock.port)
+        self._endpoints[(proto, sock.port)] = ep
+        return ep
+
+    def register_waiter(self, ep: SidecarEndpoint, woken: Signal) -> None:
+        self._waiters[(ep.proto, ep.port)] = woken
+
+    def build_packet(self, ep, dst_ip: IPv4Address, dport: int, payload_len: int) -> Packet:
+        dst_mac = MacAddress.from_index(dst_ip.value & 0xFF_FFFF)
+        maker = make_tcp if ep.proto == PROTO_TCP else make_udp
+        return maker(self.host_mac, dst_mac, self.host_ip, dst_ip, ep.port, dport, payload_len)
+
+    # --- TX: app core -> coherence -> sidecar core -> qdisc -> NIC ----------------
+
+    def app_tx(self, ep: SidecarEndpoint, pkt: Packet) -> Signal:
+        result = Signal("sidecar.send")
+        pkt.meta.created_ns = self.machine.sim.now
+        owner = owner_info(ep.proc)
+        pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+        app_core = self.machine.cpus[ep.proc.core_id]
+        move_ns = self.machine.coherence.transfer_cost_ns(
+            pkt.wire_len + 64, ep.proc.core_id, self.sidecar_core_id
+        )
+
+        def _on_sidecar(_sig: Signal) -> None:
+            verdict, examined = self.kernel.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
+            work = (
+                self.costs.bypass_tx_pkt_ns
+                + move_ns
+                + examined * self.costs.netfilter_rule_ns
+            )
+
+            def _done(_s: Signal) -> None:
+                self._run_captures(pkt)
+                if verdict == DROP:
+                    result.succeed(False)
+                    return
+                cls = self._classify(ep.proc.pid)
+                result.succeed(self.egress_runner.submit(pkt, cls))
+
+            self._score.execute(work, "sidecar_tx").add_callback(_done)
+
+        app_core.execute(self.costs.bypass_tx_pkt_ns, "app_tx").add_callback(_on_sidecar)
+        return result
+
+    # --- RX: NIC -> sidecar core -> coherence -> app ---------------------------------
+
+    def wire_rx(self, pkt: Packet) -> None:
+        self.nic.rx_from_wire(pkt)
+
+    def _sidecar_rx(self, pkt: Packet) -> None:
+        if pkt.is_arp:
+            self.kernel.observe_arp(pkt)
+            self._run_captures(pkt)
+            return
+        ft = pkt.five_tuple
+        ep = self._endpoints.get((ft.proto, ft.dport)) if ft else None
+        owner = owner_info(ep.proc) if ep else None
+        if owner is not None:
+            pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+        verdict, examined = self.kernel.filters.evaluate(CHAIN_INPUT, pkt, owner)
+        work = self.costs.bypass_rx_pkt_ns + examined * self.costs.netfilter_rule_ns
+        if ep is not None:
+            work += self.machine.coherence.transfer_cost_ns(
+                pkt.wire_len + 64, self.sidecar_core_id, ep.proc.core_id
+            )
+
+        def _done(_sig: Signal) -> None:
+            self._run_captures(pkt)
+            if verdict == DROP or ep is None or ep.closed:
+                return
+            msg: Message = (pkt.payload_len, ft.src_ip, ft.sport)
+            waiter = self._waiters.pop((ep.proto, ep.port), None)
+            if waiter is not None:
+                self.kernel.scheduler.wake(ep.proc, value=msg)
+            else:
+                ep.rx_queue.append(msg)
+
+        self._score.execute(work, "sidecar_rx").add_callback(_done)
+
+    # --- administrative surface ----------------------------------------------------
+
+    def install_filter_rule(self, rule: NetfilterRule) -> None:
+        self.kernel.filters.append(rule)
+
+    def configure_qos(self, config: QosConfig) -> None:
+        weights = dict(config.weights_by_cgroup)
+        weights.setdefault(DEFAULT_CLASS, 1)
+        self._qos_weights = weights
+        self.egress_runner.replace_qdisc(
+            DrrQdisc(weights=weights, quantum_bytes=config.quantum_bytes)
+        )
+
+    def _classify(self, pid: int) -> str:
+        if not self._qos_weights:
+            return DEFAULT_CLASS
+        path = self.kernel.cgroups.group_of(pid).path
+        return path if path in self._qos_weights else DEFAULT_CLASS
+
+    def start_capture(
+        self, match: Optional[PacketFilter] = None, name: str = "capture"
+    ) -> CaptureSession:
+        session = CaptureSession(name=name, attributed=True)
+        self._captures.append((match, session))
+        session._detach = lambda: self._captures.remove((match, session))
+        return session
+
+    def _run_captures(self, pkt: Packet) -> None:
+        for match, session in self._captures:
+            if match is None or match(pkt):
+                session.packets.append(pkt)
+
+    def attribution_of(self, pkt: Packet) -> Optional[Tuple[int, int, str]]:
+        if pkt.meta.owner_pid is None:
+            return None
+        return (pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm)
+
+    def arp_entries(self) -> List[object]:
+        return self.kernel.arp_cache.entries()
+
+    def data_movements(self) -> Dict[str, int]:
+        return {
+            "virtual": 0,
+            "virtual_copied_bytes": 0,
+            "physical": self.machine.coherence.lines_moved,
+        }
+
+    def sidecar_core_busy_ns(self) -> int:
+        return self._score.busy_ns

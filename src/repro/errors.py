@@ -1,0 +1,108 @@
+"""Exception hierarchy for the KOPI/Norman reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly (e.g. scheduling in the past)."""
+
+
+class ConfigError(ReproError):
+    """A cost-model or topology parameter is invalid."""
+
+
+class PacketError(ReproError):
+    """Malformed packet or header field out of range."""
+
+
+class AddressError(PacketError):
+    """Malformed MAC or IPv4 address."""
+
+
+class KernelError(ReproError):
+    """Generic kernel-substrate failure."""
+
+
+class PermissionDenied(KernelError):
+    """Caller lacks the privilege for the requested operation."""
+
+
+class AddressInUse(KernelError):
+    """Port or address already bound (EADDRINUSE)."""
+
+
+class ConnectionRefused(KernelError):
+    """No listener on the destination port (ECONNREFUSED)."""
+
+
+class NotConnected(KernelError):
+    """Operation requires an established connection (ENOTCONN)."""
+
+
+class WouldBlock(KernelError):
+    """Non-blocking operation cannot complete immediately (EWOULDBLOCK)."""
+
+
+class EndpointClosed(KernelError):
+    """Operation on a closed endpoint (EBADF)."""
+
+
+class InvalidSyscall(KernelError):
+    """Syscall used with invalid arguments (EINVAL)."""
+
+
+class UnsupportedOperation(ReproError):
+    """The selected dataplane cannot implement the requested policy or tool.
+
+    This is the error the capability matrix (experiment E3) is built on: a
+    dataplane that cannot, e.g., match on process owner raises this instead of
+    silently not enforcing.
+    """
+
+
+class NicError(ReproError):
+    """Generic NIC failure."""
+
+
+class RingFull(NicError):
+    """Descriptor ring has no free slot."""
+
+
+class RingEmpty(NicError):
+    """Descriptor ring has no completed entry to consume."""
+
+
+class NicResourceExhausted(NicError):
+    """On-NIC SRAM / table capacity exceeded (experiment E9)."""
+
+
+class ReconfigurationUnsupported(NicError):
+    """Fixed-function hardware cannot be reprogrammed (experiment E10)."""
+
+
+class OverlayError(ReproError):
+    """Overlay program failed to assemble, verify, or execute."""
+
+
+class VerifierError(OverlayError):
+    """Overlay program rejected by the static verifier."""
+
+
+class AssemblerError(OverlayError):
+    """Overlay assembly text is malformed."""
+
+
+class PolicyError(ReproError):
+    """A policy object is inconsistent or cannot be compiled."""
+
+
+class ToolError(ReproError):
+    """An admin tool (iptables/tc/tcpdump/...) was invoked incorrectly."""

@@ -1,0 +1,103 @@
+"""Shared experiment plumbing: the plane roster, workload drivers, tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from .. import units
+from ..config import DEFAULT_COSTS, CostModel
+from ..core import NormanOS
+from ..dataplanes import (
+    BypassDataplane,
+    HypervisorDataplane,
+    KernelPathDataplane,
+    SidecarDataplane,
+    Testbed,
+)
+from ..dataplanes.base import Dataplane
+from ..apps import BulkSender
+
+Row = Dict[str, object]
+
+
+def planes_under_test(include_kopi: bool = True) -> List[Type[Dataplane]]:
+    """The roster every comparative experiment sweeps."""
+    planes: List[Type[Dataplane]] = [
+        KernelPathDataplane,
+        BypassDataplane,
+        SidecarDataplane,
+        HypervisorDataplane,
+    ]
+    if include_kopi:
+        planes.append(NormanOS)
+    return planes
+
+
+def fmt_table(rows: Sequence[Row], columns: Optional[List[str]] = None) -> str:
+    """Render rows as an aligned ASCII table (floats to 3 significant-ish
+    places)."""
+    if not rows:
+        return "(no rows)"
+    cols = columns or list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {
+        c: max(len(c), max(len(cell(r.get(c, ""))) for r in rows)) + 2 for c in cols
+    }
+    out = ["".join(c.ljust(widths[c]) for c in cols)]
+    out.append("".join("-" * (widths[c] - 2) + "  " for c in cols))
+    for row in rows:
+        out.append("".join(cell(row.get(c, "")).ljust(widths[c]) for c in cols))
+    return "\n".join(out)
+
+
+def run_bulk_tx(
+    plane_cls: Type[Dataplane],
+    payload_len: int,
+    count: int,
+    costs: CostModel = DEFAULT_COSTS,
+    app_core: int = 1,
+    setup=None,
+) -> Row:
+    """Closed-loop TX measurement on one dataplane.
+
+    Returns goodput, app-core and whole-host CPU per packet, mean one-way
+    latency at the peer, and the dataplane's data-movement counters.
+    ``setup(tb)`` may install policies before traffic starts.
+    """
+    tb = Testbed(plane_cls, costs=costs)
+    if setup is not None:
+        setup(tb)
+        tb.run_all()  # let policy loads (overlays etc.) commit
+    app = BulkSender(
+        tb, comm="bulk", user="bob", core_id=app_core,
+        payload_len=payload_len, count=count,
+    )
+    start_busy = tb.machine.cpus.total_busy_ns()
+    app_busy0 = tb.machine.cpus[app_core].busy_ns
+    app.start()
+    tb.run_all()
+
+    delivered = [p for p in tb.peer.received if p.five_tuple and p.five_tuple.dport == 9000]
+    latencies = [
+        p.meta.delivered_ns - p.meta.created_ns
+        for p in delivered
+        if p.meta.created_ns and p.meta.delivered_ns
+    ]
+    host_cpu = tb.machine.cpus.total_busy_ns() - start_busy
+    app_cpu = tb.machine.cpus[app_core].busy_ns - app_busy0
+    sent = max(app.sent, 1)
+    return {
+        "plane": plane_cls.name,
+        "payload_B": payload_len,
+        "delivered": len(delivered),
+        "goodput_gbps": app.goodput_bps() / units.GBPS,
+        "app_cpu_ns_per_pkt": app_cpu / sent,
+        "host_cpu_ns_per_pkt": host_cpu / sent,
+        "latency_us_mean": (sum(latencies) / len(latencies) / units.US) if latencies else 0.0,
+        "movements": tb.dataplane.data_movements(),
+    }

@@ -1,0 +1,62 @@
+"""E1 — §1: "the OS software stack has emerged as a bottleneck".
+
+Closed-loop TX across every dataplane and payload size. The shape the
+paper's argument predicts:
+
+* the kernel path's per-packet CPU cost is an order of magnitude above the
+  bypass-class paths, capping its attainable throughput;
+* KOPI's cost matches kernel bypass (the interposition moved to the NIC,
+  off the critical CPU path), not the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import DEFAULT_COSTS, CostModel
+from .common import Row, fmt_table, planes_under_test, run_bulk_tx
+
+PAYLOADS = (64, 512, 1_458)
+DEFAULT_COUNT = 300
+
+
+def run_e1(
+    count: int = DEFAULT_COUNT,
+    payloads: "tuple[int, ...]" = PAYLOADS,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Row]:
+    rows: List[Row] = []
+    for plane_cls in planes_under_test():
+        for payload in payloads:
+            row = run_bulk_tx(plane_cls, payload, count, costs=costs)
+            del row["movements"]
+            rows.append(row)
+    return rows
+
+
+def headline(rows: List[Row]) -> dict:
+    """Key ratios for EXPERIMENTS.md: kernel-vs-bypass and kopi-vs-bypass
+    per-packet CPU at full MTU."""
+    at_mtu = {r["plane"]: r for r in rows if r["payload_B"] == max(PAYLOADS)}
+    bypass = at_mtu["bypass"]["app_cpu_ns_per_pkt"]
+    return {
+        "kernel_vs_bypass_cpu_ratio": at_mtu["kernel"]["app_cpu_ns_per_pkt"] / bypass,
+        "kopi_vs_bypass_cpu_ratio": at_mtu["kopi"]["app_cpu_ns_per_pkt"] / bypass,
+        "kernel_goodput_gbps": at_mtu["kernel"]["goodput_gbps"],
+        "kopi_goodput_gbps": at_mtu["kopi"]["goodput_gbps"],
+    }
+
+
+def main() -> str:
+    rows = run_e1()
+    text = fmt_table(rows)
+    summary = headline(rows)
+    lines = [text, "",
+             "headline: kernel costs "
+             f"{summary['kernel_vs_bypass_cpu_ratio']:.1f}x bypass per packet; "
+             f"KOPI costs {summary['kopi_vs_bypass_cpu_ratio']:.2f}x bypass"]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,115 @@
+"""F1 — Figure 1: every arrow of the Norman architecture, traced live.
+
+The paper's only figure shows: applications talking to ring buffers over
+DMA+MMIO; the library entering the kernel for connect; tools (tc, iptables)
+entering the kernel control plane; the kernel configuring the KOPI
+dataplane through registers; and the dataplane sitting on-path between host
+and wire. Each row below is one arrow, verified by running traffic and
+checking the counters that only that arrow could have moved.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import NormanOS
+from ..dataplanes import Testbed
+from ..dataplanes.testbed import PEER_IP
+from ..net.headers import PROTO_UDP
+from ..sim import SimProcess
+from ..tools import Iptables, Tc
+from .common import Row, fmt_table
+
+
+def run_f1() -> List[Row]:
+    rows: List[Row] = []
+    tb = Testbed(NormanOS)
+    proc = tb.spawn("app", "bob", core_id=1)
+
+    # Arrow: library --connect--> kernel (syscall).
+    sys0 = tb.kernel.syscalls.metrics.counter("norman_connect").value
+    ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+    tb.run_all()
+    rows.append({
+        "arrow": "library -> kernel: connect/setup syscall",
+        "verified": tb.kernel.syscalls.metrics.counter("norman_connect").value == sys0 + 1,
+        "evidence": "norman_connect syscall counted at setup",
+    })
+
+    # Arrow: app <-> ring buffers (DMA + MMIO), kernel NOT on the datapath.
+    mmio0 = tb.machine.dma.metrics.counter("mmio_writes").value
+    ktx0 = tb.kernel.netstack.metrics.counter("tx_pkts").value
+    sys1 = tb.kernel.syscalls.total_syscalls
+
+    def client():
+        for _ in range(5):
+            yield ep.send(300, dst=(PEER_IP, 9000))
+
+    SimProcess(tb.sim, client())
+    tb.run_all()
+    rows.append({
+        "arrow": "app <-> rings: DMA + MMIO doorbells",
+        "verified": tb.machine.dma.metrics.counter("mmio_writes").value >= mmio0 + 5,
+        "evidence": "one doorbell per send",
+    })
+    rows.append({
+        "arrow": "dataplane packets do not pass the software kernel",
+        "verified": (tb.kernel.netstack.metrics.counter("tx_pkts").value == ktx0
+                     and tb.kernel.syscalls.total_syscalls == sys1),
+        "evidence": "kernel stack tx counter and syscall count unchanged",
+    })
+
+    # Arrow: tools -> kernel control plane -> NIC registers/overlays.
+    loads0 = tb.dataplane.nic.fpga.metrics.counter("overlay_loads").value
+    Iptables(tb.dataplane, tb.kernel)("-A OUTPUT --dport 81 -j DROP")
+    tb.run_all()
+    rows.append({
+        "arrow": "iptables -> control plane -> overlay load",
+        "verified": tb.dataplane.nic.fpga.metrics.counter("overlay_loads").value > loads0,
+        "evidence": "filter overlay reloaded after rule insert",
+    })
+
+    tb.kernel.cgroups.create("/work")
+    Tc(tb.dataplane, tb.kernel)("qdisc replace dev nic0 root wfq /work:3")
+    tb.run_all()
+    from repro.core.nic_dataplane import SLOT_CLASSIFIER
+
+    rows.append({
+        "arrow": "tc -> control plane -> NIC scheduler + classifier",
+        "verified": tb.dataplane.nic.fpga.machine(SLOT_CLASSIFIER) is not None,
+        "evidence": "classifier overlay present, DRR installed",
+    })
+
+    # Arrow: NIC on-path between host and wire (sees RX and TX).
+    seen = tb.dataplane.nic.metrics.counter("rx_pkts").value
+    tb.peer.send_udp(555, 6000, 100)
+    tb.run_all()
+    rows.append({
+        "arrow": "KOPI dataplane on-path for RX and TX",
+        "verified": tb.dataplane.nic.metrics.counter("rx_pkts").value == seen + 1,
+        "evidence": "inbound frame traversed the NIC pipeline",
+    })
+
+    # Arrow: notification queue shared between NIC, process, and kernel.
+    q = tb.dataplane.control.notification_queue(proc.pid)
+    rows.append({
+        "arrow": "NIC -> notification queue -> kernel monitor",
+        "verified": q is not None and q.metrics.counter("posted").value >= 1,
+        "evidence": "rx_ready notification posted on packet arrival",
+    })
+    return rows
+
+
+def main() -> str:
+    rows = run_f1()
+    ok = all(r["verified"] for r in rows)
+    return "\n".join([
+        fmt_table(rows),
+        "",
+        f"headline: {'all' if ok else 'NOT all'} Figure-1 arrows verified live "
+        f"({sum(1 for r in rows if r['verified'])}/{len(rows)})",
+    ])
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,81 @@
+"""Run every experiment and print one combined report.
+
+Usage::
+
+    python -m repro.experiments.report            # full (couple of minutes)
+    python -m repro.experiments.report --quick    # reduced parameters
+
+The output sections mirror EXPERIMENTS.md; this is the command that
+regenerates the "measured" numbers recorded there.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import e1_dataplane_overhead as e1
+from . import e2_interposition_placement as e2
+from . import e3_capability_matrix as e3
+from . import e4_debugging as e4
+from . import e5_port_partitioning as e5
+from . import e6_blocking_io as e6
+from . import e7_qos_shaping as e7
+from . import e8_connection_scaling as e8
+from . import e9_resource_exhaustion as e9
+from . import e10_reconfiguration as e10
+from . import e11_shared_rings as e11
+from . import f1_architecture as f1
+from . import s1_tail_latency as s1
+from .common import fmt_table
+
+SECTIONS = (
+    ("E1 — dataplane overhead (§1)", e1.main),
+    ("E2 — interposition placement (§1)", e2.main),
+    ("E3 — capability matrix (§2)", e3.main),
+    ("E4 — debugging the ARP flood (§2)", e4.main),
+    ("E5 — partitioning ports (§2)", e5.main),
+    ("E6 — blocking vs polling I/O (§2/§4.3)", e6.main),
+    ("E7 — QoS on the port-hopping game (§2)", e7.main),
+    ("E8 — connection scaling / DDIO cliff (§5)", e8.main),
+    ("E9 — NIC resource exhaustion (§5)", e9.main),
+    ("E10 — programmability & reconfiguration (§3/§4.4)", e10.main),
+    ("E11 — shared-rings ablation (§5)", e11.main),
+    ("F1 — Figure 1 architecture arrows", f1.main),
+    ("S1 — supplementary: RPC tail latency", s1.main),
+)
+
+
+def quick_report() -> str:
+    """Reduced-parameter pass: every harness, small workloads."""
+    parts = []
+    parts.append("E1 (reduced)")
+    parts.append(fmt_table(e1.run_e1(count=60, payloads=(1_458,))))
+    parts.append("E2 (reduced)")
+    parts.append(fmt_table(e2.run_e2(count=60)))
+    parts.append("E8 (reduced)")
+    parts.append(fmt_table(
+        [e8.run_point(n, packets_total=2_048) for n in (512, 1_024, 2_048)]
+    ))
+    parts.append("F1")
+    parts.append(fmt_table(f1.run_f1()))
+    return "\n\n".join(parts)
+
+
+def full_report() -> str:
+    parts = []
+    for title, main_fn in SECTIONS:
+        parts.append("=" * 72)
+        parts.append(title)
+        parts.append("=" * 72)
+        parts.append(main_fn())
+    return "\n".join(parts)
+
+
+def main(argv: "list[str]") -> str:
+    if "--quick" in argv:
+        return quick_report()
+    return full_report()
+
+
+if __name__ == "__main__":
+    print(main(sys.argv[1:]))

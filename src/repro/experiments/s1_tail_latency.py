@@ -1,0 +1,84 @@
+"""S1 (supplementary) — RPC tail latency across dataplanes.
+
+Not a numbered claim in the paper, but the motivation of its §1: kernel
+bypass exists because "network throughput and latency dictate the
+performance of many applications". Closed-loop RPC against an echoing peer
+measures the round trip each architecture imposes; the interesting
+comparison is KOPI vs bypass (interposition should cost nanoseconds, not
+microseconds) and kernel vs everyone (two syscalls + copies per RPC).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import units
+from ..dataplanes import Testbed
+from ..apps import RpcClient
+from .common import Row, fmt_table, planes_under_test
+
+DEFAULT_COUNT = 150
+REQUEST_LEN = 128
+
+
+def run_s1(count: int = DEFAULT_COUNT) -> List[Row]:
+    """One row per (plane, wait-mode). Polling isolates the dataplane's
+    wire-to-wire latency; blocking adds the (optional) wake-up cost."""
+    configs = [(cls, False) for cls in planes_under_test()]
+    from ..core import NormanOS
+
+    configs.append((NormanOS, True))  # kopi, polling
+    rows: List[Row] = []
+    for plane_cls, polling in configs:
+        if polling is False and not plane_cls.supports_blocking_io:
+            polling = True  # bypass/hypervisor can only poll
+        tb = Testbed(plane_cls)
+        tb.peer.enable_echo(lambda pkt: pkt.payload_len)
+        rpc = RpcClient(tb, comm="rpc", user="bob", core_id=1,
+                        request_len=REQUEST_LEN, count=count,
+                        polling=polling).start()
+        tb.run_all()
+        rtt = rpc.rtt
+        rows.append({
+            "plane": plane_cls.name,
+            "wait": "poll" if polling else "block",
+            "completed": rpc.completed,
+            "rtt_us_p50": rtt.p50 / units.US,
+            "rtt_us_p99": rtt.p99 / units.US,
+            "rtt_us_max": rtt.maximum / units.US,
+        })
+    return rows
+
+
+def headline(rows: List[Row]) -> dict:
+    by_key = {(r["plane"], r["wait"]): r for r in rows}
+    return {
+        "kernel_vs_kopi_poll_p99": (
+            by_key[("kernel", "block")]["rtt_us_p99"]
+            / by_key[("kopi", "poll")]["rtt_us_p99"]
+        ),
+        "kopi_poll_vs_bypass_p99": (
+            by_key[("kopi", "poll")]["rtt_us_p99"]
+            / by_key[("bypass", "poll")]["rtt_us_p99"]
+        ),
+        "kopi_blocking_premium_us": (
+            by_key[("kopi", "block")]["rtt_us_p99"]
+            - by_key[("kopi", "poll")]["rtt_us_p99"]
+        ),
+    }
+
+
+def main() -> str:
+    rows = run_s1()
+    h = headline(rows)
+    return "\n".join([
+        fmt_table(rows),
+        "",
+        f"headline: kernel p99 RTT is {h['kernel_vs_kopi_poll_p99']:.1f}x KOPI's "
+        f"(polling); KOPI polls within {100 * (h['kopi_poll_vs_bypass_p99'] - 1):.0f}% "
+        f"of bypass; choosing to block costs +{h['kopi_blocking_premium_us']:.1f} us",
+    ])
+
+
+if __name__ == "__main__":
+    print(main())

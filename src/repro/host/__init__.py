@@ -1,0 +1,25 @@
+"""Simulated host hardware: cores, LLC with DDIO, DRAM, PCIe, coherence.
+
+This is the substrate the paper's data-movement arguments run on. Each
+component accounts costs in integer nanoseconds against the shared
+:class:`~repro.config.CostModel`.
+"""
+
+from .cache import AnalyticDdioModel, WayPartitionedCache
+from .coherence import CoherenceFabric
+from .cpu import Core, CpuSet
+from .machine import Machine
+from .memory import MemorySystem, PinnedRegion
+from .pcie import DmaEngine
+
+__all__ = [
+    "AnalyticDdioModel",
+    "CoherenceFabric",
+    "Core",
+    "CpuSet",
+    "DmaEngine",
+    "Machine",
+    "MemorySystem",
+    "PinnedRegion",
+    "WayPartitionedCache",
+]

@@ -1,0 +1,38 @@
+"""Cross-core coherence traffic accounting.
+
+"Physical movement" in the paper's taxonomy: routing packets through an
+interposition layer on another core (IX, Snap) forces modified cache lines to
+migrate between cores. This fabric charges that cost and counts it, so the E2
+experiment can report both nanoseconds and lines moved.
+"""
+
+from __future__ import annotations
+
+from ..config import CostModel
+from ..errors import SimulationError
+from ..sim import MetricSet
+
+
+class CoherenceFabric:
+    """Charges and counts cache-line transfers between cores."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+        self.metrics = MetricSet("coherence")
+
+    def transfer_cost_ns(self, nbytes: int, src_core: int, dst_core: int) -> int:
+        """Cost of moving ``nbytes`` of modified data from ``src_core``'s
+        cache to ``dst_core``'s. Same-core transfers are free."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        if src_core == dst_core or nbytes == 0:
+            return 0
+        line = self.costs.cache_line_bytes
+        lines = -(-nbytes // line)
+        self.metrics.counter("lines_moved").inc(lines)
+        self.metrics.counter("transfers").inc()
+        return lines * self.costs.coherence_line_ns
+
+    @property
+    def lines_moved(self) -> int:
+        return self.metrics.counter("lines_moved").value

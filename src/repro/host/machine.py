@@ -1,0 +1,50 @@
+"""The assembled host: cores + LLC + memory + DMA + coherence fabric."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import units
+from ..config import DEFAULT_COSTS, CostModel
+from ..sim import Simulator
+from .cache import AnalyticDdioModel, WayPartitionedCache
+from .coherence import CoherenceFabric
+from .cpu import CpuSet
+from .memory import MemorySystem
+from .pcie import DmaEngine
+
+
+class Machine:
+    """One simulated server.
+
+    ``structural_cache=True`` wires the set-associative LLC model into the
+    DMA engine (needed for E8); with ``False`` the cheaper analytic DDIO
+    model is used and the DMA engine skips per-line cache bookkeeping.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        n_cores: int = 8,
+        memory_bytes: int = 256 * units.GB,
+        structural_cache: bool = False,
+    ):
+        self.sim = sim or Simulator()
+        self.costs = costs
+        self.cpus = CpuSet(self.sim, n_cores, costs)
+        self.memory = MemorySystem(memory_bytes, align=costs.cache_line_bytes)
+        self.llc: Optional[WayPartitionedCache] = (
+            WayPartitionedCache.from_costs(costs) if structural_cache else None
+        )
+        self.ddio_model = AnalyticDdioModel(costs)
+        self.dma = DmaEngine(self.sim, costs, llc=self.llc)
+        self.coherence = CoherenceFabric(costs)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "structural" if self.llc is not None else "analytic"
+        return f"<Machine cores={len(self.cpus)} llc={mode} t={self.sim.now}ns>"

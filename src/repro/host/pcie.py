@@ -1,0 +1,108 @@
+"""PCIe DMA engine and MMIO costs.
+
+DMA transfers serialize on the link (bandwidth model) and each carries a
+fixed latency. Inbound DMA writes allocate into the LLC through DDIO (see
+:mod:`repro.host.cache`); the NIC models call :meth:`DmaEngine.dma_write`
+with the target region so the cache sees the exact line addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import units
+from ..config import CostModel
+from ..errors import SimulationError
+from ..sim import MetricSet, Signal, Simulator
+from .cache import WayPartitionedCache
+from .memory import PinnedRegion
+
+
+class DmaEngine:
+    """Shared DMA engine between the NIC and host memory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        llc: Optional[WayPartitionedCache] = None,
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.llc = llc
+        self._link_free_at = 0
+        self.metrics = MetricSet("dma")
+
+    def _serialize(self, nbytes: int) -> int:
+        """Reserve link time for ``nbytes``; returns completion timestamp."""
+        start = max(self._link_free_at, self.sim.now)
+        busy = units.transmit_time_ns(nbytes, self.costs.pcie_bandwidth_bps)
+        self._link_free_at = start + busy
+        return self._link_free_at
+
+    def dma_write(
+        self,
+        region: PinnedRegion,
+        nbytes: int,
+        offset: int = 0,
+    ) -> Signal:
+        """Device -> host memory write of ``nbytes`` into ``region``.
+
+        Lines land in the LLC via DDIO. The returned signal fires when the
+        data is visible to the CPU and carries the number of lines written.
+        """
+        self._check(region, nbytes, offset)
+        done = Signal("dma_write")
+        lines = self._touch_lines(region, nbytes, offset, write=True)
+        finish = self._serialize(nbytes) + self.costs.pcie_dma_latency_ns
+        self.metrics.counter("writes").inc()
+        self.metrics.meter("write_bytes").record(self.sim.now, nbytes)
+        self.sim.at(finish, done.succeed, lines)
+        return done
+
+    def dma_read(self, region: PinnedRegion, nbytes: int, offset: int = 0) -> Signal:
+        """Host memory -> device read (TX path). The signal fires when the
+        device holds the data."""
+        self._check(region, nbytes, offset)
+        done = Signal("dma_read")
+        finish = self._serialize(nbytes) + self.costs.pcie_dma_latency_ns
+        self.metrics.counter("reads").inc()
+        self.metrics.meter("read_bytes").record(self.sim.now, nbytes)
+        self.sim.at(finish, done.succeed, nbytes)
+        return done
+
+    def _check(self, region: PinnedRegion, nbytes: int, offset: int) -> None:
+        if nbytes <= 0:
+            raise SimulationError(f"DMA size must be positive, got {nbytes}")
+        if offset < 0 or offset + nbytes > region.size:
+            raise SimulationError(
+                f"DMA beyond region {region.name!r}: offset={offset} size={nbytes}"
+            )
+
+    def _touch_lines(
+        self, region: PinnedRegion, nbytes: int, offset: int, write: bool
+    ) -> int:
+        """Drive the LLC model for the lines this transfer covers."""
+        if self.llc is None:
+            return 0
+        line = self.llc.line_bytes
+        start = region.base + offset
+        first = start - (start % line)
+        count = 0
+        for addr in range(first, start + nbytes, line):
+            if write:
+                self.llc.dma_write(addr)
+            count += 1
+        return count
+
+    # --- MMIO -------------------------------------------------------------
+
+    def mmio_write_cost(self) -> int:
+        """CPU-side cost of a posted register write (doorbell)."""
+        self.metrics.counter("mmio_writes").inc()
+        return self.costs.mmio_write_ns
+
+    def mmio_read_cost(self) -> int:
+        """CPU-side cost of a register read (full round trip)."""
+        self.metrics.counter("mmio_reads").inc()
+        return self.costs.mmio_read_ns

@@ -1,0 +1,56 @@
+"""The OS kernel substrate.
+
+Everything the paper says interposition needs from the OS lives here: the
+process table (pid/uid/comm — the "process view"), cgroups, a scheduler that
+can block and wake threads, netfilter-style rule chains with owner matches,
+queueing disciplines (pfifo/TBF/DRR/prio), sockets, and the classic in-kernel
+network stack used as the baseline dataplane.
+"""
+
+from .arp import ArpCache, ArpEntry
+from .cgroups import Cgroup, CgroupTree
+from .kernel import Kernel
+from .netfilter import (
+    ACCEPT,
+    CHAIN_INPUT,
+    CHAIN_OUTPUT,
+    DROP,
+    NetfilterRule,
+    RuleTable,
+)
+from .process import PROC_BLOCKED, PROC_EXITED, PROC_RUNNING, Process
+from .proc_table import ProcessTable
+from .qdisc import DrrQdisc, PfifoQdisc, PrioQdisc, TbfQdisc
+from .scheduler import KernelScheduler
+from .sockets import KernelSocket, SocketTable
+from .syscall import SyscallLayer
+from .users import User, UserTable
+
+__all__ = [
+    "ACCEPT",
+    "ArpCache",
+    "ArpEntry",
+    "CHAIN_INPUT",
+    "CHAIN_OUTPUT",
+    "Cgroup",
+    "CgroupTree",
+    "DROP",
+    "DrrQdisc",
+    "Kernel",
+    "KernelScheduler",
+    "KernelSocket",
+    "NetfilterRule",
+    "PROC_BLOCKED",
+    "PROC_EXITED",
+    "PROC_RUNNING",
+    "PfifoQdisc",
+    "PrioQdisc",
+    "Process",
+    "ProcessTable",
+    "RuleTable",
+    "SocketTable",
+    "SyscallLayer",
+    "TbfQdisc",
+    "User",
+    "UserTable",
+]

@@ -1,0 +1,60 @@
+"""Kernel ARP cache.
+
+The §2 debugging story: with the kernel stack, the ARP cache is a single
+place an administrator can inspect to attribute ARP traffic; with kernel
+bypass every application speaks its own ARP and the kernel cache is blind.
+The KOPI dataplane repopulates this view by observing ARP on the NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.packet import Packet
+from ..sim import MetricSet
+
+
+@dataclass
+class ArpEntry:
+    ip: IPv4Address
+    mac: MacAddress
+    updated_ns: int
+    source_pid: Optional[int] = None
+    """Populated only when the observing layer had a process view."""
+
+
+class ArpCache:
+    """IP -> MAC mapping learned from observed ARP traffic."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[IPv4Address, ArpEntry] = {}
+        self.metrics = MetricSet("arp")
+
+    def observe(self, pkt: Packet, now_ns: int) -> Optional[ArpEntry]:
+        """Learn from an ARP packet (request or reply). Returns the entry, or
+        None for a non-ARP packet."""
+        if pkt.arp is None:
+            return None
+        entry = ArpEntry(
+            ip=pkt.arp.sender_ip,
+            mac=pkt.arp.sender_mac,
+            updated_ns=now_ns,
+            source_pid=pkt.meta.owner_pid,
+        )
+        self._entries[entry.ip] = entry
+        self.metrics.counter("observed").inc()
+        return entry
+
+    def lookup(self, ip: IPv4Address) -> Optional[ArpEntry]:
+        return self._entries.get(ip)
+
+    def entries(self) -> List[ArpEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.ip)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

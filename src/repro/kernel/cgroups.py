@@ -1,0 +1,79 @@
+"""Control groups, as used by `tc` classification (net_cls-style classids).
+
+The QoS scenario in §2 moves the game into its own cgroup and shapes it with
+tc — so the cgroup tree maps processes to classids that qdiscs and the
+SmartNIC scheduler classify on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import KernelError
+from .process import Process
+
+
+class Cgroup:
+    """One node in the cgroup hierarchy."""
+
+    def __init__(self, path: str, classid: int):
+        self.path = path
+        self.classid = classid
+        self.pids: "set[int]" = set()
+
+    def __repr__(self) -> str:
+        return f"<Cgroup {self.path} classid={self.classid:#x} pids={sorted(self.pids)}>"
+
+
+class CgroupTree:
+    """Flat-path cgroup registry with net_cls classids.
+
+    Paths are ``/``-rooted (``"/games"``). The root group always exists with
+    classid 0 (unclassified).
+    """
+
+    ROOT = "/"
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Cgroup] = {self.ROOT: Cgroup(self.ROOT, 0)}
+        self._pid_group: Dict[int, str] = {}
+        self._next_classid = 0x1_0001  # tc-style major:minor starting at 1:1
+
+    def create(self, path: str) -> Cgroup:
+        if not path.startswith("/") or path == self.ROOT:
+            raise KernelError(f"invalid cgroup path: {path!r}")
+        if path in self._groups:
+            raise KernelError(f"cgroup {path!r} already exists")
+        group = Cgroup(path, self._next_classid)
+        self._next_classid += 1
+        self._groups[path] = group
+        return group
+
+    def get(self, path: str) -> Cgroup:
+        if path not in self._groups:
+            raise KernelError(f"no such cgroup: {path!r}")
+        return self._groups[path]
+
+    def assign(self, proc: Process, path: str) -> None:
+        group = self.get(path)
+        old = self._pid_group.get(proc.pid)
+        if old is not None:
+            self._groups[old].pids.discard(proc.pid)
+        group.pids.add(proc.pid)
+        self._pid_group[proc.pid] = path
+        proc.cgroup_path = path
+
+    def group_of(self, pid: int) -> Cgroup:
+        return self._groups[self._pid_group.get(pid, self.ROOT)]
+
+    def classid_of(self, pid: int) -> int:
+        return self.group_of(pid).classid
+
+    def groups(self) -> List[Cgroup]:
+        return list(self._groups.values())
+
+    def by_classid(self, classid: int) -> Optional[Cgroup]:
+        for group in self._groups.values():
+            if group.classid == classid:
+                return group
+        return None

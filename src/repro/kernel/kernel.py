@@ -1,0 +1,111 @@
+"""The assembled kernel: process view + policies + software stack."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import CostModel
+from ..errors import KernelError
+from ..host.machine import Machine
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.packet import Packet
+from .arp import ArpCache
+from .cgroups import CgroupTree
+from .netfilter import RuleTable
+from .netstack import KernelNetStack
+from .proc_table import ProcessTable
+from .process import Process
+from .scheduler import KernelScheduler
+from .sockets import SocketTable
+from .syscall import SyscallLayer
+from .users import User, UserTable
+
+
+class Kernel:
+    """One host's kernel.
+
+    Owns the authoritative process view (users, processes, cgroups), the
+    policy state (netfilter rules, qdisc config), and the software network
+    stack. Dataplanes and the KOPI control plane are built over this object.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        host_ip: IPv4Address,
+        host_mac: MacAddress,
+        nic_send: Callable[[Packet], None],
+        tx_rate_bps: Optional[int] = None,
+    ):
+        self.machine = machine
+        self.sim = machine.sim
+        self.costs: CostModel = machine.costs
+        self.host_ip = host_ip
+        self.host_mac = host_mac
+
+        self.users = UserTable()
+        self.procs = ProcessTable()
+        self.cgroups = CgroupTree()
+        self.scheduler = KernelScheduler(self.sim, machine.cpus, self.costs)
+        self.syscalls = SyscallLayer(self.sim, machine.cpus, self.costs)
+        self.sockets = SocketTable()
+        self.filters = RuleTable()
+        self.arp_cache = ArpCache()
+        self._neighbors: Dict[IPv4Address, MacAddress] = {}
+
+        self.netstack = KernelNetStack(
+            sim=self.sim,
+            costs=self.costs,
+            cpus=machine.cpus,
+            scheduler=self.scheduler,
+            syscalls=self.syscalls,
+            sockets=self.sockets,
+            filters=self.filters,
+            host_ip=host_ip,
+            host_mac=host_mac,
+            tx_rate_bps=tx_rate_bps or self.costs.nic_line_rate_bps,
+            nic_send=nic_send,
+            mac_for=self.mac_for,
+        )
+
+    # --- identity & neighbors ------------------------------------------------
+
+    def register_neighbor(self, ip: IPv4Address, mac: MacAddress) -> None:
+        """Static neighbor entry (the simulation's address book)."""
+        self._neighbors[ip] = mac
+
+    def mac_for(self, ip: IPv4Address) -> MacAddress:
+        """Resolve a destination MAC: static neighbors, then the ARP cache,
+        then a deterministic fallback derived from the IP (so simulations
+        without explicit topology still produce valid frames)."""
+        if ip in self._neighbors:
+            return self._neighbors[ip]
+        entry = self.arp_cache.lookup(ip)
+        if entry is not None:
+            return entry.mac
+        return MacAddress.from_index(ip.value & 0xFF_FFFF)
+
+    # --- process management -----------------------------------------------------
+
+    def add_user(self, name: str) -> User:
+        return self.users.add(name)
+
+    def spawn(self, comm: str, user: "User | str", core_id: int = 0) -> Process:
+        if isinstance(user, str):
+            user = self.users.by_name(user)
+        if not 0 <= core_id < len(self.machine.cpus):
+            raise KernelError(f"no such core: {core_id}")
+        return self.procs.spawn(comm=comm, user=user, core_id=core_id)
+
+    # --- observability -------------------------------------------------------------
+
+    def observe_arp(self, pkt: Packet) -> None:
+        self.arp_cache.observe(pkt, self.sim.now)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat metrics view across kernel subsystems."""
+        out: Dict[str, float] = {}
+        out.update(self.syscalls.metrics.snapshot())
+        out.update(self.scheduler.metrics.snapshot())
+        out.update(self.netstack.metrics.snapshot())
+        return out

@@ -1,0 +1,225 @@
+"""The classic in-kernel network stack — the baseline dataplane.
+
+Every packet crosses the user/kernel boundary (syscall + copy: the "virtual
+data movement" of §1), runs protocol processing, netfilter, and the egress
+qdisc in software on the application's core. In exchange the kernel gets
+what §2 wants: owner attribution on every packet, a global ARP view, tap
+points for tcpdump, and the ability to block/wake readers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..config import CostModel
+from ..errors import ConnectionRefused, KernelError, WouldBlock
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.headers import PROTO_TCP, PROTO_UDP
+from ..net.packet import Packet, make_tcp, make_udp
+from ..sim import MetricSet, Signal, Simulator
+from .netfilter import CHAIN_INPUT, CHAIN_OUTPUT, DROP, RuleTable
+from .process import Process, owner_info
+from .qdisc import DEFAULT_CLASS, PfifoQdisc
+from .qdisc_runner import PacedQdiscRunner
+from .scheduler import KernelScheduler
+from .sockets import KernelSocket, SocketTable
+from .syscall import SyscallLayer
+
+TapFn = Callable[[Packet], None]
+ClassifyFn = Callable[[Packet, Optional[int]], str]
+
+
+def _default_classify(_pkt: Packet, _pid: Optional[int]) -> str:
+    return DEFAULT_CLASS
+
+
+class KernelNetStack:
+    """Software TX/RX paths over the kernel substrate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        cpus,
+        scheduler: KernelScheduler,
+        syscalls: SyscallLayer,
+        sockets: SocketTable,
+        filters: RuleTable,
+        host_ip: IPv4Address,
+        host_mac: MacAddress,
+        tx_rate_bps: int,
+        nic_send: Callable[[Packet], None],
+        mac_for: Callable[[IPv4Address], MacAddress],
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.cpus = cpus
+        self.scheduler = scheduler
+        self.syscalls = syscalls
+        self.sockets = sockets
+        self.filters = filters
+        self.host_ip = host_ip
+        self.host_mac = host_mac
+        self.mac_for = mac_for
+        self.metrics = MetricSet("netstack")
+        self.egress = PacedQdiscRunner(
+            sim, PfifoQdisc(), tx_rate_bps, nic_send, name="kernel_egress"
+        )
+        self.classify: ClassifyFn = _default_classify
+        self._taps: List[TapFn] = []
+        self._rx_waiters: "dict[int, tuple[Process, Signal]]" = {}
+
+    # --- taps (tcpdump attachment point) ------------------------------------
+
+    def add_tap(self, tap: TapFn) -> Callable[[], None]:
+        """Attach a packet tap (both directions); returns a detach callable."""
+        self._taps.append(tap)
+        return lambda: self._taps.remove(tap)
+
+    def _run_taps(self, pkt: Packet) -> None:
+        for tap in self._taps:
+            tap(pkt)
+
+    # --- TX -------------------------------------------------------------------
+
+    def sendto(
+        self,
+        proc: Process,
+        sock: KernelSocket,
+        dst_ip: IPv4Address,
+        dport: int,
+        payload_len: int,
+    ) -> Signal:
+        """Send one message. The returned signal fires when the syscall
+        returns (packet handed to the egress qdisc or dropped by policy);
+        its value is True if the packet was admitted."""
+        pkt = self._build(sock, dst_ip, dport, payload_len)
+        owner = owner_info(proc)
+        pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+        pkt.meta.created_ns = self.sim.now
+
+        verdict, examined = self.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
+        work = (
+            self.syscalls.copy_to_kernel(proc, payload_len)
+            + self.costs.kernel_tx_pkt_ns
+            + examined * self.costs.netfilter_rule_ns
+            + self.costs.qdisc_enqueue_ns
+        )
+        result = Signal("sendto")
+        syscall_done = self.syscalls.invoke(proc, "sendto", work)
+
+        def _after_syscall(_sig: Signal) -> None:
+            self._run_taps(pkt)
+            if verdict == DROP:
+                self.metrics.counter("tx_filtered").inc()
+                result.succeed(False)
+                return
+            cls = self.classify(pkt, proc.pid)
+            admitted = self.egress.submit(pkt, cls)
+            if admitted:
+                sock.tx_bytes += payload_len
+                self.metrics.counter("tx_pkts").inc()
+            else:
+                self.metrics.counter("tx_qdisc_drops").inc()
+            result.succeed(admitted)
+
+        syscall_done.add_callback(_after_syscall)
+        return result
+
+    def _build(
+        self, sock: KernelSocket, dst_ip: IPv4Address, dport: int, payload_len: int
+    ) -> Packet:
+        dst_mac = self.mac_for(dst_ip)
+        if sock.proto == PROTO_UDP:
+            return make_udp(
+                self.host_mac, dst_mac, self.host_ip, dst_ip, sock.port, dport, payload_len
+            )
+        if sock.proto == PROTO_TCP:
+            return make_tcp(
+                self.host_mac, dst_mac, self.host_ip, dst_ip, sock.port, dport, payload_len
+            )
+        raise KernelError(f"unsupported protocol: {sock.proto}")
+
+    # --- RX -------------------------------------------------------------------
+
+    def recv(self, proc: Process, sock: KernelSocket, blocking: bool = True) -> Signal:
+        """Receive one message: (payload_len, src_ip, sport).
+
+        Blocks (yielding the core) when the queue is empty and ``blocking``;
+        otherwise fails with :class:`WouldBlock`.
+        """
+        result = Signal("recv")
+        if sock.rx_queue:
+            msg = sock.rx_queue.popleft()
+            work = self.syscalls.copy_to_user(proc, msg[0])
+            done = self.syscalls.invoke(proc, "recvfrom", work)
+            done.add_callback(lambda _s: result.succeed(msg))
+            return result
+        if not blocking:
+            self.metrics.counter("rx_wouldblock").inc()
+            self.sim.after(0, result.fail, WouldBlock(f"no data on port {sock.port}"))
+            return result
+        if sock.port in self._rx_waiters:
+            raise KernelError(f"port {sock.port} already has a blocked reader")
+        woken = self.scheduler.block(proc, reason=f"recv:{sock.port}")
+        self._rx_waiters[sock.port] = (proc, woken)
+
+        def _after_wake(sig: Signal) -> None:
+            msg = sig.value
+            work = self.syscalls.copy_to_user(proc, msg[0])
+            self.cpus[proc.core_id].execute(work, "rx_copy").add_callback(
+                lambda _s: result.succeed(msg)
+            )
+
+        woken.add_callback(_after_wake)
+        return result
+
+    def deliver(self, pkt: Packet) -> None:
+        """RX entry from the NIC: protocol processing, INPUT filtering,
+        socket demux, and waking any blocked reader."""
+        ft = pkt.five_tuple
+        if ft is None:
+            self._run_taps(pkt)
+            self.metrics.counter("rx_non_ip").inc()
+            return
+        sock = self.sockets.lookup(ft.proto, ft.dport)
+        owner = owner_info(sock.owner) if sock else None
+        if owner is not None:
+            # The kernel attributes inbound packets at socket demux time.
+            pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+        verdict, examined = self.filters.evaluate(CHAIN_INPUT, pkt, owner)
+        core = self.cpus[sock.owner.core_id if sock else 0]
+        work = (
+            self.costs.kernel_rx_pkt_ns
+            + examined * self.costs.netfilter_rule_ns
+            + self.costs.socket_demux_ns
+        )
+        done = core.execute(work, "rx")
+
+        def _after_rx(_sig: Signal) -> None:
+            self._run_taps(pkt)
+            if verdict == DROP:
+                self.metrics.counter("rx_filtered").inc()
+                return
+            if sock is None:
+                self.metrics.counter("rx_no_socket").inc()
+                return
+            payload = pkt.payload_len
+            msg = (payload, ft.src_ip, ft.sport)
+            sock.rx_bytes += payload
+            self.metrics.counter("rx_pkts").inc()
+            waiter = self._rx_waiters.pop(sock.port, None)
+            if waiter is not None:
+                proc, _woken = waiter
+                self.scheduler.wake(proc, value=msg)
+            else:
+                sock.rx_queue.append(msg)
+
+        done.add_callback(_after_rx)
+
+    # --- introspection ----------------------------------------------------------
+
+    def connect(self, proc: Process, sock: KernelSocket, ip: IPv4Address, port: int) -> Signal:
+        """Record the peer (connection setup syscall)."""
+        sock.connect(ip, port)
+        return self.syscalls.invoke(proc, "connect")

@@ -1,0 +1,88 @@
+"""Paced qdisc drain.
+
+A qdisc only produces fairness/shaping if it is drained at the link rate —
+draining instantly into a deep FIFO would erase the contention the policy is
+supposed to arbitrate. The runner dequeues one packet, emits it, and comes
+back after that packet's serialization time; for rate-limited qdiscs (TBF)
+it sleeps until the bucket refills. Both the software kernel and the
+SmartNIC scheduler drive their qdiscs with this runner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .. import units
+from ..errors import PolicyError
+from ..sim import MetricSet, Simulator
+from ..net.packet import Packet
+from .qdisc import DEFAULT_CLASS, Qdisc
+
+EmitFn = Callable[[Packet], None]
+
+
+class PacedQdiscRunner:
+    """Drains a qdisc at ``drain_rate_bps`` into ``emit``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qdisc: Qdisc,
+        drain_rate_bps: int,
+        emit: EmitFn,
+        name: str = "qdisc",
+    ):
+        if drain_rate_bps <= 0:
+            raise PolicyError(f"drain rate must be positive: {drain_rate_bps}")
+        self.sim = sim
+        self.qdisc = qdisc
+        self.drain_rate_bps = drain_rate_bps
+        self.emit = emit
+        self.metrics = MetricSet(name)
+        self._busy_until = 0
+        self._armed = False
+
+    def submit(self, pkt: Packet, cls: str = DEFAULT_CLASS) -> bool:
+        """Enqueue and make sure the drain loop is running."""
+        accepted = self.qdisc.enqueue(pkt, cls)
+        if accepted:
+            pkt.meta.enqueued_ns = self.sim.now
+            self.metrics.counter("enqueued").inc()
+            self._arm(self.sim.now)
+        else:
+            self.metrics.counter("dropped").inc()
+        return accepted
+
+    def replace_qdisc(self, qdisc: Qdisc) -> None:
+        """Swap the discipline (tc qdisc replace). Packets queued in the old
+        discipline are dropped, as with tc."""
+        lost = self.qdisc.backlog
+        if lost:
+            self.metrics.counter("reset_dropped").inc(lost)
+        self.qdisc = qdisc
+
+    def _arm(self, at_ns: int) -> None:
+        if self._armed:
+            return
+        self._armed = True
+        self.sim.at(max(at_ns, self._busy_until, self.sim.now), self._tick)
+
+    def _tick(self) -> None:
+        self._armed = False
+        now = self.sim.now
+        pkt = self.qdisc.dequeue(now)
+        if pkt is not None:
+            self.metrics.counter("emitted").inc()
+            self.metrics.histogram("queue_ns").observe(now - pkt.meta.enqueued_ns)
+            self.emit(pkt)
+            ser = units.transmit_time_ns(pkt.wire_len, self.drain_rate_bps)
+            self._busy_until = now + ser
+            self._arm(self._busy_until)
+            return
+        nxt: Optional[int] = self.qdisc.next_ready_ns(now)
+        if nxt is not None:
+            self._arm(max(nxt, now + 1))
+
+    @property
+    def backlog(self) -> int:
+        return self.qdisc.backlog

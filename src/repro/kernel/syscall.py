@@ -1,0 +1,48 @@
+"""The syscall boundary.
+
+Every user/kernel crossing in the simulation is charged here, so the "virtual
+data movement" overheads of §1 are visible in one counter. ``invoke`` charges
+the crossing plus in-kernel work on the caller's core.
+"""
+
+from __future__ import annotations
+
+from ..config import CostModel
+from ..errors import InvalidSyscall
+from ..host.cpu import CpuSet
+from ..sim import MetricSet, Signal, Simulator
+from .process import Process
+
+
+class SyscallLayer:
+    """Charges syscall entry/exit and counts crossings per syscall name."""
+
+    def __init__(self, sim: Simulator, cpus: CpuSet, costs: CostModel):
+        self.sim = sim
+        self.cpus = cpus
+        self.costs = costs
+        self.metrics = MetricSet("syscall")
+
+    def invoke(self, proc: Process, name: str, work_ns: int = 0) -> Signal:
+        """Run syscall ``name`` for ``proc``: entry/exit cost + ``work_ns``
+        of kernel work, serialized on the process's core."""
+        if work_ns < 0:
+            raise InvalidSyscall(f"negative syscall work: {work_ns}")
+        self.metrics.counter("total").inc()
+        self.metrics.counter(name).inc()
+        core = self.cpus[proc.core_id]
+        return core.execute(self.costs.syscall_ns + work_ns, label=f"sys_{name}")
+
+    def copy_to_kernel(self, proc: Process, nbytes: int) -> int:
+        """Cost of copying a user buffer into the kernel (charged by caller)."""
+        self.metrics.counter("copy_in_bytes").inc(max(0, nbytes))
+        return self.costs.copy_ns(nbytes)
+
+    def copy_to_user(self, proc: Process, nbytes: int) -> int:
+        """Cost of copying kernel data out to userspace."""
+        self.metrics.counter("copy_out_bytes").inc(max(0, nbytes))
+        return self.costs.copy_ns(nbytes)
+
+    @property
+    def total_syscalls(self) -> int:
+        return self.metrics.counter("total").value

@@ -1,0 +1,57 @@
+"""User accounts — the `uid-owner` half of the process view."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import KernelError
+
+ROOT_UID = 0
+
+
+@dataclass(frozen=True)
+class User:
+    uid: int
+    name: str
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == ROOT_UID
+
+
+class UserTable:
+    """uid <-> name registry. ``root`` always exists."""
+
+    def __init__(self) -> None:
+        self._by_uid: Dict[int, User] = {}
+        self._by_name: Dict[str, User] = {}
+        self.add("root", uid=ROOT_UID)
+
+    def add(self, name: str, uid: Optional[int] = None) -> User:
+        if name in self._by_name:
+            raise KernelError(f"user {name!r} already exists")
+        if uid is None:
+            uid = max(max(self._by_uid), 999) + 1
+        if uid in self._by_uid:
+            raise KernelError(f"uid {uid} already exists")
+        user = User(uid=uid, name=name)
+        self._by_uid[uid] = user
+        self._by_name[name] = user
+        return user
+
+    def by_uid(self, uid: int) -> User:
+        if uid not in self._by_uid:
+            raise KernelError(f"no such uid: {uid}")
+        return self._by_uid[uid]
+
+    def by_name(self, name: str) -> User:
+        if name not in self._by_name:
+            raise KernelError(f"no such user: {name!r}")
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_uid)

@@ -1,0 +1,18 @@
+"""RFC 1071 Internet checksum."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum over 16-bit words, as used by IPv4/TCP/UDP.
+
+    Odd-length input is padded with a zero byte, per the RFC.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF

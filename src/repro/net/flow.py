@@ -1,0 +1,42 @@
+"""Five-tuple flow identity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PacketError
+from .addresses import IPv4Address
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """(proto, src ip/port, dst ip/port) — the unit of steering and NAT."""
+
+    proto: int
+    src_ip: IPv4Address
+    sport: int
+    dst_ip: IPv4Address
+    dport: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.proto <= 0xFF:
+            raise PacketError(f"proto out of range: {self.proto}")
+        for name, port in (("sport", self.sport), ("dport", self.dport)):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"{name} out of range: {port}")
+
+    def reversed(self) -> "FiveTuple":
+        """The reply direction of this flow."""
+        return FiveTuple(
+            proto=self.proto,
+            src_ip=self.dst_ip,
+            sport=self.dport,
+            dst_ip=self.src_ip,
+            dport=self.sport,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src_ip}:{self.sport} -> {self.dst_ip}:{self.dport} "
+            f"proto={self.proto}"
+        )

@@ -1,0 +1,220 @@
+"""Protocol headers: Ethernet, ARP, IPv4, TCP, UDP.
+
+Headers are real enough to serialize: ``to_bytes`` produces wire-format
+bytes (with correct checksums for IPv4), which is what lets the tcpdump
+analogue emit genuine pcap files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import PacketError
+from .addresses import BROADCAST_MAC, IPv4Address, MacAddress
+from .checksum import internet_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+ARP_OP_REQUEST = 1
+ARP_OP_REPLY = 2
+
+ETH_HEADER_LEN = 14
+ARP_BODY_LEN = 28
+IPV4_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+
+TCP_FLAG_FIN = 0x01
+TCP_FLAG_SYN = 0x02
+TCP_FLAG_RST = 0x04
+TCP_FLAG_PSH = 0x08
+TCP_FLAG_ACK = 0x10
+
+
+def _check_u16(name: str, value: int) -> None:
+    if not 0 <= value <= 0xFFFF:
+        raise PacketError(f"{name} out of range: {value}")
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+
+    def __post_init__(self) -> None:
+        _check_u16("ethertype", self.ethertype)
+
+    def to_bytes(self) -> bytes:
+        return self.dst.to_bytes() + self.src.to_bytes() + struct.pack("!H", self.ethertype)
+
+    @property
+    def wire_len(self) -> int:
+        return ETH_HEADER_LEN
+
+
+@dataclass(frozen=True)
+class ArpHeader:
+    """IPv4-over-Ethernet ARP body."""
+
+    op: int
+    sender_mac: MacAddress
+    sender_ip: IPv4Address
+    target_mac: MacAddress = BROADCAST_MAC
+    target_ip: IPv4Address = IPv4Address(0)
+
+    def __post_init__(self) -> None:
+        if self.op not in (ARP_OP_REQUEST, ARP_OP_REPLY):
+            raise PacketError(f"unknown ARP op: {self.op}")
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack("!HHBBH", 1, ETHERTYPE_IPV4, 6, 4, self.op)
+            + self.sender_mac.to_bytes()
+            + self.sender_ip.to_bytes()
+            + (b"\x00" * 6 if self.op == ARP_OP_REQUEST else self.target_mac.to_bytes())
+            + self.target_ip.to_bytes()
+        )
+
+    @property
+    def wire_len(self) -> int:
+        return ARP_BODY_LEN
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    src: IPv4Address
+    dst: IPv4Address
+    proto: int
+    payload_len: int = 0
+    ttl: int = 64
+    dscp: int = 0
+    ident: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.proto <= 0xFF:
+            raise PacketError(f"proto out of range: {self.proto}")
+        if not 0 <= self.ttl <= 0xFF:
+            raise PacketError(f"ttl out of range: {self.ttl}")
+        if self.payload_len < 0:
+            raise PacketError(f"negative payload: {self.payload_len}")
+        _check_u16("total length", self.total_length)
+
+    @property
+    def total_length(self) -> int:
+        return IPV4_HEADER_LEN + self.payload_len
+
+    def to_bytes(self) -> bytes:
+        without_cksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,  # version + IHL
+            self.dscp << 2,
+            self.total_length,
+            self.ident,
+            0,  # flags/frag
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        cksum = internet_checksum(without_cksum)
+        return without_cksum[:10] + struct.pack("!H", cksum) + without_cksum[12:]
+
+    def decrement_ttl(self) -> "Ipv4Header":
+        if self.ttl == 0:
+            raise PacketError("TTL already zero")
+        return replace(self, ttl=self.ttl - 1)
+
+    @property
+    def wire_len(self) -> int:
+        return IPV4_HEADER_LEN
+
+
+@dataclass(frozen=True)
+class TcpHeader:
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = TCP_FLAG_ACK
+    window: int = 0xFFFF
+
+    def __post_init__(self) -> None:
+        _check_u16("sport", self.sport)
+        _check_u16("dport", self.dport)
+        if not 0 <= self.seq < 1 << 32 or not 0 <= self.ack < 1 << 32:
+            raise PacketError("seq/ack out of range")
+
+    def to_bytes(self) -> bytes:
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.sport,
+            self.dport,
+            self.seq,
+            self.ack,
+            5 << 4,  # data offset
+            self.flags,
+            self.window,
+            0,  # checksum omitted (simulation payloads are synthetic)
+            0,  # urgent
+        )
+
+    def has_flag(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    @property
+    def wire_len(self) -> int:
+        return TCP_HEADER_LEN
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    sport: int
+    dport: int
+    payload_len: int = 0
+
+    def __post_init__(self) -> None:
+        _check_u16("sport", self.sport)
+        _check_u16("dport", self.dport)
+        _check_u16("udp length", self.length)
+
+    @property
+    def length(self) -> int:
+        return UDP_HEADER_LEN + self.payload_len
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!HHHH", self.sport, self.dport, self.length, 0)
+
+    @property
+    def wire_len(self) -> int:
+        return UDP_HEADER_LEN
+
+
+@dataclass
+class PacketMeta:
+    """Mutable per-packet metadata carried alongside the headers.
+
+    ``owner_pid``/``owner_uid``/``owner_comm`` are *host-side truth* attached
+    when a packet is attributed by an on-host interposition layer. Off-host
+    observers (network, hypervisor) never see these fields populated — that
+    asymmetry is the paper's core argument and the capability matrix tests
+    assert it.
+    """
+
+    created_ns: int = 0
+    enqueued_ns: int = 0
+    delivered_ns: int = 0
+    ingress_port: Optional[int] = None
+    queue_id: Optional[int] = None
+    conn_id: Optional[int] = None
+    owner_pid: Optional[int] = None
+    owner_uid: Optional[int] = None
+    owner_comm: Optional[str] = None
+    notes: dict = field(default_factory=dict)

@@ -1,0 +1,83 @@
+"""Point-to-point link with rate, propagation delay, and a drop-tail queue."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .. import units
+from ..errors import SimulationError
+from ..sim import MetricSet, Simulator
+from .packet import Packet
+
+RxHandler = Callable[[Packet], None]
+
+
+class Link:
+    """Unidirectional link. ``send`` serializes at the line rate, waits the
+    propagation delay, then hands the packet to the attached receiver.
+
+    A finite buffer ahead of the serializer drops excess packets (drop-tail),
+    so oversubscription shows up as loss, not as unbounded memory.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: int,
+        propagation_ns: int = 500,
+        queue_packets: int = 1_024,
+        name: str = "link",
+    ):
+        if rate_bps <= 0:
+            raise SimulationError(f"link rate must be positive: {rate_bps}")
+        if queue_packets < 1:
+            raise SimulationError(f"queue must hold at least 1 packet: {queue_packets}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.queue_packets = queue_packets
+        self.name = name
+        self.metrics = MetricSet(name)
+        self._rx: Optional[RxHandler] = None
+        self._tx_free_at = 0
+        self._queued = 0
+
+    def attach(self, handler: RxHandler) -> None:
+        """Set the receiver callback; replaces any previous one."""
+        self._rx = handler
+
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt`` for transmission. Returns False on drop."""
+        if self._rx is None:
+            raise SimulationError(f"link {self.name!r} has no receiver attached")
+        backlog_start = max(self._tx_free_at, self.sim.now)
+        # How many packets are currently waiting or in flight on the wire?
+        if self._queued >= self.queue_packets:
+            self.metrics.counter("dropped").inc()
+            return False
+        ser = units.transmit_time_ns(pkt.wire_len, self.rate_bps)
+        self._tx_free_at = backlog_start + ser
+        self._queued += 1
+        self.metrics.counter("sent").inc()
+        self.metrics.meter("bytes").record(self.sim.now, pkt.wire_len)
+        deliver_at = self._tx_free_at + self.propagation_ns
+        self.sim.at(deliver_at, self._deliver, pkt)
+        return True
+
+    def _deliver(self, pkt: Packet) -> None:
+        self._queued -= 1
+        pkt.meta.delivered_ns = self.sim.now
+        assert self._rx is not None
+        self._rx(pkt)
+
+    @property
+    def in_flight(self) -> int:
+        return self._queued
+
+    def utilization(self, elapsed_ns: Optional[int] = None) -> float:
+        """Fraction of the line rate used so far."""
+        window = elapsed_ns if elapsed_ns is not None else self.sim.now
+        if window <= 0:
+            return 0.0
+        sent = self.metrics.meter("bytes").total_bytes
+        return min(1.0, units.bits(sent) / (self.rate_bps * units.ns_to_sec(window)))

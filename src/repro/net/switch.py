@@ -1,0 +1,145 @@
+"""L2 learning switch and the in-network (P4-style) interposer.
+
+The :class:`NetworkInterposer` is the "interpose at the network" comparator
+from §2: a match-action element that can see every header bit but has **no
+process-level view** — it cannot match on pid/uid/comm and cannot signal or
+wake host processes. The capability-matrix experiment exercises exactly those
+refusals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError, UnsupportedOperation
+from ..sim import MetricSet, Simulator
+from .addresses import MacAddress
+from .link import Link
+from .packet import Packet
+
+
+class L2Switch:
+    """MAC-learning switch: learn on source, forward on destination, flood
+    unknown and broadcast."""
+
+    def __init__(self, sim: Simulator, name: str = "sw0"):
+        self.sim = sim
+        self.name = name
+        self._ports: List[Link] = []
+        self._mac_table: Dict[MacAddress, int] = {}
+        self.metrics = MetricSet(name)
+
+    def add_port(self, egress: Link) -> int:
+        """Attach an egress link; returns the port number. The caller wires
+        the reverse direction by attaching ``switch.ingress(port)``."""
+        self._ports.append(egress)
+        return len(self._ports) - 1
+
+    def ingress(self, port: int) -> Callable[[Packet], None]:
+        """Receive handler for frames arriving on ``port``."""
+        if not 0 <= port < len(self._ports):
+            raise SimulationError(f"no such port: {port}")
+
+        def handler(pkt: Packet) -> None:
+            self._forward(port, pkt)
+
+        return handler
+
+    def _forward(self, in_port: int, pkt: Packet) -> None:
+        self.metrics.counter("frames").inc()
+        self._mac_table[pkt.eth.src] = in_port
+        out_port = self._mac_table.get(pkt.eth.dst)
+        if pkt.eth.dst.is_broadcast or out_port is None:
+            self.metrics.counter("flooded").inc()
+            for port, link in enumerate(self._ports):
+                if port != in_port:
+                    link.send(pkt)
+            return
+        if out_port != in_port:
+            self._ports[out_port].send(pkt)
+
+    def mac_table(self) -> Dict[MacAddress, int]:
+        return dict(self._mac_table)
+
+
+@dataclass(frozen=True)
+class MatchAction:
+    """One network-level match-action rule: header fields only.
+
+    Any field left ``None`` is a wildcard. There are deliberately no
+    pid/uid/comm fields — a switch cannot know them.
+    """
+
+    action: str  # "drop" | "allow" | "mirror"
+    proto: Optional[int] = None
+    src_ip: Optional[object] = None
+    dst_ip: Optional[object] = None
+    sport: Optional[int] = None
+    dport: Optional[int] = None
+
+    def matches(self, pkt: Packet) -> bool:
+        ft = pkt.five_tuple
+        if ft is None:
+            return False
+        return (
+            (self.proto is None or ft.proto == self.proto)
+            and (self.src_ip is None or ft.src_ip == self.src_ip)
+            and (self.dst_ip is None or ft.dst_ip == self.dst_ip)
+            and (self.sport is None or ft.sport == self.sport)
+            and (self.dport is None or ft.dport == self.dport)
+        )
+
+
+class NetworkInterposer:
+    """P4-switch/middlebox stand-in: header match-action on a wire tap.
+
+    Insert it between two links with :meth:`process`; install rules with
+    :meth:`add_rule`. Attempting anything that needs host state raises
+    :class:`UnsupportedOperation`, which is the measured result in E3.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "p4"):
+        self.sim = sim
+        self.name = name
+        self.rules: List[MatchAction] = []
+        self.mirrored: List[Packet] = []
+        self.metrics = MetricSet(name)
+
+    def add_rule(self, rule: MatchAction) -> None:
+        if rule.action not in ("drop", "allow", "mirror"):
+            raise SimulationError(f"unknown action: {rule.action}")
+        self.rules.append(rule)
+
+    def add_owner_rule(self, **_kwargs: object) -> None:
+        """Owner-based matching is impossible off-host; always refuses."""
+        raise UnsupportedOperation(
+            "network-level interposition cannot match on process owner: "
+            "packets carry no pid/uid/comm"
+        )
+
+    def wake_process(self, _pid: int) -> None:
+        """A network element cannot signal host processes."""
+        raise UnsupportedOperation(
+            "network-level interposition cannot signal or unblock host processes"
+        )
+
+    def process(self, pkt: Packet) -> bool:
+        """Apply rules to a transiting packet. Returns False when dropped."""
+        self.metrics.counter("seen").inc()
+        for rule in self.rules:
+            if not rule.matches(pkt):
+                continue
+            if rule.action == "drop":
+                self.metrics.counter("dropped").inc()
+                return False
+            if rule.action == "mirror":
+                self.mirrored.append(pkt)
+                self.metrics.counter("mirrored").inc()
+            return True
+        return True
+
+    def observed_five_tuples(self) -> List[str]:
+        """What an operator at the network level can see: 5-tuples, never
+        processes."""
+        return [str(p.five_tuple) for p in self.mirrored if p.five_tuple]

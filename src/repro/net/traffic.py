@@ -1,0 +1,72 @@
+"""Traffic pattern generators.
+
+Pure generators of ``(inter_arrival_ns, payload_bytes)`` tuples; applications
+drive them inside simulated processes. Keeping them pure makes the patterns
+unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Iterator, Optional
+
+from .. import units
+from ..errors import SimulationError
+from ..sim.rand import exponential_ns
+
+Arrival = "tuple[int, int]"
+
+
+def cbr_arrivals(
+    rate_bps: int, payload_bytes: int, count: Optional[int] = None
+) -> Generator["tuple[int, int]", None, None]:
+    """Constant-bit-rate arrivals of fixed-size payloads."""
+    if rate_bps <= 0 or payload_bytes <= 0:
+        raise SimulationError("rate and payload must be positive")
+    gap = units.transmit_time_ns(payload_bytes, rate_bps)
+    emitted = 0
+    while count is None or emitted < count:
+        yield gap, payload_bytes
+        emitted += 1
+
+
+def poisson_arrivals(
+    rng: random.Random,
+    rate_pps: float,
+    payload_bytes: int,
+    count: Optional[int] = None,
+) -> Generator["tuple[int, int]", None, None]:
+    """Poisson arrivals at ``rate_pps`` packets/second."""
+    if rate_pps <= 0:
+        raise SimulationError(f"rate must be positive: {rate_pps}")
+    mean_gap = units.SEC / rate_pps
+    emitted = 0
+    while count is None or emitted < count:
+        yield exponential_ns(rng, mean_gap), payload_bytes
+        emitted += 1
+
+
+def onoff_arrivals(
+    rng: random.Random,
+    burst_pkts: int,
+    burst_gap_ns: int,
+    idle_mean_ns: int,
+    payload_bytes: int,
+    bursts: Optional[int] = None,
+) -> Generator["tuple[int, int]", None, None]:
+    """On-off (bursty) traffic: bursts of back-to-back packets separated by
+    exponentially distributed idle periods — the intermittent pattern of the
+    §2 process-scheduling scenario."""
+    if burst_pkts < 1:
+        raise SimulationError(f"burst must have at least 1 packet: {burst_pkts}")
+    emitted_bursts = 0
+    while bursts is None or emitted_bursts < bursts:
+        yield exponential_ns(rng, idle_mean_ns), payload_bytes
+        for _ in range(burst_pkts - 1):
+            yield burst_gap_ns, payload_bytes
+        emitted_bursts += 1
+
+
+def total_bytes(arrivals: Iterator["tuple[int, int]"]) -> int:
+    """Sum of payload bytes over a finite arrival stream."""
+    return sum(size for _, size in arrivals)

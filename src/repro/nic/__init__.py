@@ -1,0 +1,29 @@
+"""NIC models.
+
+:class:`BasicNic` is a conventional DMA NIC (rings, RSS, fixed pipeline).
+:class:`FixedFunctionNic` adds a small non-programmable filter table — the
+"fixed function offload" strawman §3 argues cannot track policy evolution.
+The SmartNIC submodule models the programmable device KOPI needs: scarce
+SRAM and an FPGA fabric whose behaviour changes either by full bitstream
+(seconds) or by overlay program load (microseconds).
+"""
+
+from .base import BasicNic, NicQueue
+from .fixed_function import FixedFunctionNic
+from .notification import Notification, NotificationQueue
+from .rings import DescriptorRing, RingPair
+from .smartnic import FpgaFabric, SramAllocator
+from .steering import SteeringTable
+
+__all__ = [
+    "BasicNic",
+    "DescriptorRing",
+    "FixedFunctionNic",
+    "FpgaFabric",
+    "NicQueue",
+    "Notification",
+    "NotificationQueue",
+    "RingPair",
+    "SramAllocator",
+    "SteeringTable",
+]

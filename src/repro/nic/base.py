@@ -1,0 +1,116 @@
+"""The conventional DMA NIC.
+
+Fixed internal pipeline latency; RX steering over N queues; each queue is
+either *handled* (a callback, e.g. the kernel stack's softirq entry) or
+*pollable* (a descriptor ring an application reads directly, as in kernel
+bypass). TX accepts packets from any producer and serializes onto the wire
+link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..config import CostModel
+from ..errors import NicError
+from ..host.pcie import DmaEngine
+from ..net.link import Link
+from ..net.packet import Packet
+from ..sim import MetricSet, Simulator
+from .rings import DescriptorRing
+from .steering import SteeringTable
+
+RxHandler = Callable[[Packet], None]
+
+
+class NicQueue:
+    """One RX queue: a handler or a pollable ring (exactly one)."""
+
+    def __init__(self, queue_id: int):
+        self.queue_id = queue_id
+        self.handler: Optional[RxHandler] = None
+        self.ring: Optional[DescriptorRing] = None
+
+    def set_handler(self, handler: RxHandler) -> None:
+        if self.ring is not None:
+            raise NicError(f"queue {self.queue_id} already has a ring")
+        self.handler = handler
+
+    def set_ring(self, ring: DescriptorRing) -> None:
+        if self.handler is not None:
+            raise NicError(f"queue {self.queue_id} already has a handler")
+        self.ring = ring
+
+
+class BasicNic:
+    """Conventional NIC: steer, DMA, hand off. No interposition ability."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        dma: DmaEngine,
+        egress: Link,
+        n_queues: int = 8,
+        name: str = "nic0",
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.dma = dma
+        self.egress = egress
+        self.name = name
+        self.queues: List[NicQueue] = [NicQueue(i) for i in range(n_queues)]
+        self.steering = SteeringTable(n_queues=n_queues, name=f"{name}.steer")
+        self.metrics = MetricSet(name)
+        self.offline = False
+
+    # --- RX --------------------------------------------------------------
+
+    def rx_from_wire(self, pkt: Packet) -> None:
+        """Entry point wired to the ingress link."""
+        if self.offline:
+            self.metrics.counter("rx_offline_drops").inc()
+            return
+        self.metrics.counter("rx_pkts").inc()
+        self.metrics.meter("rx_bytes").record(self.sim.now, pkt.wire_len)
+        self.sim.after(self.costs.nic_pipeline_ns, self._rx_steer, pkt)
+
+    def _rx_steer(self, pkt: Packet) -> None:
+        queue_id = self.classify_rx(pkt)
+        pkt.meta.queue_id = queue_id
+        queue = self.queues[queue_id]
+        if queue.handler is not None:
+            # DMA then hand to the handler (kernel path).
+            self.sim.after(self.costs.pcie_dma_latency_ns, queue.handler, pkt)
+        elif queue.ring is not None:
+            if not queue.ring.try_post(pkt):
+                self.metrics.counter("rx_ring_drops").inc()
+        else:
+            self.metrics.counter("rx_unconfigured_drops").inc()
+
+    def classify_rx(self, pkt: Packet) -> int:
+        """Queue selection: exact steering entry, else RSS, else queue 0."""
+        ft = pkt.five_tuple
+        if ft is None:
+            return 0
+        conn = self.steering.lookup(ft)
+        if conn is not None:
+            return conn % len(self.queues)
+        return self.steering.rss_fallback(ft)
+
+    # --- TX ----------------------------------------------------------------
+
+    def tx(self, pkt: Packet) -> bool:
+        """Transmit one frame; returns False on egress drop."""
+        if self.offline:
+            self.metrics.counter("tx_offline_drops").inc()
+            return False
+        self.metrics.counter("tx_pkts").inc()
+        self.metrics.meter("tx_bytes").record(self.sim.now, pkt.wire_len)
+        return self.egress.send(pkt)
+
+    # --- administrivia ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """ethtool -S flavoured counters."""
+        return self.metrics.snapshot()

@@ -1,0 +1,111 @@
+"""Descriptor rings — the application/NIC shared-memory interface of §4.3.
+
+A ring is a fixed-size circular buffer in pinned host memory with head/tail
+indices mirrored in NIC MMIO registers. Applications produce into TX rings
+and consume from RX rings "by merely accessing memory" (§4.3); the NIC side
+moves packets via DMA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ..errors import RingEmpty, RingFull
+from ..host.memory import PinnedRegion
+from ..sim import MetricSet
+
+
+class DescriptorRing:
+    """One direction's ring: entries + backing pinned region.
+
+    The stored items are simulation objects (packets / message tuples); the
+    region exists so the cache model sees real line addresses, and so pinned
+    memory accounting reflects §5's per-connection footprint concern.
+    """
+
+    def __init__(self, entries: int, region: PinnedRegion, name: str = "ring"):
+        if entries < 1:
+            raise RingFull(f"ring must have at least 1 entry, got {entries}")
+        self.entries = entries
+        self.region = region
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self.head = 0  # producer index (total produced)
+        self.tail = 0  # consumer index (total consumed)
+        self.metrics = MetricSet(name)
+        self._cursor = 0  # round-robin cursor over the region's lines
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def free_slots(self) -> int:
+        return self.entries - len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.entries
+
+    def post(self, item: Any) -> int:
+        """Produce one entry; returns the slot index. Raises RingFull."""
+        if self.is_full:
+            self.metrics.counter("full_drops").inc()
+            raise RingFull(f"{self.name}: all {self.entries} slots in use")
+        slot = self.head % self.entries
+        self._items.append(item)
+        self.head += 1
+        self.metrics.counter("posted").inc()
+        return slot
+
+    def try_post(self, item: Any) -> bool:
+        """Produce if space; returns False instead of raising."""
+        if self.is_full:
+            self.metrics.counter("full_drops").inc()
+            return False
+        self.post(item)
+        return True
+
+    def consume(self) -> Any:
+        """Consume the oldest entry. Raises RingEmpty."""
+        if not self._items:
+            raise RingEmpty(f"{self.name}: nothing to consume")
+        self.tail += 1
+        self.metrics.counter("consumed").inc()
+        return self._items.popleft()
+
+    def try_consume(self) -> Optional[Any]:
+        return self.consume() if self._items else None
+
+    def next_lines(self, count: int) -> "list[int]":
+        """The next ``count`` cache-line addresses a transfer will touch,
+        advancing round-robin through the backing region (how a real ring
+        cycles through its buffers)."""
+        lines = self.region.line_addrs()
+        out = []
+        for _ in range(count):
+            out.append(lines[self._cursor % len(lines)])
+            self._cursor += 1
+        return out
+
+
+class RingPair:
+    """Per-connection RX+TX rings (§4.3: 'a pair of per-connection
+    ring-buffers')."""
+
+    def __init__(self, conn_id: int, rx: DescriptorRing, tx: DescriptorRing):
+        self.conn_id = conn_id
+        self.rx = rx
+        self.tx = tx
+
+    @property
+    def pinned_bytes(self) -> int:
+        return self.rx.region.size + self.tx.region.size
+
+    def __repr__(self) -> str:
+        return f"<RingPair conn={self.conn_id} rx={self.rx.occupancy} tx={self.tx.occupancy}>"

@@ -1,0 +1,14 @@
+"""The programmable SmartNIC substrate: scarce SRAM + reconfigurable FPGA.
+
+The KOPI interposition pipeline itself lives in :mod:`repro.core` (it is the
+paper's contribution); this package models the *device* properties the
+paper's open questions hinge on — limited on-board memory (§5 resource
+exhaustion) and two reconfiguration granularities (§4.4: overlay program
+loads in microseconds vs full bitstreams in seconds, during which the
+dataplane is offline).
+"""
+
+from .fpga import Bitstream, FpgaFabric, OverlaySlot
+from .sram import SramAllocator, SramBlock
+
+__all__ = ["Bitstream", "FpgaFabric", "OverlaySlot", "SramAllocator", "SramBlock"]

@@ -1,0 +1,76 @@
+"""On-NIC SRAM allocator.
+
+"SmartNICs inherently have limited memory relative to the amount of
+available on-host memory" (§5). Every piece of NIC-resident state —
+per-connection entries, filter rules, queue buffers — allocates here, and
+exhaustion raises, forcing callers to take the software fallback path that
+E9 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ... import units
+from ...errors import NicResourceExhausted
+from ...sim import MetricSet
+
+
+@dataclass(frozen=True)
+class SramBlock:
+    block_id: int
+    size: int
+    purpose: str
+
+
+class SramAllocator:
+    """Purpose-tagged allocation with exact accounting."""
+
+    def __init__(self, capacity_bytes: int, name: str = "sram"):
+        if capacity_bytes <= 0:
+            raise NicResourceExhausted(f"capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: Dict[int, SramBlock] = {}
+        self._next_id = 1
+        self.metrics = MetricSet(name)
+
+    def alloc(self, size: int, purpose: str) -> SramBlock:
+        if size <= 0:
+            raise NicResourceExhausted(f"allocation must be positive: {size}")
+        if self.used_bytes + size > self.capacity_bytes:
+            self.metrics.counter("exhaustions").inc()
+            raise NicResourceExhausted(
+                f"NIC SRAM exhausted: {units.fmt_size(self.used_bytes)} used of "
+                f"{units.fmt_size(self.capacity_bytes)}, requested "
+                f"{units.fmt_size(size)} for {purpose!r}"
+            )
+        block = SramBlock(block_id=self._next_id, size=size, purpose=purpose)
+        self._next_id += 1
+        self._blocks[block.block_id] = block
+        return block
+
+    def free(self, block: SramBlock) -> None:
+        if block.block_id not in self._blocks:
+            raise NicResourceExhausted(f"double free of SRAM block {block.block_id}")
+        del self._blocks[block.block_id]
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.size for b in self._blocks.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def used_by_purpose(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for b in self._blocks.values():
+            out[b.purpose] = out.get(b.purpose, 0) + b.size
+        return out
+
+    def blocks(self, purpose: str) -> List[SramBlock]:
+        return [b for b in self._blocks.values() if b.purpose == purpose]
+
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes

@@ -1,0 +1,71 @@
+"""Flow steering: five-tuple -> connection/queue, with RSS fallback."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import NicResourceExhausted
+from ..net.flow import FiveTuple
+from ..net.rss import rss_queue
+from ..sim import MetricSet
+
+
+class SteeringTable:
+    """Exact-match steering entries, optionally capacity-limited (on-NIC
+    memory is scarce — §5). Misses fall back to RSS hashing over
+    ``n_queues``."""
+
+    def __init__(self, n_queues: int, capacity: Optional[int] = None, name: str = "steer"):
+        if n_queues < 1:
+            raise NicResourceExhausted(f"need at least one queue: {n_queues}")
+        self.n_queues = n_queues
+        self.capacity = capacity
+        self._exact: Dict[FiveTuple, int] = {}
+        self._dport: Dict["tuple[int, int]", int] = {}  # (proto, dport) -> conn
+        self.metrics = MetricSet(name)
+
+    def install(self, flow: FiveTuple, conn_id: int) -> None:
+        if flow in self._exact:
+            self._exact[flow] = conn_id
+            return
+        if self.capacity is not None and len(self._exact) >= self.capacity:
+            raise NicResourceExhausted(
+                f"steering table full ({self.capacity} entries)"
+            )
+        self._exact[flow] = conn_id
+
+    def remove(self, flow: FiveTuple) -> None:
+        self._exact.pop(flow, None)
+
+    def install_dport(self, proto: int, dport: int, conn_id: int) -> None:
+        """Wildcard-source steering for listeners: any flow to (proto,
+        dport) lands on ``conn_id``. Shares the capacity budget."""
+        key = (proto, dport)
+        if key in self._dport:
+            self._dport[key] = conn_id
+            return
+        if self.capacity is not None and self.entries >= self.capacity:
+            raise NicResourceExhausted(f"steering table full ({self.capacity} entries)")
+        self._dport[key] = conn_id
+
+    def remove_dport(self, proto: int, dport: int) -> None:
+        self._dport.pop((proto, dport), None)
+
+    def lookup(self, flow: FiveTuple) -> Optional[int]:
+        """Exact-match then dport-match connection id, or None (caller
+        falls back to RSS)."""
+        conn = self._exact.get(flow)
+        if conn is None:
+            conn = self._dport.get((flow.proto, flow.dport))
+        if conn is not None:
+            self.metrics.counter("exact_hits").inc()
+        else:
+            self.metrics.counter("misses").inc()
+        return conn
+
+    def rss_fallback(self, flow: FiveTuple) -> int:
+        return rss_queue(flow, self.n_queues)
+
+    @property
+    def entries(self) -> int:
+        return len(self._exact) + len(self._dport)

@@ -1,0 +1,42 @@
+"""The FPGA overlay processor.
+
+§4.4 of the paper proposes loading *programs* into a domain-specific overlay
+instead of reprogramming FPGA hardware, so that queueing and filtering
+policies change in microseconds rather than seconds. This package implements
+that overlay for real: a register ISA specialized for packet policy
+(:mod:`isa`), a text assembler (:mod:`assembler`), a static verifier that
+guarantees termination by construction (:mod:`verifier`), the execution
+engine with per-instruction cost (:mod:`machine`), and compilers from
+kernel policy objects — netfilter rules, tc classifiers — to overlay
+programs (:mod:`compiler`).
+"""
+
+from .assembler import assemble
+from .compiler import compile_classifier, compile_filter_rules
+from .isa import (
+    FIELDS,
+    Instr,
+    OP_ACCEPT,
+    OP_DROP,
+    Program,
+    VERDICT_ACCEPT,
+    VERDICT_DROP,
+)
+from .machine import ExecResult, OverlayMachine
+from .verifier import verify
+
+__all__ = [
+    "ExecResult",
+    "FIELDS",
+    "Instr",
+    "OP_ACCEPT",
+    "OP_DROP",
+    "OverlayMachine",
+    "Program",
+    "VERDICT_ACCEPT",
+    "VERDICT_DROP",
+    "assemble",
+    "compile_classifier",
+    "compile_filter_rules",
+    "verify",
+]

@@ -1,0 +1,140 @@
+"""Overlay instruction set.
+
+Design constraints from the paper:
+
+* *domain-specific*: operands are header fields, verdicts, queues,
+  scheduling classes, counters, and meters — not general memory;
+* *non-Turing-complete*: all control flow is **forward-only**, so every
+  program terminates in at most ``len(program)`` steps, a property the
+  verifier enforces statically and the per-packet latency model relies on.
+
+Registers are ``r0``..``r7`` holding unsigned 32-bit values (wrapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import OverlayError
+
+N_REGISTERS = 8
+WORD_MASK = 0xFFFF_FFFF
+
+VERDICT_ACCEPT = "accept"
+VERDICT_DROP = "drop"
+
+# Loadable packet/metadata fields. `meta.*` values come from the NIC's own
+# per-packet state (connection id after steering lookup, frame length);
+# there is deliberately no `meta.pid` — the NIC learns owner identity only
+# through per-connection rules compiled by the kernel at setup time.
+FIELDS = (
+    "eth.type",
+    "arp.op",
+    "ip.src",
+    "ip.dst",
+    "ip.proto",
+    "ip.dscp",
+    "ip.ttl",
+    "l4.sport",
+    "l4.dport",
+    "tcp.flags",
+    "meta.len",
+    "meta.conn_id",
+    "meta.queue",
+)
+
+OP_LDF = "ldf"      # ldf rd, field
+OP_LDI = "ldi"      # ldi rd, imm
+OP_MOV = "mov"      # mov rd, rs
+OP_ADD = "add"      # add rd, rs|imm
+OP_SUB = "sub"
+OP_AND = "and"
+OP_OR = "or"
+OP_XOR = "xor"
+OP_SHL = "shl"
+OP_SHR = "shr"
+OP_JMP = "jmp"      # jmp target          (forward only)
+OP_JEQ = "jeq"      # jeq ra, rb|imm, target
+OP_JNE = "jne"
+OP_JLT = "jlt"
+OP_JGT = "jgt"
+OP_JLE = "jle"
+OP_JGE = "jge"
+OP_ACCEPT = "accept"
+OP_DROP = "drop"
+OP_HALT = "halt"    # accept with current state
+OP_SETQ = "setq"    # setq rs|imm        (egress queue)
+OP_SETCLS = "setcls"  # setcls rs|imm    (scheduling class id)
+OP_MIRROR = "mirror"  # mirror tap_id    (copy packet to capture tap)
+OP_CNT = "cnt"      # cnt idx            (increment counter)
+OP_METER = "meter"  # meter idx, rd      (rd=1 if conformant)
+
+ALU_OPS = (OP_ADD, OP_SUB, OP_AND, OP_OR, OP_XOR, OP_SHL, OP_SHR)
+BRANCH_OPS = (OP_JEQ, OP_JNE, OP_JLT, OP_JGT, OP_JLE, OP_JGE)
+TERMINAL_OPS = (OP_ACCEPT, OP_DROP, OP_HALT)
+
+ALL_OPS = (
+    (OP_LDF, OP_LDI, OP_MOV, OP_JMP, OP_SETQ, OP_SETCLS, OP_MIRROR, OP_CNT, OP_METER)
+    + ALU_OPS
+    + BRANCH_OPS
+    + TERMINAL_OPS
+)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction. Operand meaning depends on ``op``:
+
+    * ``rd``/``ra`` — destination / first source register index;
+    * ``src`` — second operand: ``("reg", idx)`` or ``("imm", value)``;
+    * ``field`` — field name for ``ldf``;
+    * ``target`` — absolute instruction index for branches;
+    * ``index`` — counter/meter/tap index.
+    """
+
+    op: str
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    src: Optional[Tuple[str, int]] = None
+    field: Optional[str] = None
+    target: Optional[int] = None
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise OverlayError(f"unknown opcode: {self.op!r}")
+
+    def text(self) -> str:
+        """Disassembly."""
+        parts = [self.op]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        if self.ra is not None:
+            parts.append(f"r{self.ra}")
+        if self.field is not None:
+            parts.append(self.field)
+        if self.src is not None:
+            kind, value = self.src
+            parts.append(f"r{value}" if kind == "reg" else str(value))
+        if self.index is not None:
+            parts.append(str(self.index))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A verified-or-not sequence of instructions plus resource declarations."""
+
+    instrs: Tuple[Instr, ...]
+    n_counters: int = 0
+    n_meters: int = 0
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def disassemble(self) -> str:
+        return "\n".join(f"{i:4d}: {ins.text()}" for i, ins in enumerate(self.instrs))

@@ -1,0 +1,220 @@
+"""Overlay execution engine.
+
+Runs one verified program per packet. Because the verifier guarantees
+forward-only control flow, execution is a single bounded scan; the machine
+nevertheless carries a defensive fuel budget so an unverified program cannot
+wedge the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import units
+from ..config import CostModel
+from ..errors import OverlayError
+from ..net.headers import TcpHeader
+from ..net.packet import Packet
+from .isa import (
+    ALU_OPS,
+    BRANCH_OPS,
+    Instr,
+    N_REGISTERS,
+    OP_ACCEPT,
+    OP_CNT,
+    OP_DROP,
+    OP_HALT,
+    OP_JMP,
+    OP_LDF,
+    OP_LDI,
+    OP_METER,
+    OP_MIRROR,
+    OP_MOV,
+    OP_SETCLS,
+    OP_SETQ,
+    Program,
+    VERDICT_ACCEPT,
+    VERDICT_DROP,
+    WORD_MASK,
+)
+
+
+@dataclass
+class ExecResult:
+    """Outcome of running a program over one packet."""
+
+    verdict: str
+    queue: Optional[int] = None
+    sched_class: Optional[int] = None
+    mirrors: List[int] = field(default_factory=list)
+    instrs_executed: int = 0
+    cost_ns: int = 0
+
+
+@dataclass
+class _Meter:
+    rate_bps: int
+    burst_bytes: int
+    tokens: float = 0.0
+    last_fill_ns: int = 0
+
+    def conformant(self, now_ns: int, nbytes: int) -> bool:
+        elapsed = now_ns - self.last_fill_ns
+        if elapsed > 0:
+            self.tokens = min(
+                float(self.burst_bytes),
+                self.tokens + elapsed * self.rate_bps / (8 * units.SEC),
+            )
+            self.last_fill_ns = now_ns
+        if self.tokens >= nbytes:
+            self.tokens -= nbytes
+            return True
+        return False
+
+
+class OverlayMachine:
+    """One loaded overlay slot: program + counters + meters."""
+
+    def __init__(self, program: Program, costs: CostModel):
+        self.program = program
+        self.costs = costs
+        self.counters: List[int] = [0] * program.n_counters
+        self._meters: Dict[int, _Meter] = {}
+        self.packets_seen = 0
+
+    def configure_meter(self, index: int, rate_bps: int, burst_bytes: int) -> None:
+        """Set a meter's token bucket (done by the control plane via MMIO)."""
+        if not 0 <= index < self.program.n_meters:
+            raise OverlayError(
+                f"meter {index} not declared (program has {self.program.n_meters})"
+            )
+        self._meters[index] = _Meter(
+            rate_bps=rate_bps, burst_bytes=burst_bytes,
+            tokens=float(burst_bytes),
+        )
+
+    def execute(self, pkt: Packet, now_ns: int) -> ExecResult:
+        """Run the program over ``pkt``. Fuel-bounded even for unverified
+        programs."""
+        regs = [0] * N_REGISTERS
+        result = ExecResult(verdict=VERDICT_ACCEPT)
+        self.packets_seen += 1
+        pc = 0
+        fuel = len(self.program.instrs) + 1
+        instrs = self.program.instrs
+        while pc < len(instrs):
+            fuel -= 1
+            if fuel < 0:
+                raise OverlayError(
+                    f"program {self.program.name!r} exceeded fuel; was it verified?"
+                )
+            instr = instrs[pc]
+            result.instrs_executed += 1
+            op = instr.op
+            if op == OP_LDF:
+                regs[instr.rd] = _load_field(pkt, instr.field)  # type: ignore[index,arg-type]
+                pc += 1
+            elif op in (OP_LDI, OP_MOV):
+                regs[instr.rd] = self._value(regs, instr)  # type: ignore[index]
+                pc += 1
+            elif op in ALU_OPS:
+                regs[instr.rd] = _alu(op, regs[instr.rd], self._value(regs, instr))  # type: ignore[index]
+                pc += 1
+            elif op == OP_JMP:
+                pc = instr.target  # type: ignore[assignment]
+            elif op in BRANCH_OPS:
+                taken = _branch(op, regs[instr.ra], self._value(regs, instr))  # type: ignore[index]
+                pc = instr.target if taken else pc + 1  # type: ignore[assignment]
+            elif op == OP_SETQ:
+                result.queue = self._value(regs, instr)
+                pc += 1
+            elif op == OP_SETCLS:
+                result.sched_class = self._value(regs, instr)
+                pc += 1
+            elif op == OP_MIRROR:
+                result.mirrors.append(instr.index)  # type: ignore[arg-type]
+                pc += 1
+            elif op == OP_CNT:
+                self.counters[instr.index] += 1  # type: ignore[index]
+                pc += 1
+            elif op == OP_METER:
+                meter = self._meters.get(instr.index)  # type: ignore[arg-type]
+                ok = meter.conformant(now_ns, pkt.wire_len) if meter else True
+                regs[instr.rd] = 1 if ok else 0  # type: ignore[index]
+                pc += 1
+            elif op == OP_DROP:
+                result.verdict = VERDICT_DROP
+                break
+            elif op in (OP_ACCEPT, OP_HALT):
+                result.verdict = VERDICT_ACCEPT
+                break
+            else:  # pragma: no cover - ALL_OPS is closed
+                raise OverlayError(f"unimplemented opcode {op!r}")
+        result.cost_ns = result.instrs_executed * self.costs.overlay_instr_ns
+        return result
+
+    @staticmethod
+    def _value(regs: List[int], instr: Instr) -> int:
+        kind, value = instr.src  # type: ignore[misc]
+        return regs[value] if kind == "reg" else value
+
+
+def _alu(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return (a + b) & WORD_MASK
+    if op == "sub":
+        return (a - b) & WORD_MASK
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << (b & 31)) & WORD_MASK
+    if op == "shr":
+        return a >> (b & 31)
+    raise OverlayError(f"bad ALU op {op!r}")
+
+
+def _branch(op: str, a: int, b: int) -> bool:
+    return {
+        "jeq": a == b,
+        "jne": a != b,
+        "jlt": a < b,
+        "jgt": a > b,
+        "jle": a <= b,
+        "jge": a >= b,
+    }[op]
+
+
+def _load_field(pkt: Packet, name: str) -> int:
+    """Header field extraction; absent fields read as 0."""
+    if name == "eth.type":
+        return pkt.eth.ethertype
+    if name == "arp.op":
+        return pkt.arp.op if pkt.arp else 0
+    if name.startswith("ip."):
+        if pkt.ipv4 is None:
+            return 0
+        return {
+            "ip.src": pkt.ipv4.src.value,
+            "ip.dst": pkt.ipv4.dst.value,
+            "ip.proto": pkt.ipv4.proto,
+            "ip.dscp": pkt.ipv4.dscp,
+            "ip.ttl": pkt.ipv4.ttl,
+        }[name]
+    if name in ("l4.sport", "l4.dport"):
+        if pkt.l4 is None:
+            return 0
+        return pkt.l4.sport if name == "l4.sport" else pkt.l4.dport
+    if name == "tcp.flags":
+        return pkt.l4.flags if isinstance(pkt.l4, TcpHeader) else 0
+    if name == "meta.len":
+        return pkt.wire_len
+    if name == "meta.conn_id":
+        return pkt.meta.conn_id if pkt.meta.conn_id is not None else WORD_MASK
+    if name == "meta.queue":
+        return pkt.meta.queue_id if pkt.meta.queue_id is not None else 0
+    raise OverlayError(f"unknown field {name!r}")

@@ -1,0 +1,137 @@
+"""Static verifier for overlay programs.
+
+The NIC refuses to load an unverified program. Checks:
+
+* program fits the overlay's instruction capacity;
+* all branch targets are **strictly forward** and in bounds — with no back
+  edges the machine provably executes at most ``len(program)`` instructions
+  per packet, which is what makes the per-packet latency bound honest;
+* registers, fields, counter and meter indices are in range;
+* the program cannot fall off the end: the last reachable slot must be a
+  terminal instruction (``accept``/``drop``/``halt``) or an unconditional
+  jump (which, being forward, would itself be out of bounds and is thus
+  rejected earlier).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import VerifierError
+from .isa import (
+    ALU_OPS,
+    BRANCH_OPS,
+    FIELDS,
+    Instr,
+    N_REGISTERS,
+    OP_CNT,
+    OP_JMP,
+    OP_LDF,
+    OP_METER,
+    OP_MIRROR,
+    Program,
+    TERMINAL_OPS,
+)
+
+
+def verify(
+    program: Program,
+    max_instrs: int = 4_096,
+    max_counters: Optional[int] = None,
+    max_meters: Optional[int] = None,
+    max_taps: int = 8,
+) -> None:
+    """Raise :class:`~repro.errors.VerifierError` on any violation."""
+    n = len(program.instrs)
+    if n == 0:
+        raise VerifierError("empty program")
+    if n > max_instrs:
+        raise VerifierError(f"program too large: {n} > capacity {max_instrs}")
+    if max_counters is not None and program.n_counters > max_counters:
+        raise VerifierError(
+            f"declares {program.n_counters} counters > limit {max_counters}"
+        )
+    if max_meters is not None and program.n_meters > max_meters:
+        raise VerifierError(f"declares {program.n_meters} meters > limit {max_meters}")
+
+    for pc, instr in enumerate(program.instrs):
+        _check_instr(program, pc, instr, max_taps)
+
+    last = program.instrs[-1]
+    if last.op not in TERMINAL_OPS:
+        raise VerifierError(
+            f"program may fall off the end: last instruction is {last.op!r}, "
+            "expected accept/drop/halt"
+        )
+
+
+def _check_reg(pc: int, name: str, idx: Optional[int]) -> None:
+    if idx is None:
+        raise VerifierError(f"pc {pc}: missing register operand {name}")
+    if not 0 <= idx < N_REGISTERS:
+        raise VerifierError(f"pc {pc}: register r{idx} out of range")
+
+
+def _check_instr(program: Program, pc: int, instr: Instr, max_taps: int) -> None:
+    op = instr.op
+    if op == OP_LDF:
+        _check_reg(pc, "rd", instr.rd)
+        if instr.field not in FIELDS:
+            raise VerifierError(f"pc {pc}: unknown field {instr.field!r}")
+        return
+    if op in ALU_OPS or op in ("ldi", "mov"):
+        _check_reg(pc, "rd", instr.rd)
+        _check_src(pc, instr)
+        return
+    if op == OP_JMP or op in BRANCH_OPS:
+        if instr.target is None:
+            raise VerifierError(f"pc {pc}: branch without target")
+        if instr.target <= pc:
+            raise VerifierError(
+                f"pc {pc}: backward or self jump to {instr.target} "
+                "(overlay control flow must be forward-only)"
+            )
+        if instr.target >= len(program.instrs):
+            raise VerifierError(f"pc {pc}: jump target {instr.target} out of bounds")
+        if op in BRANCH_OPS:
+            _check_reg(pc, "ra", instr.ra)
+            _check_src(pc, instr)
+        return
+    if op in ("setq", "setcls"):
+        _check_src(pc, instr)
+        return
+    if op == OP_MIRROR:
+        if instr.index is None or not 0 <= instr.index < max_taps:
+            raise VerifierError(f"pc {pc}: tap index {instr.index} out of range")
+        return
+    if op == OP_CNT:
+        if instr.index is None or not 0 <= instr.index < program.n_counters:
+            raise VerifierError(
+                f"pc {pc}: counter {instr.index} not declared "
+                f"(program has {program.n_counters})"
+            )
+        return
+    if op == OP_METER:
+        if instr.index is None or not 0 <= instr.index < program.n_meters:
+            raise VerifierError(
+                f"pc {pc}: meter {instr.index} not declared "
+                f"(program has {program.n_meters})"
+            )
+        _check_reg(pc, "rd", instr.rd)
+        return
+    if op in TERMINAL_OPS:
+        return
+    raise VerifierError(f"pc {pc}: unverifiable opcode {op!r}")
+
+
+def _check_src(pc: int, instr: Instr) -> None:
+    if instr.src is None:
+        raise VerifierError(f"pc {pc}: missing source operand")
+    kind, value = instr.src
+    if kind == "reg":
+        _check_reg(pc, "src", value)
+    elif kind == "imm":
+        if not 0 <= value <= 0xFFFF_FFFF:
+            raise VerifierError(f"pc {pc}: immediate {value} out of 32-bit range")
+    else:
+        raise VerifierError(f"pc {pc}: bad operand kind {kind!r}")

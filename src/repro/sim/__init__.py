@@ -1,0 +1,30 @@
+"""Discrete-event simulation core.
+
+The engine keeps simulated time as integer nanoseconds and executes callbacks
+in (time, insertion-order) order, which makes every run deterministic for a
+fixed seed. On top of the raw engine sit :class:`~repro.sim.events.Signal`
+(one-shot promise) and :class:`~repro.sim.process.SimProcess`
+(generator-based coroutine), which is how applications, kernel threads, and
+NIC engines are written.
+"""
+
+from .engine import EventHandle, Simulator
+from .events import AllOf, AnyOf, Signal
+from .metrics import Counter, Histogram, MetricSet, RateMeter, TimeSeries
+from .process import SimProcess
+from .rand import make_rng
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "EventHandle",
+    "Histogram",
+    "MetricSet",
+    "RateMeter",
+    "Signal",
+    "SimProcess",
+    "Simulator",
+    "TimeSeries",
+    "make_rng",
+]

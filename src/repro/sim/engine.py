@@ -1,0 +1,150 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns a heap of pending events. Each event is a plain
+callback scheduled at an absolute integer-nanosecond timestamp. Ties are
+broken by insertion order, so a run is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled callback; allows cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    popped, which keeps scheduling O(log n).
+    """
+
+    __slots__ = ("time", "_fn", "_args", "_cancelled")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Safe to call more than once."""
+        self._cancelled = True
+        self._fn = _cancelled_fn
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        self._fn(*self._args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<EventHandle t={self.time} {state}>"
+
+
+def _cancelled_fn() -> None:
+    """Body of a cancelled event."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with integer-ns time."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Tuple[int, int, EventHandle]] = []
+        self._events_fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks executed so far (observability / tests)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of heap entries (including lazily-cancelled ones)."""
+        return len(self._heap)
+
+    def at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} ns; now is {self._now} ns"
+            )
+        handle = EventHandle(time_ns, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ns, self._seq, handle))
+        return handle
+
+    def after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.at(self._now + delay_ns, fn, *args)
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next non-cancelled event, or None if idle."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Execute the next event. Returns False when no events remain."""
+        while self._heap:
+            time_ns, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time_ns
+            self._events_fired += 1
+            handle._fire()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        Returns the simulated time afterwards. When stopping at ``until``,
+        the clock is advanced to ``until`` even if no event fires exactly
+        there, so back-to-back ``run(until=...)`` calls behave like wall
+        clock segments.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                return self._now
+            nxt = self.peek()
+            if nxt is None:
+                if until is not None and until > self._now:
+                    self._now = until
+                return self._now
+            if until is not None and nxt > until:
+                self._now = until
+                return self._now
+            self.step()
+            fired += 1
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Drain the event heap completely; guard against runaway loops."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"run_until_idle exceeded {max_events} events; likely a livelock"
+                )
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now}ns pending={len(self._heap)}>"

@@ -1,0 +1,210 @@
+"""Lightweight metrics: counters, histograms, time series, rate meters.
+
+Every subsystem exposes its observability through these so that experiments
+read results the same way an operator would read ``/proc`` or ``ethtool -S``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .. import units
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Exact histogram of observed samples (stores all values).
+
+    Good enough for simulation scale; gives exact percentiles, which matters
+    when asserting latency distributions in tests.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact p-th percentile (nearest-rank), 0 <= p <= 100."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(p / 100 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"
+
+
+class TimeSeries:
+    """(timestamp_ns, value) samples, e.g. queue depth over time."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.points: List[Tuple[int, float]] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        if self.points and time_ns < self.points[-1][0]:
+            raise ValueError(
+                f"time series {self.name!r} timestamps must be non-decreasing"
+            )
+        self.points.append((time_ns, value))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def window_mean(self, start_ns: int, end_ns: int) -> float:
+        vals = [v for t, v in self.points if start_ns <= t <= end_ns]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class RateMeter:
+    """Accumulates bytes (or events) and reports an average rate."""
+
+    __slots__ = ("name", "total_bytes", "first_ns", "last_ns")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.total_bytes = 0
+        self.first_ns: Optional[int] = None
+        self.last_ns: Optional[int] = None
+
+    def record(self, time_ns: int, nbytes: int) -> None:
+        if self.first_ns is None:
+            self.first_ns = time_ns
+        self.last_ns = time_ns
+        self.total_bytes += nbytes
+
+    def rate_bps(self, end_ns: Optional[int] = None) -> float:
+        """Average rate from first sample to ``end_ns`` (default last)."""
+        if self.first_ns is None:
+            return 0.0
+        end = end_ns if end_ns is not None else self.last_ns
+        assert end is not None
+        return units.throughput_bps(self.total_bytes, end - self.first_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RateMeter {self.name} bytes={self.total_bytes}>"
+
+
+class MetricSet:
+    """A named bag of metrics with lazy creation, one per subsystem."""
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._meters: Dict[str, RateMeter] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(self._qualify(name))
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(self._qualify(name))
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(self._qualify(name))
+        return self._series[name]
+
+    def meter(self, name: str) -> RateMeter:
+        if name not in self._meters:
+            self._meters[name] = RateMeter(self._qualify(name))
+        return self._meters[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat view of counters and histogram means (for reports/tests)."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[self._qualify(name)] = float(counter.value)
+        for name, hist in self._histograms.items():
+            out[self._qualify(name) + ".mean"] = hist.mean
+            out[self._qualify(name) + ".count"] = float(hist.count)
+        return out

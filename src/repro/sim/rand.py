@@ -1,0 +1,29 @@
+"""Seeded randomness helpers.
+
+All stochastic behaviour in the simulator draws from RNGs created here so
+that a single seed reproduces a whole experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+def make_rng(seed: Optional[int] = 0, stream: str = "") -> random.Random:
+    """Create a deterministic RNG.
+
+    ``stream`` derives independent substreams from one experiment seed, e.g.
+    ``make_rng(seed, "arrivals")`` and ``make_rng(seed, "sizes")`` do not
+    share state.
+    """
+    if seed is None:
+        return random.Random()
+    return random.Random(f"{seed}/{stream}")
+
+
+def exponential_ns(rng: random.Random, mean_ns: float) -> int:
+    """Exponentially distributed delay in whole nanoseconds (>= 1)."""
+    if mean_ns <= 0:
+        raise ValueError(f"mean must be positive, got {mean_ns}")
+    return max(1, round(rng.expovariate(1.0 / mean_ns)))

@@ -1,0 +1,22 @@
+"""Administrative tools (Figure 1: "tc, iptables, ... call into the
+in-kernel control plane, which updates the SmartNIC dataplane").
+
+Each tool is a small text-command interface over the dataplane's
+administrative surface, so the §2 scenarios can be driven exactly the way
+an operator would: ``iptables("-A OUTPUT -p udp --dport 5432 -m owner
+--uid-owner bob -j ACCEPT")``, ``tc("qdisc replace dev nic0 root wfq
+/games:1 /work:3")``, ``tcpdump("arp", count=10)``, ``netstat()``.
+
+On dataplanes without an interposition point the underlying operation
+raises :class:`~repro.errors.UnsupportedOperation` — the tool surfaces it,
+which is precisely the manageability regression the paper describes.
+"""
+
+from .iptables import Iptables
+from .netstat import Netstat
+from .ss import Ss
+from .tc import Tc
+from .tcpdump import Tcpdump, compile_filter
+from .ifconfig import Arp, Ifconfig
+
+__all__ = ["Arp", "Ifconfig", "Iptables", "Netstat", "Ss", "Tc", "Tcpdump", "compile_filter"]

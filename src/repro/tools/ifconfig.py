@@ -1,0 +1,53 @@
+"""ifconfig and arp analogues.
+
+``Arp`` prints the kernel's ARP view — the first thing Alice checks in the
+§2 debugging scenario. Under kernel bypass it is empty no matter how much
+ARP the host emits; under KOPI the NIC repopulates it, with the owning pid
+when the frame left an application ring.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import units
+from ..dataplanes.base import Dataplane
+
+
+class Ifconfig:
+    def __init__(self, dataplane: Dataplane, kernel):
+        self.dataplane = dataplane
+        self.kernel = kernel
+
+    def __call__(self) -> str:
+        nic = getattr(self.dataplane, "nic", None)
+        lines = [
+            f"nic0: flags=UP  mtu 1500",
+            f"        inet {self.kernel.host_ip}  ether {self.kernel.host_mac}",
+        ]
+        if nic is not None:
+            stats = nic.stats()
+            rx = int(stats.get(f"{nic.name}.rx_pkts", 0))
+            tx = int(stats.get(f"{nic.name}.tx_pkts", 0))
+            lines.append(f"        RX packets {rx}  TX packets {tx}")
+        return "\n".join(lines)
+
+
+class Arp:
+    def __init__(self, dataplane: Dataplane):
+        self.dataplane = dataplane
+
+    def __call__(self) -> str:
+        entries = self.dataplane.arp_entries()
+        if not entries:
+            return "arp: no entries"
+        lines: List[str] = []
+        for e in entries:
+            line = f"{e.ip}  at  {e.mac}  updated {units.fmt_time(e.updated_ns)}"
+            if e.source_pid is not None:
+                line += f"  [pid={e.source_pid}]"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def count(self) -> int:
+        return len(self.dataplane.arp_entries())

@@ -1,0 +1,174 @@
+"""iptables analogue.
+
+Supported grammar (a practical subset)::
+
+    -A|-I <CHAIN> [matches] -j ACCEPT|DROP      append / insert rule
+    -D <CHAIN> <rulenum>                        delete by number (1-based)
+    -L [CHAIN] [-v]                             list (with counters under -v)
+    -F [CHAIN]                                  flush
+
+Matches: ``-p tcp|udp``, ``-s <ip>``, ``-d <ip>``, ``--sport <n>``,
+``--dport <n>``, ``-m owner`` with ``--uid-owner <uid|name>``,
+``--cmd-owner <comm>``, ``--pid-owner <pid>``.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import List, Optional
+
+from ..errors import ToolError
+from ..kernel.netfilter import ACCEPT, CHAIN_INPUT, CHAIN_OUTPUT, DROP, NetfilterRule
+from ..net.addresses import IPv4Address
+from ..net.headers import PROTO_TCP, PROTO_UDP
+from ..dataplanes.base import Dataplane
+
+_PROTOS = {"tcp": PROTO_TCP, "udp": PROTO_UDP}
+
+
+class Iptables:
+    """One instance per host; call it with a command line."""
+
+    def __init__(self, dataplane: Dataplane, kernel):
+        self.dataplane = dataplane
+        self.kernel = kernel
+
+    def __call__(self, cmdline: str) -> str:
+        argv = shlex.split(cmdline)
+        if not argv:
+            raise ToolError("iptables: empty command")
+        op = argv[0]
+        if op in ("-A", "-I"):
+            return self._add(argv, insert=(op == "-I"))
+        if op == "-D":
+            return self._delete(argv)
+        if op == "-L":
+            return self._list(argv)
+        if op == "-F":
+            return self._flush(argv)
+        raise ToolError(f"iptables: unknown operation {op!r}")
+
+    # --- operations -------------------------------------------------------
+
+    def _add(self, argv: List[str], insert: bool) -> str:
+        rule = self._parse_rule(argv)
+        if insert:
+            # install_filter_rule appends; emulate insert via table surgery
+            # on the kernel table, then resync if the dataplane compiles.
+            self.kernel.filters.insert(rule)
+            control = getattr(self.dataplane, "control", None)
+            if control is not None:
+                control.sync_filters()
+        else:
+            self.dataplane.install_filter_rule(rule)
+        return f"ok: {rule.describe()}"
+
+    def _delete(self, argv: List[str]) -> str:
+        if len(argv) != 3:
+            raise ToolError("iptables: -D <CHAIN> <rulenum>")
+        chain = self._chain(argv[1])
+        try:
+            index = int(argv[2]) - 1
+        except ValueError as exc:
+            raise ToolError(f"iptables: bad rule number {argv[2]!r}") from exc
+        rules = self.kernel.filters.rules(chain)
+        if not 0 <= index < len(rules):
+            raise ToolError(f"iptables: no rule {index + 1} in {chain}")
+        self.kernel.filters.delete(rules[index])
+        control = getattr(self.dataplane, "control", None)
+        if control is not None:
+            control.sync_filters()
+        return f"ok: deleted {chain} rule {index + 1}"
+
+    def _list(self, argv: List[str]) -> str:
+        verbose = "-v" in argv
+        chains = [a for a in argv[1:] if a != "-v"]
+        chains = [self._chain(c) for c in chains] or [CHAIN_INPUT, CHAIN_OUTPUT]
+        control = getattr(self.dataplane, "control", None)
+        if control is not None and verbose:
+            control.sync_rule_counters()
+        out = []
+        for chain in chains:
+            out.append(f"Chain {chain} (policy ACCEPT)")
+            for i, rule in enumerate(self.kernel.filters.rules(chain), start=1):
+                line = f"{i:4d}  {rule.describe()}"
+                if verbose:
+                    line += f"  [pkts={rule.packets} bytes={rule.bytes}]"
+                out.append(line)
+        return "\n".join(out)
+
+    def _flush(self, argv: List[str]) -> str:
+        chain = self._chain(argv[1]) if len(argv) > 1 else None
+        self.kernel.filters.flush(chain)
+        control = getattr(self.dataplane, "control", None)
+        if control is not None:
+            control.sync_filters()
+        return f"ok: flushed {chain or 'all chains'}"
+
+    # --- parsing ------------------------------------------------------------
+
+    def _chain(self, name: str) -> str:
+        if name not in (CHAIN_INPUT, CHAIN_OUTPUT):
+            raise ToolError(f"iptables: unknown chain {name!r}")
+        return name
+
+    def _uid(self, token: str) -> int:
+        if token.isdigit():
+            return int(token)
+        return self.kernel.users.by_name(token).uid
+
+    def _parse_rule(self, argv: List[str]) -> NetfilterRule:
+        chain = self._chain(argv[1])
+        fields: dict = {"chain": chain}
+        verdict: Optional[str] = None
+        i = 2
+        while i < len(argv):
+            tok = argv[i]
+
+            def need(n: int = 1) -> List[str]:
+                if i + n > len(argv) - 1:
+                    raise ToolError(f"iptables: {tok} needs an argument")
+                return argv[i + 1 : i + 1 + n]
+
+            if tok == "-p":
+                (proto,) = need()
+                if proto not in _PROTOS:
+                    raise ToolError(f"iptables: unknown protocol {proto!r}")
+                fields["proto"] = _PROTOS[proto]
+                i += 2
+            elif tok == "-s":
+                fields["src_ip"] = IPv4Address.parse(need()[0])
+                i += 2
+            elif tok == "-d":
+                fields["dst_ip"] = IPv4Address.parse(need()[0])
+                i += 2
+            elif tok == "--sport":
+                fields["sport"] = int(need()[0])
+                i += 2
+            elif tok == "--dport":
+                fields["dport"] = int(need()[0])
+                i += 2
+            elif tok == "-m":
+                (module,) = need()
+                if module != "owner":
+                    raise ToolError(f"iptables: unsupported match module {module!r}")
+                i += 2
+            elif tok == "--uid-owner":
+                fields["uid_owner"] = self._uid(need()[0])
+                i += 2
+            elif tok == "--cmd-owner":
+                fields["cmd_owner"] = need()[0]
+                i += 2
+            elif tok == "--pid-owner":
+                fields["pid_owner"] = int(need()[0])
+                i += 2
+            elif tok == "-j":
+                (verdict,) = need()
+                if verdict not in (ACCEPT, DROP):
+                    raise ToolError(f"iptables: unknown target {verdict!r}")
+                i += 2
+            else:
+                raise ToolError(f"iptables: unknown token {tok!r}")
+        if verdict is None:
+            raise ToolError("iptables: missing -j target")
+        return NetfilterRule(verdict=verdict, **fields)

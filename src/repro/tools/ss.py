@@ -1,0 +1,70 @@
+"""ss analogue — socket statistics with Norman extensions.
+
+On any dataplane it lists the kernel socket table (like
+:class:`~repro.tools.netstat.Netstat` but stat-oriented); under KOPI it
+additionally shows per-connection NIC state: ring occupancy, fast-path vs
+software-fallback placement, and NIC-side packet counters — the operator
+visibility §5's resource-exhaustion mitigation needs ("which tenant is
+eating my SRAM?").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.headers import PROTO_TCP, PROTO_UDP
+
+_PROTO_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+
+class Ss:
+    def __init__(self, dataplane, kernel):
+        self.dataplane = dataplane
+        self.kernel = kernel
+
+    def __call__(self) -> str:
+        control = getattr(self.dataplane, "control", None)
+        if control is not None and hasattr(control, "connections"):
+            return self._norman(control)
+        return self._sockets_only()
+
+    def _sockets_only(self) -> str:
+        lines = [f"{'Proto':<6}{'Local':<20}{'PID/Program':<18}{'RxB':>10}{'TxB':>10}"]
+        for sock in self.kernel.sockets.sockets():
+            lines.append(
+                f"{_PROTO_NAMES.get(sock.proto, '?'):<6}"
+                f"{f'{self.kernel.host_ip}:{sock.port}':<20}"
+                f"{f'{sock.owner.pid}/{sock.owner.comm}':<18}"
+                f"{sock.rx_bytes:>10}{sock.tx_bytes:>10}"
+            )
+        return "\n".join(lines)
+
+    def _norman(self, control) -> str:
+        header = (
+            f"{'Conn':<6}{'Proto':<6}{'Local':<20}{'PID/Program':<18}"
+            f"{'Path':<10}{'RxPkts':>8}{'TxPkts':>8}{'RxRing':>8}{'TxRing':>8}"
+        )
+        lines: List[str] = [header]
+        for conn in control.connections():
+            lines.append(
+                f"{conn.conn_id:<6}"
+                f"{_PROTO_NAMES.get(conn.proto, '?'):<6}"
+                f"{f'{self.kernel.host_ip}:{conn.port}':<20}"
+                f"{f'{conn.proc.pid}/{conn.proc.comm}':<18}"
+                f"{'fallback' if conn.fallback else 'fast':<10}"
+                f"{conn.rx_packets:>8}{conn.tx_packets:>8}"
+                f"{conn.rings.rx.occupancy:>8}{conn.rings.tx.occupancy:>8}"
+            )
+        sram = getattr(self.dataplane, "nic", None)
+        if sram is not None and hasattr(sram, "sram"):
+            by_purpose = sram.sram.used_by_purpose()
+            usage = ", ".join(f"{k}={v}B" for k, v in sorted(by_purpose.items()))
+            lines.append(f"NIC SRAM: {sram.sram.used_bytes}/{sram.sram.capacity_bytes} B"
+                         f" ({usage or 'idle'})")
+        return "\n".join(lines)
+
+    def fallback_count(self) -> int:
+        control = getattr(self.dataplane, "control", None)
+        if control is None:
+            return 0
+        return sum(1 for c in control.connections() if c.fallback)

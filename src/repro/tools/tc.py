@@ -1,0 +1,99 @@
+"""tc analogue (queueing discipline configuration).
+
+Grammar::
+
+    qdisc replace dev <dev> root wfq <cgroup>:<weight> [<cgroup>:<weight>...]
+    qdisc replace dev <dev> root pfifo
+    qdisc show dev <dev>
+
+The wfq form is the §2 QoS scenario: weights per cgroup, enforced
+work-conservingly wherever the dataplane's scheduler lives (software kernel
+or SmartNIC).
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Dict
+
+from ..errors import ToolError
+from ..dataplanes.base import Dataplane, QosConfig
+
+_RATE_UNITS = {"kbit": 1_000, "mbit": 1_000_000, "gbit": 1_000_000_000, "bit": 1}
+
+
+def _parse_rate(text: str) -> int:
+    """Parse tc-style rates: ``100mbit``, ``2gbit``, ``500kbit``."""
+    for unit, mult in sorted(_RATE_UNITS.items(), key=lambda kv: -len(kv[0])):
+        if text.endswith(unit):
+            try:
+                return int(text[: -len(unit)]) * mult
+            except ValueError:
+                break
+    raise ToolError(f"tc: bad rate {text!r} (want e.g. 100mbit)")
+
+
+class Tc:
+    def __init__(self, dataplane: Dataplane, kernel):
+        self.dataplane = dataplane
+        self.kernel = kernel
+        self._current = "pfifo (default)"
+
+    def __call__(self, cmdline: str) -> str:
+        argv = shlex.split(cmdline)
+        if len(argv) >= 2 and argv[0] == "qdisc" and argv[1] == "show":
+            return f"qdisc {self._current}"
+        if (
+            len(argv) >= 6
+            and argv[0] == "qdisc"
+            and argv[1] in ("add", "replace")
+            and argv[2] == "dev"
+            and argv[4] == "root"
+        ):
+            kind = argv[5]
+            if kind == "wfq":
+                return self._wfq(argv[6:])
+            if kind == "pfifo":
+                raise ToolError("tc: resetting to pfifo is not implemented; replace with wfq")
+            raise ToolError(f"tc: unsupported qdisc {kind!r}")
+        if len(argv) >= 9 and argv[0] == "police" and argv[1] == "add" and argv[2] == "dev":
+            return self._police(argv[4:])
+        raise ToolError(f"tc: cannot parse {cmdline!r}")
+
+    def _police(self, rest) -> str:
+        # police add dev <dev> cgroup <path> rate <N><unit> burst <bytes>
+        if len(rest) != 6 or rest[0] != "cgroup" or rest[2] != "rate" or rest[4] != "burst":
+            raise ToolError("tc: police add dev <dev> cgroup <path> rate <R> burst <B>")
+        path = rest[1]
+        rate = _parse_rate(rest[3])
+        try:
+            burst = int(rest[5])
+        except ValueError as exc:
+            raise ToolError(f"tc: bad burst {rest[5]!r}") from exc
+        control = getattr(self.dataplane, "control", None)
+        if control is None or not hasattr(control, "configure_police"):
+            from ..errors import UnsupportedOperation
+
+            raise UnsupportedOperation(
+                f"{self.dataplane.name}: no programmable policer on this dataplane"
+            )
+        control.configure_police(path, rate, burst)
+        return f"ok: police {path} rate {rate} bps burst {burst} B"
+
+    def _wfq(self, specs) -> str:
+        if not specs:
+            raise ToolError("tc: wfq needs at least one <cgroup>:<weight>")
+        weights: Dict[str, int] = {}
+        for spec in specs:
+            if ":" not in spec:
+                raise ToolError(f"tc: bad class spec {spec!r} (want /cgroup:weight)")
+            path, _, weight_text = spec.rpartition(":")
+            try:
+                weight = int(weight_text)
+            except ValueError as exc:
+                raise ToolError(f"tc: bad weight in {spec!r}") from exc
+            self.kernel.cgroups.get(path)  # must exist
+            weights[path] = weight
+        self.dataplane.configure_qos(QosConfig(weights_by_cgroup=weights))
+        self._current = "wfq " + " ".join(f"{p}:{w}" for p, w in sorted(weights.items()))
+        return f"ok: {self._current}"

@@ -1,0 +1,101 @@
+"""tcpdump analogue.
+
+Filter expressions are a pcap-filter subset: ``arp``, ``tcp``, ``udp``,
+``port N``, ``src port N``, ``dst port N``, ``host A.B.C.D``, combined with
+``and``. An empty expression captures everything.
+
+Output lines mimic tcpdump, with one KOPI-only extension: when the capture
+backend attributes packets, each line is suffixed with
+``[pid=… uid=… comm=…]`` — the §2 debugging capability in one glance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .. import units
+from ..errors import ToolError
+from ..net.headers import PROTO_TCP, PROTO_UDP
+from ..net.addresses import IPv4Address
+from ..net.packet import Packet
+from ..dataplanes.base import CaptureSession, Dataplane
+
+Predicate = Callable[[Packet], bool]
+
+
+def compile_filter(expr: str) -> Predicate:
+    """Compile a filter expression to a packet predicate."""
+    expr = expr.strip()
+    if not expr:
+        return lambda _pkt: True
+    clauses = [c.strip() for c in expr.split(" and ")]
+    predicates = [_compile_clause(c) for c in clauses]
+
+    def combined(pkt: Packet) -> bool:
+        return all(p(pkt) for p in predicates)
+
+    return combined
+
+
+def _compile_clause(clause: str) -> Predicate:
+    tokens = clause.split()
+    if tokens == ["arp"]:
+        return lambda p: p.is_arp
+    if tokens == ["tcp"]:
+        return lambda p: p.five_tuple is not None and p.five_tuple.proto == PROTO_TCP
+    if tokens == ["udp"]:
+        return lambda p: p.five_tuple is not None and p.five_tuple.proto == PROTO_UDP
+    if len(tokens) == 2 and tokens[0] == "port":
+        port = _port(tokens[1])
+        return lambda p: p.five_tuple is not None and port in (
+            p.five_tuple.sport, p.five_tuple.dport
+        )
+    if len(tokens) == 3 and tokens[1] == "port" and tokens[0] in ("src", "dst"):
+        port = _port(tokens[2])
+        if tokens[0] == "src":
+            return lambda p: p.five_tuple is not None and p.five_tuple.sport == port
+        return lambda p: p.five_tuple is not None and p.five_tuple.dport == port
+    if len(tokens) == 2 and tokens[0] == "host":
+        ip = IPv4Address.parse(tokens[1])
+        return lambda p: p.five_tuple is not None and ip in (
+            p.five_tuple.src_ip, p.five_tuple.dst_ip
+        )
+    raise ToolError(f"tcpdump: cannot parse clause {clause!r}")
+
+
+def _port(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise ToolError(f"tcpdump: bad port {text!r}") from exc
+
+
+class Tcpdump:
+    """Start/stop captures and format their contents."""
+
+    def __init__(self, dataplane: Dataplane):
+        self.dataplane = dataplane
+
+    def start(self, expr: str = "", name: str = "tcpdump") -> CaptureSession:
+        """May raise UnsupportedOperation — e.g. under kernel bypass."""
+        return self.dataplane.start_capture(match=compile_filter(expr), name=name)
+
+    def format(self, session: CaptureSession) -> str:
+        lines: List[str] = []
+        for pkt in session.packets:
+            stamp = units.fmt_time(pkt.meta.delivered_ns or pkt.meta.created_ns)
+            line = f"{stamp}  {pkt.summary()}"
+            owner = self.dataplane.attribution_of(pkt)
+            if owner is not None:
+                pid, uid, comm = owner
+                line += f"  [pid={pid} uid={uid} comm={comm}]"
+            lines.append(line)
+        footer = f"{len(session.packets)} packets captured"
+        return "\n".join(lines + [footer])
+
+    def save_pcap(self, session: CaptureSession, path: str) -> Optional[str]:
+        """Write the capture as a real pcap file when the backend kept one."""
+        if session.pcap is None:
+            return None
+        session.pcap.save(path)
+        return path

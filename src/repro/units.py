@@ -1,0 +1,96 @@
+"""Units and unit conversions used throughout the simulator.
+
+All simulated time is kept as **integer nanoseconds** so that event ordering
+is exact and runs are bit-for-bit reproducible. All sizes are **bytes** and
+all rates are **bits per second** unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS = 1
+US = 1_000 * NS
+MS = 1_000 * US
+SEC = 1_000 * MS
+MINUTE = 60 * SEC
+
+# --- sizes -----------------------------------------------------------------
+
+KB = 1_024
+MB = 1_024 * KB
+GB = 1_024 * MB
+
+CACHE_LINE = 64
+
+# --- rates -----------------------------------------------------------------
+
+KBPS = 1_000
+MBPS = 1_000 * KBPS
+GBPS = 1_000 * MBPS
+
+
+def ns_to_sec(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / SEC
+
+
+def sec_to_ns(seconds: float) -> int:
+    """Convert float seconds to integer nanoseconds (rounded)."""
+    return round(seconds * SEC)
+
+
+def bits(nbytes: int) -> int:
+    """Number of bits in ``nbytes`` bytes."""
+    return nbytes * 8
+
+
+def transmit_time_ns(nbytes: int, rate_bps: int) -> int:
+    """Serialization delay for ``nbytes`` at ``rate_bps``, in whole ns.
+
+    Always at least 1 ns for a non-empty transfer so that events retain a
+    strict ordering even at absurdly high simulated rates.
+    """
+    if nbytes <= 0:
+        return 0
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    t = (bits(nbytes) * SEC) // rate_bps
+    return max(t, 1)
+
+
+def throughput_bps(nbytes: int, elapsed_ns: int) -> float:
+    """Observed throughput in bits/second for ``nbytes`` over ``elapsed_ns``."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return bits(nbytes) * SEC / elapsed_ns
+
+
+def fmt_rate(bps: float) -> str:
+    """Human-readable rate, e.g. ``'97.3 Gbps'``."""
+    for unit, div in (("Gbps", GBPS), ("Mbps", MBPS), ("Kbps", KBPS)):
+        if bps >= div:
+            return f"{bps / div:.2f} {unit}"
+    return f"{bps:.0f} bps"
+
+
+def fmt_time(ns: int) -> str:
+    """Human-readable duration, e.g. ``'12.5 us'``."""
+    if ns >= SEC:
+        return f"{ns / SEC:.3f} s"
+    if ns >= MS:
+        return f"{ns / MS:.3f} ms"
+    if ns >= US:
+        return f"{ns / US:.3f} us"
+    return f"{ns} ns"
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable size, e.g. ``'6.0 MiB'``."""
+    if nbytes >= GB:
+        return f"{nbytes / GB:.1f} GiB"
+    if nbytes >= MB:
+        return f"{nbytes / MB:.1f} MiB"
+    if nbytes >= KB:
+        return f"{nbytes / KB:.1f} KiB"
+    return f"{nbytes} B"

@@ -1,0 +1,62 @@
+"""Cost model validation and derived quantities."""
+
+import pytest
+
+from repro import units
+from repro.config import DEFAULT_COSTS, CostModel
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_default_model_is_valid(self):
+        assert DEFAULT_COSTS.syscall_ns > 0
+
+    def test_llc_sets_derivation(self):
+        m = DEFAULT_COSTS
+        assert m.llc_sets * m.llc_ways * m.cache_line_bytes == m.llc_size_bytes
+
+    def test_ddio_capacity_is_two_elevenths_of_llc(self):
+        m = DEFAULT_COSTS
+        assert m.ddio_capacity_bytes == m.llc_size_bytes * 2 // 11
+
+    def test_connection_cliff_is_calibrated_near_1024(self):
+        """The paper reports collapse past 1024 connections; the default
+        footprint must put the DDIO break-even point there."""
+        m = DEFAULT_COSTS
+        breakeven = m.ddio_capacity_bytes / m.conn_footprint_bytes
+        assert 900 <= breakeven <= 1100
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(syscall_ns=-1)
+
+    def test_ddio_ways_cannot_exceed_llc_ways(self):
+        with pytest.raises(ConfigError):
+            CostModel(ddio_ways=12, llc_ways=11)
+
+    def test_llc_size_must_divide_evenly(self):
+        with pytest.raises(ConfigError):
+            CostModel(llc_size_bytes=33 * units.MB + 1)
+
+
+class TestHelpers:
+    def test_copy_ns_scales_linearly(self):
+        m = DEFAULT_COSTS
+        assert m.copy_ns(0) == 0
+        assert m.copy_ns(1_000_000) == round(1_000_000 * m.copy_ns_per_byte)
+
+    def test_copy_ns_minimum_one(self):
+        assert DEFAULT_COSTS.copy_ns(1) == 1
+
+    def test_replace_builds_modified_copy(self):
+        fast = DEFAULT_COSTS.replace(syscall_ns=1)
+        assert fast.syscall_ns == 1
+        assert DEFAULT_COSTS.syscall_ns == 500
+        assert fast.context_switch_ns == DEFAULT_COSTS.context_switch_ns
+
+    def test_describe_includes_derived(self):
+        d = DEFAULT_COSTS.describe()
+        assert "derived.ddio_capacity_bytes" in d
+        assert d["syscall_ns"] == 500

@@ -1,0 +1,135 @@
+"""Behaviour shared across all baseline dataplanes, parametrized."""
+
+import pytest
+
+from repro.dataplanes import (
+    BypassDataplane,
+    HypervisorDataplane,
+    KernelPathDataplane,
+    SidecarDataplane,
+    Testbed,
+)
+from repro.dataplanes.testbed import PEER_IP
+from repro.errors import WouldBlock
+from repro.net import PROTO_UDP
+from repro.sim import SimProcess
+
+ALL_PLANES = [KernelPathDataplane, BypassDataplane, SidecarDataplane, HypervisorDataplane]
+BLOCKING_PLANES = [KernelPathDataplane, SidecarDataplane]
+POLLING_PLANES = [BypassDataplane, HypervisorDataplane]
+
+
+@pytest.fixture(params=ALL_PLANES, ids=lambda c: c.name)
+def testbed(request):
+    return Testbed(request.param)
+
+
+class TestTx:
+    def test_send_reaches_peer(self, testbed):
+        proc = testbed.spawn("app", "bob", core_id=1)
+        ep = testbed.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+        results = []
+        ep.send(700, dst=(PEER_IP, 9000)).add_callback(lambda s: results.append(s.value))
+        testbed.run_all()
+        assert results == [True]
+        assert len(testbed.peer.received) == 1
+        pkt = testbed.peer.received[0]
+        assert pkt.five_tuple.dport == 9000
+        assert pkt.payload_len == 700
+
+    def test_connected_send_uses_peer(self, testbed):
+        proc = testbed.spawn("app", "bob", core_id=1)
+        ep = testbed.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+
+        def client():
+            yield ep.connect(PEER_IP, 9100)
+            yield ep.send(100)
+
+        SimProcess(testbed.sim, client())
+        testbed.run_all()
+        assert testbed.peer.received[0].five_tuple.dport == 9100
+
+    def test_send_without_destination_rejected(self, testbed):
+        from repro.errors import UnsupportedOperation
+
+        proc = testbed.spawn("app", "bob", core_id=1)
+        ep = testbed.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+        with pytest.raises(UnsupportedOperation):
+            ep.send(100)
+
+    def test_multiple_sends_all_arrive(self, testbed):
+        proc = testbed.spawn("app", "bob", core_id=1)
+        ep = testbed.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+
+        def client():
+            yield ep.connect(PEER_IP, 9000)
+            for _ in range(20):
+                yield ep.send(200)
+
+        SimProcess(testbed.sim, client())
+        testbed.run_all()
+        assert len(testbed.peer.received) == 20
+
+
+class TestRx:
+    def test_inbound_message_delivered(self, testbed):
+        proc = testbed.spawn("srv", "bob", core_id=1)
+        ep = testbed.dataplane.open_endpoint(proc, PROTO_UDP, 7000)
+        got = []
+
+        def server():
+            msg = yield ep.recv(blocking=True)
+            got.append(msg)
+            ep.close()
+
+        SimProcess(testbed.sim, server())
+        testbed.sim.after(10_000, testbed.peer.send_udp, 555, 7000, 800)
+        testbed.run(until=5_000_000)
+        assert len(got) == 1
+        size, src_ip, sport = got[0]
+        assert (size, src_ip, sport) == (800, PEER_IP, 555)
+
+    def test_nonblocking_recv_would_block(self, testbed):
+        proc = testbed.spawn("srv", "bob", core_id=1)
+        ep = testbed.dataplane.open_endpoint(proc, PROTO_UDP, 7000)
+        errs = []
+        sig = ep.recv(blocking=False)
+        sig.add_callback(lambda s: errs.append(type(s.exception)))
+        testbed.run_all()
+        assert errs == [WouldBlock]
+
+
+class TestBlockingSemantics:
+    @pytest.mark.parametrize("plane", BLOCKING_PLANES, ids=lambda c: c.name)
+    def test_blocking_planes_leave_core_idle(self, plane):
+        tb = Testbed(plane)
+        proc = tb.spawn("srv", "bob", core_id=1)
+        ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 7000)
+        assert tb.dataplane.supports_blocking_io
+
+        def server():
+            yield ep.recv(blocking=True)
+
+        SimProcess(tb.sim, server())
+        tb.sim.after(1_000_000, tb.peer.send_udp, 555, 7000, 100)
+        tb.run_all()
+        # During the 1 ms wait the app core did nearly nothing.
+        assert tb.machine.cpus[1].busy_ns < 100_000
+
+    @pytest.mark.parametrize("plane", POLLING_PLANES, ids=lambda c: c.name)
+    def test_polling_planes_burn_core(self, plane):
+        tb = Testbed(plane)
+        proc = tb.spawn("srv", "bob", core_id=1)
+        ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 7000)
+        assert not tb.dataplane.supports_blocking_io
+
+        def server():
+            msg = yield ep.recv(blocking=True)
+            ep.close()
+            return msg
+
+        SimProcess(tb.sim, server())
+        tb.sim.after(1_000_000, tb.peer.send_udp, 555, 7000, 100)
+        tb.run(until=2_000_000)
+        # The 1 ms wait was pure spinning: core busy ~the whole time.
+        assert tb.machine.cpus[1].busy_ns > 900_000

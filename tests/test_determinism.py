@@ -1,0 +1,47 @@
+"""Bit-for-bit determinism: the whole point of integer-ns simulation.
+
+Two identical runs must produce identical timestamps, counters, and
+latencies — this is what makes every number in EXPERIMENTS.md reproducible
+and every test non-flaky.
+"""
+
+from repro import units
+from repro.core import NormanOS
+from repro.dataplanes import Testbed
+from repro.dataplanes.testbed import PEER_IP
+from repro.net import PROTO_UDP
+from repro.sim import SimProcess
+from repro.apps import BulkSender, GameClient, RpcClient
+
+
+def run_workload():
+    tb = Testbed(NormanOS)
+    tb.peer.enable_echo(lambda pkt: pkt.payload_len if pkt.five_tuple.dport == 9_100 else None)
+    bulk = BulkSender(tb, comm="bulk", user="bob", core_id=1, count=30).start()
+    rpc = RpcClient(tb, comm="rpc", user="bob", core_id=2, count=10).start()
+    game = GameClient(tb, user="charlie", core_id=3, sessions=2,
+                      packets_per_session=5, seed=9).start()
+    tb.run_all()
+    return {
+        "end_time": tb.sim.now,
+        "events": tb.sim.events_fired,
+        "peer_pkts": len(tb.peer.received),
+        "peer_timestamps": tuple(p.meta.delivered_ns for p in tb.peer.received),
+        "rpc_rtts": tuple(rpc.rtt._samples),
+        "game_ports": tuple(game.ports_used),
+        "bulk_goodput": bulk.goodput_bps(),
+        "core_busy": tuple(c.busy_ns for c in tb.machine.cpus.cores),
+        "syscalls": tb.kernel.syscalls.total_syscalls,
+    }
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        assert run_workload() == run_workload()
+
+    def test_structural_cache_run_deterministic(self):
+        from repro.experiments.e8_connection_scaling import run_point
+
+        a = run_point(256, packets_total=1_024)
+        b = run_point(256, packets_total=1_024)
+        assert a == b

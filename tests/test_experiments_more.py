@@ -1,0 +1,56 @@
+"""Smoke coverage for the remaining experiment harnesses and the report."""
+
+from repro.experiments.e5_port_partitioning import headline as e5_headline, run_e5
+from repro.experiments.e9_resource_exhaustion import (
+    run_adversary,
+    run_capacity_sweep,
+    run_fallback_penalty,
+)
+from repro.experiments.e11_shared_rings import run_e11
+from repro.experiments.report import quick_report
+
+
+class TestE5Full:
+    def test_shape(self):
+        rows = run_e5()
+        by_plane = {r["plane"]: r for r in rows}
+        assert by_plane["bypass"]["violations_delivered"] > 0
+        assert by_plane["kopi"]["violations_delivered"] == 0
+        assert by_plane["kopi"]["thief_bind_blocked"]
+        assert by_plane["kernel"]["legit_served"] > 0
+
+
+class TestE9Smoke:
+    def test_capacity(self):
+        rows = run_capacity_sweep()
+        # Fallback grows monotonically with offered connections per SRAM size.
+        for sram in {r["sram_kib"] for r in rows}:
+            sub = sorted((r for r in rows if r["sram_kib"] == sram),
+                         key=lambda r: r["offered_conns"])
+            fallbacks = [r["fallback"] for r in sub]
+            assert fallbacks == sorted(fallbacks)
+
+    def test_penalty(self):
+        rows = run_fallback_penalty(count=40)
+        fast = next(r for r in rows if r["path"] == "fast path")
+        slow = next(r for r in rows if r["path"] == "fallback")
+        assert fast["goodput_gbps"] > slow["goodput_gbps"]
+
+    def test_adversary(self):
+        rows = run_adversary()
+        assert rows[0]["victim_on_fallback"] and not rows[1]["victim_on_fallback"]
+
+
+class TestE11Smoke:
+    def test_shared_mode_flat(self):
+        rows = run_e11(sweep=(2_048,), packets_per_point=2_048)
+        shared = next(r for r in rows if r["mode"] == "shared")
+        per_conn = next(r for r in rows if r["mode"] == "per-conn")
+        assert shared["goodput_gbps"] >= per_conn["goodput_gbps"]
+
+
+class TestReport:
+    def test_quick_report_contains_all_sections(self):
+        text = quick_report()
+        for marker in ("E1", "E2", "E8", "F1", "kopi"):
+            assert marker in text

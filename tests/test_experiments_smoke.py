@@ -1,0 +1,117 @@
+"""Fast smoke tests over every experiment harness (reduced parameters).
+
+The full-size runs live in benchmarks/; these keep the harness code under
+unit-test coverage and pin the qualitative shape at small scale.
+"""
+
+import pytest
+
+from repro.experiments.common import fmt_table, run_bulk_tx
+from repro.experiments.e1_dataplane_overhead import run_e1
+from repro.experiments.e2_interposition_placement import run_e2
+from repro.experiments.e4_debugging import run_e4
+from repro.experiments.e6_blocking_io import run_e6
+from repro.experiments.e8_connection_scaling import run_point
+from repro.experiments.e10_reconfiguration import (
+    churn_rows,
+    measure_kopi_config_update,
+)
+from repro.experiments.f1_architecture import run_f1
+
+
+class TestCommon:
+    def test_fmt_table_renders(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = fmt_table(rows)
+        assert "a" in text and "10" in text and "0.125" in text
+        assert fmt_table([]) == "(no rows)"
+
+    def test_fmt_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        assert "b" not in fmt_table(rows, columns=["a"])
+
+    def test_run_bulk_tx_returns_complete_row(self):
+        from repro.core import NormanOS
+
+        row = run_bulk_tx(NormanOS, payload_len=500, count=20)
+        assert row["delivered"] == 20
+        assert row["goodput_gbps"] > 0
+        assert row["app_cpu_ns_per_pkt"] > 0
+
+
+class TestE1Smoke:
+    def test_kernel_slower_than_kopi(self):
+        rows = run_e1(count=30, payloads=(1_458,))
+        by_plane = {r["plane"]: r for r in rows}
+        assert (by_plane["kernel"]["app_cpu_ns_per_pkt"]
+                > 3 * by_plane["kopi"]["app_cpu_ns_per_pkt"])
+        assert by_plane["kopi"]["goodput_gbps"] > by_plane["kernel"]["goodput_gbps"]
+
+
+class TestE2Smoke:
+    def test_movement_taxonomy(self):
+        rows = run_e2(count=30)
+        by_plane = {r["plane"]: r for r in rows}
+        assert by_plane["kernel"]["syscalls_per_pkt"] >= 1
+        assert by_plane["sidecar"]["coh_lines_per_pkt"] > 0
+        assert by_plane["kopi"]["syscalls_per_pkt"] == 0
+
+
+class TestE4Smoke:
+    def test_kopi_constant_actions(self):
+        rows = run_e4(n_apps_sweep=(4, 8), seed=2)
+        kopi = [r for r in rows if r["plane"] == "kopi"]
+        assert all(r["operator_actions"] == 1 for r in kopi)
+        bypass = [r["operator_actions"] for r in rows if r["plane"] == "bypass"]
+        assert max(bypass) > 1
+
+
+class TestE6Smoke:
+    def test_polling_vs_blocking(self):
+        rows = run_e6(gaps_ns=(500_000,), n_messages=8)
+        by_mode = {(r["plane"], r["mode"]): r for r in rows}
+        assert by_mode[("bypass", "poll (forced)")]["core_util_pct"] > 90
+        assert by_mode[("kopi", "block")]["core_util_pct"] < 10
+
+
+class TestE8Smoke:
+    def test_small_point_runs_and_fits(self):
+        row = run_point(64, packets_total=1_024)
+        assert row["line_rate_pct"] == pytest.approx(100.0)
+        assert row["llc_miss_rate"] == 0.0
+
+    def test_oversized_point_degrades(self):
+        fit = run_point(512, packets_total=4_096)
+        over = run_point(2_048, packets_total=4_096)
+        assert over["llc_miss_rate"] > fit["llc_miss_rate"]
+        assert over["goodput_gbps"] < fit["goodput_gbps"]
+
+    def test_shared_rings_do_not_degrade(self):
+        over = run_point(2_048, packets_total=4_096, shared_rings=True)
+        assert over["line_rate_pct"] > 99
+
+    def test_analytic_mode_runs(self):
+        row = run_point(256, packets_total=1_024, structural=False)
+        assert row["llc_miss_rate"] == -1.0  # no structural cache
+        assert row["goodput_gbps"] > 0
+
+
+class TestE10Smoke:
+    def test_config_update_is_microseconds(self):
+        from repro import units
+
+        latency = measure_kopi_config_update()
+        assert 0 < latency < units.MS
+
+    def test_churn_shape(self):
+        rows = churn_rows()
+        assert sum(r["unsupported"] for r in rows) > 0
+        kernel = next(r for r in rows if "kernel" in r["target"])
+        assert kernel["unsupported"] == 0
+
+
+class TestF1Smoke:
+    def test_all_arrows_verified(self):
+        rows = run_f1()
+        assert len(rows) == 7
+        assert all(r["verified"] for r in rows)

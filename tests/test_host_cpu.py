@@ -1,0 +1,95 @@
+"""Core and CpuSet behaviour."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS
+from repro.errors import SimulationError
+from repro.host import Core, CpuSet
+from repro.sim import SimProcess, Simulator
+
+
+class TestCore:
+    def test_execute_completes_after_cost(self):
+        sim = Simulator()
+        core = Core(sim, 0, DEFAULT_COSTS)
+        done_at = []
+        core.execute(500).add_callback(lambda s: done_at.append(sim.now))
+        sim.run()
+        assert done_at == [500]
+        assert core.busy_ns == 500
+
+    def test_work_serializes_fifo(self):
+        sim = Simulator()
+        core = Core(sim, 0, DEFAULT_COSTS)
+        ends = []
+        core.execute(100).add_callback(lambda s: ends.append(("a", sim.now)))
+        core.execute(50).add_callback(lambda s: ends.append(("b", sim.now)))
+        sim.run()
+        assert ends == [("a", 100), ("b", 150)]
+
+    def test_utilization_full_when_saturated(self):
+        sim = Simulator()
+        core = Core(sim, 0, DEFAULT_COSTS)
+        core.execute(1_000)
+        sim.run()
+        assert core.utilization() == 1.0
+
+    def test_utilization_partial(self):
+        sim = Simulator()
+        core = Core(sim, 0, DEFAULT_COSTS)
+        core.execute(250)
+        sim.run()
+        sim.after(750, lambda: None)
+        sim.run()
+        assert core.utilization() == pytest.approx(0.25)
+
+    def test_idle_gap_not_counted_busy(self):
+        sim = Simulator()
+        core = Core(sim, 0, DEFAULT_COSTS)
+
+        def worker():
+            yield core.execute(100)
+            yield 900  # blocked, core idle
+            yield core.execute(100)
+
+        SimProcess(sim, worker())
+        sim.run()
+        assert sim.now == 1_100
+        assert core.busy_ns == 200
+
+    def test_negative_cost_rejected(self):
+        sim = Simulator()
+        core = Core(sim, 0, DEFAULT_COSTS)
+        with pytest.raises(SimulationError):
+            core.execute(-1)
+
+    def test_zero_utilization_at_time_zero(self):
+        sim = Simulator()
+        assert Core(sim, 0, DEFAULT_COSTS).utilization() == 0.0
+
+
+class TestCpuSet:
+    def test_indexing_and_len(self):
+        cpus = CpuSet(Simulator(), 4, DEFAULT_COSTS)
+        assert len(cpus) == 4
+        assert cpus[2].core_id == 2
+
+    def test_pinning(self):
+        cpus = CpuSet(Simulator(), 2, DEFAULT_COSTS)
+        owner = object()
+        core = cpus.pin(owner, 1)
+        assert core.core_id == 1
+        assert cpus.pinned_core(owner) is core
+        assert cpus.pinned_core(object()) is None
+
+    def test_least_loaded(self):
+        sim = Simulator()
+        cpus = CpuSet(sim, 3, DEFAULT_COSTS)
+        cpus[0].execute(100)
+        cpus[1].execute(10)
+        sim.run()
+        assert cpus.least_loaded().core_id == 2
+
+    def test_requires_one_core(self):
+        with pytest.raises(SimulationError):
+            CpuSet(Simulator(), 0, DEFAULT_COSTS)

@@ -1,0 +1,139 @@
+"""Memory pinning, DMA engine, coherence fabric, Machine facade."""
+
+import pytest
+
+from repro import units
+from repro.config import DEFAULT_COSTS
+from repro.errors import SimulationError
+from repro.host import CoherenceFabric, Machine, MemorySystem
+from repro.sim import Simulator
+
+
+class TestMemorySystem:
+    def test_alloc_is_aligned_and_disjoint(self):
+        mem = MemorySystem(total_bytes=1 * units.MB)
+        a = mem.alloc_pinned(100, owner="app1")
+        b = mem.alloc_pinned(100, owner="app2")
+        assert a.base % 64 == 0 and b.base % 64 == 0
+        assert a.end <= b.base
+        assert a.size == 128  # rounded up to line
+
+    def test_accounting_by_owner(self):
+        mem = MemorySystem(total_bytes=1 * units.MB)
+        mem.alloc_pinned(128, owner="alice")
+        mem.alloc_pinned(256, owner="alice")
+        mem.alloc_pinned(64, owner="bob")
+        by_owner = mem.pinned_by_owner()
+        assert by_owner == {"alice": 384, "bob": 64}
+        assert mem.pinned_bytes == 448
+
+    def test_exhaustion_raises(self):
+        mem = MemorySystem(total_bytes=256)
+        mem.alloc_pinned(256, owner="x")
+        with pytest.raises(SimulationError):
+            mem.alloc_pinned(1, owner="x")
+
+    def test_free_and_double_free(self):
+        mem = MemorySystem(total_bytes=1 * units.MB)
+        r = mem.alloc_pinned(64, owner="x")
+        mem.free(r)
+        assert mem.pinned_bytes == 0
+        with pytest.raises(SimulationError):
+            mem.free(r)
+
+    def test_line_addrs_cover_region(self):
+        mem = MemorySystem(total_bytes=1 * units.MB)
+        r = mem.alloc_pinned(200, owner="x")
+        lines = r.line_addrs()
+        assert len(lines) == 4  # 256 bytes -> 4 lines
+        assert all(a % 64 == 0 for a in lines)
+
+    def test_contains(self):
+        mem = MemorySystem(total_bytes=1 * units.MB)
+        r = mem.alloc_pinned(64, owner="x")
+        assert r.contains(r.base)
+        assert not r.contains(r.end)
+
+
+class TestDmaEngine:
+    def test_write_latency_includes_fixed_and_serialization(self):
+        m = Machine(n_cores=1)
+        region = m.memory.alloc_pinned(4_096, owner="nic")
+        done_at = []
+        m.dma.dma_write(region, 4_096).add_callback(lambda s: done_at.append(m.now))
+        m.sim.run()
+        expected = DEFAULT_COSTS.pcie_dma_latency_ns + units.transmit_time_ns(
+            4_096, DEFAULT_COSTS.pcie_bandwidth_bps
+        )
+        assert done_at == [expected]
+
+    def test_transfers_share_link_bandwidth(self):
+        m = Machine(n_cores=1)
+        region = m.memory.alloc_pinned(8_192, owner="nic")
+        ends = []
+        m.dma.dma_write(region, 4_096).add_callback(lambda s: ends.append(m.now))
+        m.dma.dma_write(region, 4_096, offset=4_096).add_callback(
+            lambda s: ends.append(m.now)
+        )
+        m.sim.run()
+        ser = units.transmit_time_ns(4_096, DEFAULT_COSTS.pcie_bandwidth_bps)
+        lat = DEFAULT_COSTS.pcie_dma_latency_ns
+        assert ends == [ser + lat, 2 * ser + lat]
+
+    def test_structural_cache_sees_dma_lines(self):
+        m = Machine(n_cores=1, structural_cache=True)
+        region = m.memory.alloc_pinned(256, owner="nic")
+        m.dma.dma_write(region, 256)
+        m.sim.run()
+        assert m.llc is not None
+        assert m.llc.stats["dma_fills"] == 4
+        assert all(m.llc.cpu_read(a) for a in region.line_addrs())
+
+    def test_out_of_bounds_dma_rejected(self):
+        m = Machine(n_cores=1)
+        region = m.memory.alloc_pinned(64, owner="nic")
+        with pytest.raises(SimulationError):
+            m.dma.dma_write(region, 128)
+        with pytest.raises(SimulationError):
+            m.dma.dma_read(region, 0)
+
+    def test_mmio_costs(self):
+        m = Machine(n_cores=1)
+        assert m.dma.mmio_write_cost() == DEFAULT_COSTS.mmio_write_ns
+        assert m.dma.mmio_read_cost() == DEFAULT_COSTS.mmio_read_ns
+        assert m.dma.metrics.counter("mmio_writes").value == 1
+
+
+class TestCoherenceFabric:
+    def test_same_core_free(self):
+        fab = CoherenceFabric(DEFAULT_COSTS)
+        assert fab.transfer_cost_ns(1_500, src_core=1, dst_core=1) == 0
+        assert fab.lines_moved == 0
+
+    def test_cross_core_charges_per_line(self):
+        fab = CoherenceFabric(DEFAULT_COSTS)
+        cost = fab.transfer_cost_ns(1_500, src_core=0, dst_core=1)
+        lines = -(-1_500 // 64)
+        assert cost == lines * DEFAULT_COSTS.coherence_line_ns
+        assert fab.lines_moved == lines
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            CoherenceFabric(DEFAULT_COSTS).transfer_cost_ns(-1, 0, 1)
+
+
+class TestMachine:
+    def test_default_machine_uses_analytic_model(self):
+        m = Machine()
+        assert m.llc is None
+        assert m.ddio_model.hit_rate(1) == 1.0
+
+    def test_structural_machine_wires_cache_into_dma(self):
+        m = Machine(structural_cache=True)
+        assert m.dma.llc is m.llc
+
+    def test_shared_simulator(self):
+        sim = Simulator()
+        m = Machine(sim=sim)
+        assert m.sim is sim
+        assert m.now == sim.now

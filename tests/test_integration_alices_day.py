@@ -1,0 +1,132 @@
+"""Capstone integration test: all four §2 scenarios on ONE Norman host,
+sequentially, with state carried throughout — Alice's day as a system test.
+
+Morning: Bob's postgres and Charlie's mysql come up; the port policy goes
+in. Midday: someone's app floods ARP; Alice finds it with one tcpdump.
+Afternoon: Bob and Charlie start the game; Alice shapes it. Evening: a
+worker sleeps between requests without burning its core. All on the same
+testbed instance, interleaved with live traffic.
+"""
+
+import pytest
+
+from repro import units
+from repro.core import NormanOS
+from repro.dataplanes import Testbed
+from repro.dataplanes.testbed import PEER_IP
+from repro.errors import AddressInUse
+from repro.net import PROTO_UDP
+from repro.sim import SimProcess
+from repro.apps import (
+    ArpFlooder,
+    BlockingWorker,
+    BulkSender,
+    DatabaseServer,
+    GameClient,
+)
+from repro.tools import Iptables, Netstat, Ss, Tc, Tcpdump
+
+
+@pytest.fixture(scope="class")
+def day():
+    """One long-lived testbed shared by the whole scenario sequence."""
+    tb = Testbed(NormanOS, link_rate_bps=2 * units.GBPS)
+    tb.user("bob")
+    tb.user("charlie")
+    return {"tb": tb, "apps": {}}
+
+
+class TestAlicesDay:
+    def test_0900_databases_and_port_policy(self, day):
+        tb = day["tb"]
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        ipt("-A INPUT -p udp --dport 5432 -m owner --uid-owner bob "
+            "--cmd-owner postgres -j ACCEPT")
+        ipt("-A INPUT -p udp --dport 5432 -j DROP")
+        day["apps"]["postgres"] = DatabaseServer(
+            tb, comm="postgres", user="bob", port=5432, core_id=1
+        ).start()
+        # Charlie's misconfigured instance cannot even bind.
+        with pytest.raises(AddressInUse):
+            DatabaseServer(tb, comm="mysql", user="charlie", port=5432, core_id=2)
+        day["apps"]["mysql"] = DatabaseServer(
+            tb, comm="mysql", user="charlie", port=3306, core_id=2
+        ).start()
+        tb.run_all()
+        # Clients query both; both serve.
+        for i in range(5):
+            tb.sim.after(20_000 * (i + 1), tb.peer.send_udp, 800 + i, 5432, 128)
+            tb.sim.after(20_000 * (i + 1) + 7_000, tb.peer.send_udp, 900 + i, 3306, 128)
+        tb.run(until=tb.sim.now + 2 * units.MS)
+        assert day["apps"]["postgres"].queries == 5
+        assert day["apps"]["mysql"].queries == 5
+        assert "postgres" in Netstat(tb.kernel)()
+
+    def test_1200_arp_flood_found_in_one_capture(self, day):
+        tb = day["tb"]
+        dump = Tcpdump(tb.dataplane)
+        session = dump.start("arp")
+        flooder = ArpFlooder(tb, user="charlie", count=15, core_id=3,
+                             comm="cachesrv").start()
+        tb.run(until=tb.sim.now + 2 * units.MS)
+        owners = {tb.dataplane.attribution_of(p) for p in session.packets}
+        assert len(owners) == 1
+        pid, uid, comm = next(iter(owners))
+        assert comm == "cachesrv"
+        assert uid == tb.user("charlie").uid
+        session.stop()
+        flooder.stop()
+        # The databases kept serving through the flood.
+        tb.peer.send_udp(850, 5432, 128)
+        tb.run(until=tb.sim.now + 1 * units.MS)
+        assert day["apps"]["postgres"].queries == 6
+
+    def test_1500_game_shaped_without_hurting_work(self, day):
+        tb = day["tb"]
+        tb.kernel.cgroups.create("/games")
+        tb.kernel.cgroups.create("/work")
+        game = GameClient(tb, user="bob", core_id=4, payload_len=1_200,
+                          packets_per_session=100_000, sessions=1, seed=17)
+        work = BulkSender(tb, comm="builder", user="charlie", core_id=5,
+                          payload_len=1_200, count=None)
+        tb.kernel.cgroups.assign(game.proc, "/games")
+        tb.kernel.cgroups.assign(work.proc, "/work")
+        Tc(tb.dataplane, tb.kernel)("qdisc replace dev nic0 root wfq /games:1 /work:3")
+        tb.run_all()
+        start = tb.sim.now
+        base_game = sum(tb.peer.bytes_to_dport(p) for p in set(game.ports_used))
+        base_work = tb.peer.bytes_to_dport(9_000)
+        game.start()
+        work.start()
+        tb.run(until=start + 20 * units.MS)
+        game.stop()
+        work.stop()
+        game_bytes = sum(tb.peer.bytes_to_dport(p) for p in set(game.ports_used)) - base_game
+        work_bytes = tb.peer.bytes_to_dport(9_000) - base_work
+        share = work_bytes / (game_bytes + work_bytes)
+        assert share == pytest.approx(0.75, abs=0.08)
+        day["apps"]["game"] = game
+
+    def test_1800_worker_sleeps_between_requests(self, day):
+        tb = day["tb"]
+        worker = BlockingWorker(tb, port=7500, comm="worker", user="bob", core_id=6)
+        worker.start()
+        start = tb.sim.now
+        busy0 = tb.machine.cpus[6].busy_ns
+        for i in range(5):
+            tb.sim.after(500_000 * (i + 1), tb.peer.send_udp, 555, 7500, 100)
+        tb.run(until=start + 4 * units.MS)
+        worker.stop()
+        tb.run_all()
+        assert worker.served == 5
+        burned = tb.machine.cpus[6].busy_ns - busy0
+        assert burned < 200_000  # ~4 ms window, core essentially idle
+
+    def test_2100_ss_shows_the_whole_day(self, day):
+        tb = day["tb"]
+        out = Ss(tb.dataplane, tb.kernel)()
+        assert "postgres" in out
+        assert "mysql" in out
+        assert "fast" in out
+        # Nothing fell back to the software path all day.
+        assert Ss(tb.dataplane, tb.kernel).fallback_count() == 0

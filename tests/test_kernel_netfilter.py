@@ -1,0 +1,145 @@
+"""netfilter rule chains, including owner matches (the §2 port-partition
+policy)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.kernel import (
+    ACCEPT,
+    CHAIN_INPUT,
+    CHAIN_OUTPUT,
+    DROP,
+    NetfilterRule,
+    RuleTable,
+)
+from repro.net import IPv4Address, MacAddress, PROTO_TCP, make_tcp, make_udp
+
+MAC_A, MAC_B = MacAddress.from_index(1), MacAddress.from_index(2)
+IP_A, IP_B = IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2")
+
+BOB = (10, 1000, "postgres")  # (pid, uid, comm)
+CHARLIE = (11, 1001, "mysql")
+
+
+def tcp(dport=5432, sport=40000):
+    return make_tcp(MAC_A, MAC_B, IP_A, IP_B, sport=sport, dport=dport)
+
+
+class TestRuleMatching:
+    def test_header_match(self):
+        rule = NetfilterRule(verdict=DROP, proto=PROTO_TCP, dport=5432)
+        assert rule.matches(tcp(dport=5432), owner=None)
+        assert not rule.matches(tcp(dport=3306), owner=None)
+
+    def test_owner_match_requires_owner(self):
+        rule = NetfilterRule(verdict=ACCEPT, dport=5432, uid_owner=1000)
+        assert rule.needs_owner
+        assert rule.matches(tcp(), owner=BOB)
+        assert not rule.matches(tcp(), owner=CHARLIE)
+        assert not rule.matches(tcp(), owner=None)  # unattributed never matches
+
+    def test_cmd_and_pid_owner(self):
+        rule = NetfilterRule(verdict=ACCEPT, cmd_owner="postgres", pid_owner=10)
+        assert rule.matches(tcp(), owner=BOB)
+        assert not rule.matches(tcp(), owner=(99, 1000, "postgres"))
+
+    def test_ip_matches(self):
+        rule = NetfilterRule(verdict=DROP, src_ip=IP_A, dst_ip=IP_B)
+        assert rule.matches(tcp(), owner=None)
+        other = make_udp(MAC_A, MAC_B, IP_B, IP_A, 1, 2)
+        assert not rule.matches(other, owner=None)
+
+    def test_arp_never_matches_l4_rules(self):
+        from repro.net import make_arp_request
+
+        rule = NetfilterRule(verdict=DROP)
+        assert not rule.matches(make_arp_request(MAC_A, IP_A, IP_B), owner=None)
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            NetfilterRule(verdict="REJECTED")
+        with pytest.raises(PolicyError):
+            NetfilterRule(verdict=DROP, chain="FORWARD")
+
+    def test_describe_is_iptables_like(self):
+        rule = NetfilterRule(
+            verdict=ACCEPT, chain=CHAIN_OUTPUT, proto=PROTO_TCP, dport=5432,
+            uid_owner=1000, cmd_owner="postgres",
+        )
+        text = rule.describe()
+        assert "--dport 5432" in text
+        assert "--uid-owner 1000" in text
+        assert "--cmd-owner postgres" in text
+        assert "-j ACCEPT" in text
+
+
+class TestRuleTable:
+    def test_first_match_wins_and_counts(self):
+        table = RuleTable()
+        allow = NetfilterRule(verdict=ACCEPT, dport=5432, uid_owner=1000)
+        deny = NetfilterRule(verdict=DROP, dport=5432)
+        table.append(allow)
+        table.append(deny)
+        verdict, examined = table.evaluate(CHAIN_OUTPUT, tcp(), BOB)
+        assert (verdict, examined) == (ACCEPT, 1)
+        verdict, examined = table.evaluate(CHAIN_OUTPUT, tcp(), CHARLIE)
+        assert (verdict, examined) == (DROP, 2)
+        assert allow.packets == 1
+        assert deny.packets == 1
+
+    def test_default_accept(self):
+        table = RuleTable()
+        verdict, examined = table.evaluate(CHAIN_INPUT, tcp(), None)
+        assert (verdict, examined) == (ACCEPT, 0)
+
+    def test_port_partition_policy(self):
+        """§2: only Bob's postgres on 5432, only Charlie's mysql on 3306."""
+        table = RuleTable()
+        table.append(NetfilterRule(verdict=ACCEPT, dport=5432, uid_owner=1000, cmd_owner="postgres"))
+        table.append(NetfilterRule(verdict=DROP, dport=5432))
+        table.append(NetfilterRule(verdict=ACCEPT, dport=3306, uid_owner=1001, cmd_owner="mysql"))
+        table.append(NetfilterRule(verdict=DROP, dport=3306))
+
+        assert table.evaluate(CHAIN_OUTPUT, tcp(dport=5432), BOB)[0] == ACCEPT
+        assert table.evaluate(CHAIN_OUTPUT, tcp(dport=5432), CHARLIE)[0] == DROP
+        assert table.evaluate(CHAIN_OUTPUT, tcp(dport=3306), CHARLIE)[0] == ACCEPT
+        assert table.evaluate(CHAIN_OUTPUT, tcp(dport=3306), BOB)[0] == DROP
+        # Unrelated traffic unaffected.
+        assert table.evaluate(CHAIN_OUTPUT, tcp(dport=8080), CHARLIE)[0] == ACCEPT
+
+    def test_insert_at_head(self):
+        table = RuleTable()
+        table.append(NetfilterRule(verdict=DROP, dport=80))
+        table.insert(NetfilterRule(verdict=ACCEPT, dport=80))
+        assert table.evaluate(CHAIN_OUTPUT, tcp(dport=80), None)[0] == ACCEPT
+
+    def test_delete_and_flush(self):
+        table = RuleTable()
+        rule = NetfilterRule(verdict=DROP, dport=80)
+        table.append(rule)
+        table.delete(rule)
+        assert table.total_rules() == 0
+        with pytest.raises(PolicyError):
+            table.delete(rule)
+        table.append(NetfilterRule(verdict=DROP, chain=CHAIN_INPUT, dport=1))
+        table.append(NetfilterRule(verdict=DROP, chain=CHAIN_OUTPUT, dport=2))
+        table.flush(CHAIN_INPUT)
+        assert table.total_rules() == 1
+        table.flush()
+        assert table.total_rules() == 0
+
+    def test_update_count_tracks_churn(self):
+        table = RuleTable()
+        for i in range(5):
+            table.append(NetfilterRule(verdict=DROP, dport=i + 1))
+        table.flush()
+        assert table.update_count == 6
+
+    def test_unknown_chain_rejected(self):
+        table = RuleTable()
+        with pytest.raises(PolicyError):
+            table.evaluate("NAT", tcp(), None)
+        with pytest.raises(PolicyError):
+            table.rules("NAT")
+        with pytest.raises(PolicyError):
+            table.flush("NAT")

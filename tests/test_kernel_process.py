@@ -1,0 +1,171 @@
+"""Users, processes, the process table, and cgroups."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import (
+    Cgroup,
+    CgroupTree,
+    PROC_BLOCKED,
+    PROC_EXITED,
+    PROC_RUNNING,
+    Process,
+    ProcessTable,
+    User,
+    UserTable,
+)
+from repro.kernel.process import owner_info
+
+
+class TestUserTable:
+    def test_root_always_exists(self):
+        users = UserTable()
+        assert users.by_uid(0).name == "root"
+        assert users.by_name("root").is_root
+
+    def test_add_allocates_uids_from_1000(self):
+        users = UserTable()
+        bob = users.add("bob")
+        charlie = users.add("charlie")
+        assert bob.uid == 1000
+        assert charlie.uid == 1001
+
+    def test_duplicate_rejected(self):
+        users = UserTable()
+        users.add("bob")
+        with pytest.raises(KernelError):
+            users.add("bob")
+        with pytest.raises(KernelError):
+            users.add("bob2", uid=1000)
+
+    def test_lookup_missing(self):
+        users = UserTable()
+        with pytest.raises(KernelError):
+            users.by_uid(42)
+        with pytest.raises(KernelError):
+            users.by_name("nobody")
+
+    def test_contains_and_len(self):
+        users = UserTable()
+        users.add("bob")
+        assert "bob" in users
+        assert "eve" not in users
+        assert len(users) == 2
+
+
+class TestProcess:
+    def test_identity(self):
+        p = Process(pid=7, comm="postgres", user=User(1000, "bob"))
+        assert (p.pid, p.uid, p.comm) == (7, 1000, "postgres")
+        assert p.state == PROC_RUNNING
+
+    def test_state_transitions(self):
+        p = Process(pid=1, comm="x", user=User(0, "root"))
+        p.set_state(PROC_BLOCKED)
+        assert p.blocked_count == 1
+        p.set_state(PROC_RUNNING)
+        p.set_state(PROC_EXITED)
+        assert not p.alive
+        with pytest.raises(KernelError):
+            p.set_state(PROC_RUNNING)
+
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            Process(pid=0, comm="x", user=User(0, "root"))
+        with pytest.raises(KernelError):
+            Process(pid=1, comm="", user=User(0, "root"))
+        with pytest.raises(KernelError):
+            Process(pid=1, comm="x", user=User(0, "root")).set_state("zombie")
+
+    def test_owner_info(self):
+        p = Process(pid=3, comm="mysql", user=User(1001, "charlie"))
+        assert owner_info(p) == (3, 1001, "mysql")
+        assert owner_info(None) is None
+
+
+class TestProcessTable:
+    def test_spawn_allocates_sequential_pids(self):
+        table = ProcessTable()
+        root = User(0, "root")
+        a = table.spawn("a", root)
+        b = table.spawn("b", root)
+        assert (a.pid, b.pid) == (1, 2)
+        assert table.get(1) is a
+
+    def test_exit_hides_from_listing(self):
+        table = ProcessTable()
+        root = User(0, "root")
+        p = table.spawn("daemon", root)
+        table.spawn("other", root)
+        table.exit(p.pid)
+        assert len(table) == 1
+        assert p not in table.processes()
+        assert p in table.processes(include_exited=True)
+
+    def test_lookup_by_comm_and_uid(self):
+        table = ProcessTable()
+        bob = User(1000, "bob")
+        charlie = User(1001, "charlie")
+        table.spawn("postgres", bob)
+        table.spawn("postgres", bob)
+        table.spawn("mysql", charlie)
+        assert len(table.by_comm("postgres")) == 2
+        assert len(table.by_uid(1001)) == 1
+
+    def test_missing_pid(self):
+        with pytest.raises(KernelError):
+            ProcessTable().get(99)
+        assert not ProcessTable().exists(99)
+
+
+class TestCgroups:
+    def test_root_exists_with_classid_zero(self):
+        tree = CgroupTree()
+        assert tree.get("/").classid == 0
+
+    def test_create_and_assign(self):
+        tree = CgroupTree()
+        games = tree.create("/games")
+        p = Process(pid=5, comm="game", user=User(1000, "bob"))
+        tree.assign(p, "/games")
+        assert p.cgroup_path == "/games"
+        assert tree.group_of(5) is games
+        assert tree.classid_of(5) == games.classid
+
+    def test_reassignment_moves_pid(self):
+        tree = CgroupTree()
+        tree.create("/a")
+        tree.create("/b")
+        p = Process(pid=5, comm="x", user=User(0, "root"))
+        tree.assign(p, "/a")
+        tree.assign(p, "/b")
+        assert 5 not in tree.get("/a").pids
+        assert 5 in tree.get("/b").pids
+
+    def test_unassigned_pid_is_in_root(self):
+        tree = CgroupTree()
+        assert tree.group_of(1234).path == "/"
+        assert tree.classid_of(1234) == 0
+
+    def test_classids_unique(self):
+        tree = CgroupTree()
+        ids = {tree.create(f"/g{i}").classid for i in range(10)}
+        assert len(ids) == 10
+
+    def test_by_classid(self):
+        tree = CgroupTree()
+        g = tree.create("/games")
+        assert tree.by_classid(g.classid) is g
+        assert tree.by_classid(0xDEAD) is None
+
+    def test_invalid_paths(self):
+        tree = CgroupTree()
+        with pytest.raises(KernelError):
+            tree.create("games")
+        with pytest.raises(KernelError):
+            tree.create("/")
+        tree.create("/x")
+        with pytest.raises(KernelError):
+            tree.create("/x")
+        with pytest.raises(KernelError):
+            tree.get("/missing")

@@ -1,0 +1,120 @@
+"""Scheduler block/wake and the syscall layer."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS
+from repro.errors import InvalidSyscall, KernelError
+from repro.host import CpuSet
+from repro.kernel import KernelScheduler, PROC_BLOCKED, PROC_RUNNING, SyscallLayer, User
+from repro.kernel.process import Process
+from repro.sim import SimProcess, Simulator
+
+
+def setup():
+    sim = Simulator()
+    cpus = CpuSet(sim, 2, DEFAULT_COSTS)
+    sched = KernelScheduler(sim, cpus, DEFAULT_COSTS)
+    proc = Process(pid=1, comm="app", user=User(1000, "bob"), core_id=0)
+    return sim, cpus, sched, proc
+
+
+class TestScheduler:
+    def test_block_leaves_core_idle(self):
+        sim, cpus, sched, proc = setup()
+        sched.block(proc)
+        sim.run(until=1_000_000)
+        assert cpus[0].busy_ns == 0
+        assert proc.state == PROC_BLOCKED
+        assert sched.is_blocked(1)
+
+    def test_wake_charges_fixed_cost_then_resumes(self):
+        sim, cpus, sched, proc = setup()
+        got = []
+        woken = sched.block(proc)
+        woken.add_callback(lambda s: got.append((sim.now, s.value)))
+        sim.after(10_000, sched.wake, proc, "data")
+        sim.run()
+        expected = 10_000 + sched.wake_latency_ns()
+        assert got == [(expected, "data")]
+        assert proc.state == PROC_RUNNING
+        assert cpus[0].busy_ns == sched.wake_latency_ns()
+
+    def test_wake_without_interrupt_cheaper(self):
+        _, _, sched, _ = setup()
+        assert (
+            sched.wake_latency_ns(via_interrupt=False)
+            == sched.wake_latency_ns() - DEFAULT_COSTS.interrupt_ns
+        )
+
+    def test_block_twice_rejected(self):
+        _, _, sched, proc = setup()
+        sched.block(proc)
+        with pytest.raises(KernelError):
+            sched.block(proc)
+
+    def test_wake_unblocked_rejected(self):
+        _, _, sched, proc = setup()
+        with pytest.raises(KernelError):
+            sched.wake(proc)
+
+    def test_block_durations_recorded(self):
+        sim, _, sched, proc = setup()
+        sched.block(proc)
+        sim.after(5_000, sched.wake, proc)
+        sim.run()
+        hist = sched.metrics.histogram("block_ns")
+        assert hist.count == 1
+        assert hist.mean >= 5_000
+
+    def test_generator_integration(self):
+        """A simulated process blocks in recv-style and resumes with data."""
+        sim, _, sched, proc = setup()
+        log = []
+
+        def app():
+            value = yield sched.block(proc, "recv")
+            log.append((sim.now, value))
+
+        SimProcess(sim, app())
+        sim.after(1_000, sched.wake, proc, "pkt")
+        sim.run()
+        assert log[0][1] == "pkt"
+        assert log[0][0] >= 1_000 + sched.wake_latency_ns()
+
+
+class TestSyscallLayer:
+    def test_invoke_charges_entry_plus_work(self):
+        sim, cpus, _, proc = setup()
+        syscalls = SyscallLayer(sim, cpus, DEFAULT_COSTS)
+        done_at = []
+        syscalls.invoke(proc, "sendto", work_ns=1_000).add_callback(
+            lambda s: done_at.append(sim.now)
+        )
+        sim.run()
+        assert done_at == [DEFAULT_COSTS.syscall_ns + 1_000]
+        assert syscalls.total_syscalls == 1
+        assert syscalls.metrics.counter("sendto").value == 1
+
+    def test_copy_costs_accounted(self):
+        sim, cpus, _, proc = setup()
+        syscalls = SyscallLayer(sim, cpus, DEFAULT_COSTS)
+        cost = syscalls.copy_to_kernel(proc, 10_000)
+        assert cost == DEFAULT_COSTS.copy_ns(10_000)
+        assert syscalls.metrics.counter("copy_in_bytes").value == 10_000
+        syscalls.copy_to_user(proc, 500)
+        assert syscalls.metrics.counter("copy_out_bytes").value == 500
+
+    def test_negative_work_rejected(self):
+        sim, cpus, _, proc = setup()
+        syscalls = SyscallLayer(sim, cpus, DEFAULT_COSTS)
+        with pytest.raises(InvalidSyscall):
+            syscalls.invoke(proc, "bad", work_ns=-1)
+
+    def test_syscalls_serialize_on_core(self):
+        sim, cpus, _, proc = setup()
+        syscalls = SyscallLayer(sim, cpus, DEFAULT_COSTS)
+        ends = []
+        syscalls.invoke(proc, "a").add_callback(lambda s: ends.append(sim.now))
+        syscalls.invoke(proc, "b").add_callback(lambda s: ends.append(sim.now))
+        sim.run()
+        assert ends == [DEFAULT_COSTS.syscall_ns, 2 * DEFAULT_COSTS.syscall_ns]

@@ -1,0 +1,85 @@
+"""Socket table: binding, privileges, ephemeral ports."""
+
+import pytest
+
+from repro.errors import AddressInUse, KernelError, PermissionDenied
+from repro.kernel import SocketTable, User
+from repro.kernel.process import Process
+from repro.kernel.sockets import EPHEMERAL_BASE
+from repro.net import IPv4Address, PROTO_TCP, PROTO_UDP
+
+ROOT = User(0, "root")
+BOB = User(1000, "bob")
+
+
+def proc(user=BOB, comm="app", pid=1):
+    return Process(pid=pid, comm=comm, user=user)
+
+
+class TestBinding:
+    def test_bind_and_lookup(self):
+        table = SocketTable()
+        sock = table.bind(proc(), PROTO_TCP, 5432)
+        assert table.lookup(PROTO_TCP, 5432) is sock
+        assert table.lookup(PROTO_UDP, 5432) is None
+
+    def test_conflict_detection(self):
+        table = SocketTable()
+        table.bind(proc(pid=1), PROTO_TCP, 8080)
+        with pytest.raises(AddressInUse):
+            table.bind(proc(pid=2), PROTO_TCP, 8080)
+        # Different protocol is fine.
+        table.bind(proc(pid=2), PROTO_UDP, 8080)
+
+    def test_privileged_ports_require_root(self):
+        table = SocketTable()
+        with pytest.raises(PermissionDenied):
+            table.bind(proc(user=BOB), PROTO_TCP, 22)
+        table.bind(proc(user=ROOT), PROTO_TCP, 22)
+
+    def test_port_range_and_proto_validation(self):
+        table = SocketTable()
+        with pytest.raises(KernelError):
+            table.bind(proc(), PROTO_TCP, 0)
+        with pytest.raises(KernelError):
+            table.bind(proc(), PROTO_TCP, 70_000)
+        with pytest.raises(KernelError):
+            table.bind(proc(), 99, 8080)
+
+    def test_close_releases_port(self):
+        table = SocketTable()
+        sock = table.bind(proc(), PROTO_TCP, 8080)
+        table.close(sock)
+        assert table.lookup(PROTO_TCP, 8080) is None
+        table.bind(proc(pid=2), PROTO_TCP, 8080)  # rebindable
+        with pytest.raises(KernelError):
+            table.close(sock)
+
+
+class TestEphemeral:
+    def test_allocates_distinct_ports(self):
+        table = SocketTable()
+        ports = {table.bind_ephemeral(proc(pid=i + 1), PROTO_UDP).port for i in range(50)}
+        assert len(ports) == 50
+        assert all(p >= EPHEMERAL_BASE for p in ports)
+
+
+class TestIntrospection:
+    def test_sockets_sorted_and_owned(self):
+        table = SocketTable()
+        p1, p2 = proc(pid=1, comm="postgres"), proc(pid=2, comm="mysql")
+        table.bind(p1, PROTO_TCP, 5432)
+        table.bind(p2, PROTO_TCP, 3306)
+        socks = table.sockets()
+        assert [s.port for s in socks] == [3306, 5432]
+        assert len(table.sockets_of(1)) == 1
+        assert table.sockets_of(1)[0].owner.comm == "postgres"
+
+    def test_socket_states(self):
+        table = SocketTable()
+        tcp = table.bind(proc(), PROTO_TCP, 8080)
+        assert tcp.state == "LISTEN"
+        tcp.connect(IPv4Address.parse("10.0.0.9"), 443)
+        assert tcp.state == "ESTABLISHED"
+        udp = table.bind(proc(pid=2), PROTO_UDP, 9999)
+        assert udp.state == "UNCONN"

@@ -1,0 +1,87 @@
+"""MAC/IPv4 address types and the internet checksum."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.net import BROADCAST_MAC, IPv4Address, MacAddress, internet_checksum
+
+
+class TestMacAddress:
+    def test_parse_and_format_roundtrip(self):
+        mac = MacAddress.parse("02:00:00:00:00:2a")
+        assert str(mac) == "02:00:00:00:00:2a"
+        assert mac.value == 0x02_00_00_00_00_2A
+
+    def test_from_index(self):
+        mac = MacAddress.from_index(0x123456)
+        assert str(mac) == "02:00:00:12:34:56"
+
+    def test_broadcast_and_multicast_bits(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert BROADCAST_MAC.is_multicast
+        assert not MacAddress.parse("02:00:00:00:00:01").is_broadcast
+        assert MacAddress.parse("01:00:5e:00:00:01").is_multicast
+
+    def test_to_bytes(self):
+        assert MacAddress.parse("aa:bb:cc:dd:ee:ff").to_bytes() == bytes.fromhex(
+            "aabbccddeeff"
+        )
+
+    def test_equality_and_hash(self):
+        a = MacAddress.parse("02:00:00:00:00:01")
+        b = MacAddress(0x020000000001)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "02:00:00:00:00:01"
+
+    def test_immutable(self):
+        mac = MacAddress(1)
+        with pytest.raises(AttributeError):
+            mac._value = 2  # type: ignore[misc]
+
+    @pytest.mark.parametrize("bad", ["", "1:2:3", "gg:00:00:00:00:00", "1:2:3:4:5:256"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            MacAddress.parse(bad)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(AddressError):
+            MacAddress(1 << 48)
+
+
+class TestIPv4Address:
+    def test_parse_and_format_roundtrip(self):
+        ip = IPv4Address.parse("192.168.1.200")
+        assert str(ip) == "192.168.1.200"
+        assert ip.to_bytes() == bytes([192, 168, 1, 200])
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+    def test_equality_and_hash(self):
+        assert IPv4Address.parse("10.0.0.1") == IPv4Address(0x0A000001)
+        assert hash(IPv4Address(7)) == hash(IPv4Address(7))
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(bad)
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_checksum_of_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_inserting_checksum_validates(self):
+        data = bytearray(bytes.fromhex("45000073000040004011000 0c0a80001c0a800c7".replace(" ", "")))
+        cksum = internet_checksum(bytes(data))
+        data[10:12] = cksum.to_bytes(2, "big")
+        assert internet_checksum(bytes(data)) == 0

@@ -1,0 +1,166 @@
+"""Links, L2 switching, and the in-network interposer."""
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError, UnsupportedOperation
+from repro.net import (
+    IPv4Address,
+    L2Switch,
+    Link,
+    MacAddress,
+    MatchAction,
+    NetworkInterposer,
+    PROTO_TCP,
+    make_arp_request,
+    make_udp,
+)
+from repro.sim import Simulator
+
+MAC = [MacAddress.from_index(i) for i in range(4)]
+IP = [IPv4Address.parse(f"10.0.0.{i + 1}") for i in range(4)]
+
+
+def udp(src=0, dst=1, sport=1000, dport=2000, size=100):
+    return make_udp(MAC[src], MAC[dst], IP[src], IP[dst], sport, dport, size)
+
+
+class TestLink:
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=units.GBPS, propagation_ns=500)
+        got = []
+        link.attach(lambda p: got.append(sim.now))
+        pkt = udp(size=1000 - 42)  # wire length 1000B
+        link.send(pkt)
+        sim.run()
+        assert got == [8_000 + 500]
+
+    def test_back_to_back_serialize(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=units.GBPS, propagation_ns=0)
+        got = []
+        link.attach(lambda p: got.append(sim.now))
+        link.send(udp(size=958))  # 1000B wire
+        link.send(udp(size=958))
+        sim.run()
+        assert got == [8_000, 16_000]
+
+    def test_drop_tail_when_queue_full(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=units.KBPS, queue_packets=2)
+        link.attach(lambda p: None)
+        assert link.send(udp()) is True
+        assert link.send(udp()) is True
+        assert link.send(udp()) is False
+        assert link.metrics.counter("dropped").value == 1
+
+    def test_send_without_receiver_raises(self):
+        link = Link(Simulator(), rate_bps=units.GBPS)
+        with pytest.raises(SimulationError):
+            link.send(udp())
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=units.GBPS, propagation_ns=0)
+        link.attach(lambda p: None)
+        link.send(udp(size=1208))  # 1250B wire = 10_000 bits
+        sim.run()  # now = 10_000 ns; 10_000 bits / (1Gbps * 10us) = 1.0
+        assert link.utilization() == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            Link(Simulator(), rate_bps=0)
+        with pytest.raises(SimulationError):
+            Link(Simulator(), rate_bps=1, queue_packets=0)
+
+
+def build_star(sim, n_hosts):
+    """n hosts on one switch; returns (switch, inboxes, uplinks)."""
+    sw = L2Switch(sim)
+    inboxes = [[] for _ in range(n_hosts)]
+    uplinks = []
+    for i in range(n_hosts):
+        down = Link(sim, rate_bps=10 * units.GBPS, name=f"down{i}")
+        down.attach(lambda p, i=i: inboxes[i].append(p))
+        port = sw.add_port(down)
+        up = Link(sim, rate_bps=10 * units.GBPS, name=f"up{i}")
+        up.attach(sw.ingress(port))
+        uplinks.append(up)
+    return sw, inboxes, uplinks
+
+
+class TestL2Switch:
+    def test_floods_unknown_then_forwards_learned(self):
+        sim = Simulator()
+        sw, inboxes, uplinks = build_star(sim, 3)
+        uplinks[0].send(udp(src=0, dst=1))
+        sim.run()
+        assert len(inboxes[1]) == 1
+        assert len(inboxes[2]) == 1  # flooded: dst unknown
+        uplinks[1].send(udp(src=1, dst=0))
+        sim.run()
+        assert len(inboxes[0]) == 1
+        assert len(inboxes[2]) == 1  # not flooded: MAC 0 was learned
+
+    def test_broadcast_reaches_all_but_sender(self):
+        sim = Simulator()
+        sw, inboxes, uplinks = build_star(sim, 3)
+        uplinks[0].send(make_arp_request(MAC[0], IP[0], IP[1]))
+        sim.run()
+        assert len(inboxes[0]) == 0
+        assert len(inboxes[1]) == 1 and len(inboxes[2]) == 1
+
+    def test_mac_table_learning(self):
+        sim = Simulator()
+        sw, _, uplinks = build_star(sim, 2)
+        uplinks[0].send(udp(src=0, dst=1))
+        sim.run()
+        assert sw.mac_table()[MAC[0]] == 0
+
+    def test_bad_port_rejected(self):
+        sw = L2Switch(Simulator())
+        with pytest.raises(SimulationError):
+            sw.ingress(0)
+
+
+class TestNetworkInterposer:
+    def test_drop_rule_matches_header_fields(self):
+        p4 = NetworkInterposer(Simulator())
+        p4.add_rule(MatchAction(action="drop", proto=PROTO_TCP, dport=5432))
+        from repro.net import make_tcp
+
+        blocked = make_tcp(MAC[0], MAC[1], IP[0], IP[1], sport=999, dport=5432)
+        allowed = make_tcp(MAC[0], MAC[1], IP[0], IP[1], sport=999, dport=3306)
+        assert p4.process(blocked) is False
+        assert p4.process(allowed) is True
+
+    def test_mirror_collects_five_tuples_only(self):
+        p4 = NetworkInterposer(Simulator())
+        p4.add_rule(MatchAction(action="mirror"))
+        pkt = udp(sport=1234, dport=80)
+        pkt.meta.owner_pid = 42  # host-side truth the network never sees
+        assert p4.process(pkt) is True
+        tuples = p4.observed_five_tuples()
+        assert len(tuples) == 1
+        assert "pid" not in tuples[0]
+
+    def test_owner_match_is_unsupported(self):
+        p4 = NetworkInterposer(Simulator())
+        with pytest.raises(UnsupportedOperation):
+            p4.add_owner_rule(uid=1000, dport=5432)
+
+    def test_cannot_wake_processes(self):
+        with pytest.raises(UnsupportedOperation):
+            NetworkInterposer(Simulator()).wake_process(42)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SimulationError):
+            NetworkInterposer(Simulator()).add_rule(MatchAction(action="nat"))
+
+    def test_first_match_wins(self):
+        p4 = NetworkInterposer(Simulator())
+        p4.add_rule(MatchAction(action="allow", dport=80))
+        p4.add_rule(MatchAction(action="drop"))
+        assert p4.process(udp(dport=80)) is True
+        assert p4.process(udp(dport=81)) is False

@@ -1,0 +1,129 @@
+"""Headers, packets, five-tuples."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.net import (
+    ARP_OP_REQUEST,
+    ETHERTYPE_ARP,
+    FiveTuple,
+    IPv4Address,
+    MacAddress,
+    Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    make_arp_request,
+    make_tcp,
+    make_udp,
+)
+from repro.net.checksum import internet_checksum
+from repro.net.headers import (
+    IPV4_HEADER_LEN,
+    TCP_FLAG_SYN,
+    EthernetHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+
+MAC_A = MacAddress.from_index(1)
+MAC_B = MacAddress.from_index(2)
+IP_A = IPv4Address.parse("10.0.0.1")
+IP_B = IPv4Address.parse("10.0.0.2")
+
+
+class TestHeaders:
+    def test_ipv4_checksum_is_valid(self):
+        hdr = Ipv4Header(src=IP_A, dst=IP_B, proto=PROTO_TCP, payload_len=100)
+        raw = hdr.to_bytes()
+        assert len(raw) == IPV4_HEADER_LEN
+        assert internet_checksum(raw) == 0  # checksum over header verifies
+
+    def test_ipv4_total_length(self):
+        hdr = Ipv4Header(src=IP_A, dst=IP_B, proto=PROTO_UDP, payload_len=80)
+        assert hdr.total_length == 100
+
+    def test_ttl_decrement(self):
+        hdr = Ipv4Header(src=IP_A, dst=IP_B, proto=PROTO_TCP, ttl=2)
+        assert hdr.decrement_ttl().ttl == 1
+        with pytest.raises(PacketError):
+            Ipv4Header(src=IP_A, dst=IP_B, proto=PROTO_TCP, ttl=0).decrement_ttl()
+
+    def test_tcp_flags(self):
+        tcp = TcpHeader(sport=1, dport=2, flags=TCP_FLAG_SYN)
+        assert tcp.has_flag(TCP_FLAG_SYN)
+        assert len(tcp.to_bytes()) == 20
+
+    def test_udp_length_field(self):
+        udp = UdpHeader(sport=1, dport=2, payload_len=100)
+        assert udp.length == 108
+
+    @pytest.mark.parametrize("port", [-1, 65_536])
+    def test_port_range_enforced(self, port):
+        with pytest.raises(PacketError):
+            TcpHeader(sport=port, dport=80)
+
+    def test_ethernet_serialization(self):
+        eth = EthernetHeader(dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE_ARP)
+        raw = eth.to_bytes()
+        assert raw[:6] == MAC_B.to_bytes()
+        assert raw[12:14] == b"\x08\x06"
+
+
+class TestPacketConstruction:
+    def test_udp_packet_wire_len(self):
+        pkt = make_udp(MAC_A, MAC_B, IP_A, IP_B, sport=1000, dport=53, payload_len=100)
+        assert pkt.wire_len == 14 + 20 + 8 + 100
+        assert pkt.is_udp and not pkt.is_tcp and not pkt.is_arp
+
+    def test_tcp_packet_five_tuple(self):
+        pkt = make_tcp(MAC_A, MAC_B, IP_A, IP_B, sport=5555, dport=5432)
+        ft = pkt.five_tuple
+        assert ft == FiveTuple(PROTO_TCP, IP_A, 5555, IP_B, 5432)
+
+    def test_arp_packet(self):
+        pkt = make_arp_request(MAC_A, IP_A, IP_B)
+        assert pkt.is_arp
+        assert pkt.eth.dst.is_broadcast
+        assert pkt.five_tuple is None
+        assert pkt.arp.op == ARP_OP_REQUEST
+        assert "ARP request" in pkt.summary()
+
+    def test_wire_image_roundtrip_lengths(self):
+        pkt = make_udp(MAC_A, MAC_B, IP_A, IP_B, sport=1, dport=2, payload_len=37)
+        assert len(pkt.to_bytes()) == pkt.wire_len
+
+    def test_packet_ids_unique(self):
+        a = make_udp(MAC_A, MAC_B, IP_A, IP_B, sport=1, dport=2)
+        b = make_udp(MAC_A, MAC_B, IP_A, IP_B, sport=1, dport=2)
+        assert a.packet_id != b.packet_id
+
+    def test_invalid_combinations_rejected(self):
+        eth = EthernetHeader(dst=MAC_B, src=MAC_A)
+        with pytest.raises(PacketError):
+            Packet(eth=eth)  # no L3
+        with pytest.raises(PacketError):
+            Packet(eth=eth, l4=UdpHeader(1, 2))  # L4 without IP
+
+    def test_summary_formats(self):
+        pkt = make_tcp(MAC_A, MAC_B, IP_A, IP_B, sport=80, dport=8080)
+        assert "TCP 10.0.0.1:80 > 10.0.0.2:8080" in pkt.summary()
+
+
+class TestFiveTuple:
+    def test_reversed(self):
+        ft = FiveTuple(PROTO_TCP, IP_A, 1000, IP_B, 80)
+        rev = ft.reversed()
+        assert rev.src_ip == IP_B and rev.sport == 80
+        assert rev.dst_ip == IP_A and rev.dport == 1000
+        assert rev.reversed() == ft
+
+    def test_hashable(self):
+        ft = FiveTuple(PROTO_UDP, IP_A, 1, IP_B, 2)
+        assert ft in {ft}
+
+    def test_validation(self):
+        with pytest.raises(PacketError):
+            FiveTuple(300, IP_A, 1, IP_B, 2)
+        with pytest.raises(PacketError):
+            FiveTuple(PROTO_TCP, IP_A, 70_000, IP_B, 2)

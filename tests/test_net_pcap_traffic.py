@@ -1,0 +1,115 @@
+"""pcap writer round trips and traffic pattern generators."""
+
+import itertools
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.net import (
+    IPv4Address,
+    MacAddress,
+    PcapWriter,
+    cbr_arrivals,
+    make_arp_request,
+    make_udp,
+    onoff_arrivals,
+    poisson_arrivals,
+)
+from repro.net.pcap import LINKTYPE_ETHERNET, read_pcap_summary
+from repro.sim import make_rng
+
+MAC_A = MacAddress.from_index(1)
+MAC_B = MacAddress.from_index(2)
+IP_A = IPv4Address.parse("10.0.0.1")
+IP_B = IPv4Address.parse("10.0.0.2")
+
+
+class TestPcapWriter:
+    def test_roundtrip_counts_and_linktype(self):
+        w = PcapWriter()
+        w.write(1_000, make_udp(MAC_A, MAC_B, IP_A, IP_B, 1, 2, 100))
+        w.write(2_000, make_arp_request(MAC_A, IP_A, IP_B))
+        data = w.to_bytes()
+        count, linktype = read_pcap_summary(data)
+        assert count == 2
+        assert linktype == LINKTYPE_ETHERNET
+        assert w.count == 2
+
+    def test_snaplen_truncates_stored_bytes(self):
+        w = PcapWriter(snaplen=60)
+        w.write(0, make_udp(MAC_A, MAC_B, IP_A, IP_B, 1, 2, 1_000))
+        data = w.to_bytes()
+        count, _ = read_pcap_summary(data)
+        assert count == 1
+        assert len(data) == 24 + 16 + 60
+
+    def test_timestamp_encoding(self):
+        w = PcapWriter()
+        w.write(3 * units.SEC + 250 * units.US, make_arp_request(MAC_A, IP_A, IP_B))
+        data = w.to_bytes()
+        ts_sec = int.from_bytes(data[24:28], "big")
+        ts_usec = int.from_bytes(data[28:32], "big")
+        assert (ts_sec, ts_usec) == (3, 250)
+
+    def test_save_to_file(self, tmp_path):
+        w = PcapWriter()
+        w.write(0, make_arp_request(MAC_A, IP_A, IP_B))
+        path = tmp_path / "capture.pcap"
+        w.save(str(path))
+        count, _ = read_pcap_summary(path.read_bytes())
+        assert count == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            read_pcap_summary(b"not a pcap")
+
+
+class TestCbr:
+    def test_constant_gap_matches_rate(self):
+        arrivals = list(cbr_arrivals(units.GBPS, payload_bytes=1_000, count=5))
+        assert len(arrivals) == 5
+        assert all(gap == 8_000 and size == 1_000 for gap, size in arrivals)
+
+    def test_infinite_stream(self):
+        stream = cbr_arrivals(units.GBPS, 100)
+        assert len(list(itertools.islice(stream, 1_000))) == 1_000
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            next(cbr_arrivals(0, 100))
+
+
+class TestPoisson:
+    def test_mean_interarrival_close_to_rate(self):
+        rng = make_rng(1, "poisson")
+        gaps = [g for g, _ in poisson_arrivals(rng, rate_pps=1_000_000, payload_bytes=64, count=20_000)]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1_000, rel=0.05)  # 1M pps -> 1000 ns mean
+
+    def test_deterministic_under_seed(self):
+        a = list(poisson_arrivals(make_rng(7, "x"), 1e6, 64, count=100))
+        b = list(poisson_arrivals(make_rng(7, "x"), 1e6, 64, count=100))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            next(poisson_arrivals(make_rng(0), 0, 64))
+
+
+class TestOnOff:
+    def test_burst_structure(self):
+        rng = make_rng(3, "onoff")
+        arrivals = list(
+            onoff_arrivals(rng, burst_pkts=4, burst_gap_ns=10, idle_mean_ns=1_000_000,
+                           payload_bytes=200, bursts=3)
+        )
+        assert len(arrivals) == 12
+        # Within a burst, gaps are exactly burst_gap_ns.
+        gaps = [g for g, _ in arrivals]
+        assert gaps[1] == gaps[2] == gaps[3] == 10
+        assert gaps[0] > 10  # idle period before burst
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            next(onoff_arrivals(make_rng(0), 0, 1, 1, 64))

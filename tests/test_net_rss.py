@@ -1,0 +1,85 @@
+"""Toeplitz RSS hash against Microsoft's published verification vectors."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.net import FiveTuple, IPv4Address, PROTO_TCP, rss_queue, toeplitz_hash
+
+
+def tcp_flow(src, sport, dst, dport):
+    return FiveTuple(PROTO_TCP, IPv4Address.parse(src), sport, IPv4Address.parse(dst), dport)
+
+
+# (src ip, sport, dst ip, dport) -> expected 32-bit hash, from the RSS
+# verification suite in Microsoft's NDIS documentation.
+VECTORS = [
+    (("66.9.149.187", 2794, "161.142.100.80", 1766), 0x51CCC178),
+    (("199.92.111.2", 14230, "65.69.140.83", 4739), 0xC626B0EA),
+    (("24.19.198.95", 12898, "12.22.207.184", 38024), 0x5C2B394A),
+    (("38.27.205.30", 48228, "209.142.163.6", 2217), 0xAFC7327F),
+    (("153.39.163.191", 44251, "202.188.127.2", 1303), 0x10E828A2),
+]
+
+
+class TestToeplitzVectors:
+    @pytest.mark.parametrize("flow_args,expected", VECTORS)
+    def test_microsoft_verification_suite(self, flow_args, expected):
+        src, sport, dst, dport = flow_args
+        flow = tcp_flow(src, sport, dst, dport)
+        data = (
+            flow.src_ip.to_bytes()
+            + flow.dst_ip.to_bytes()
+            + sport.to_bytes(2, "big")
+            + dport.to_bytes(2, "big")
+        )
+        assert toeplitz_hash(data) == expected
+
+    def test_ip_only_vector(self):
+        data = IPv4Address.parse("66.9.149.187").to_bytes() + IPv4Address.parse(
+            "161.142.100.80"
+        ).to_bytes()
+        assert toeplitz_hash(data) == 0x323E8FC2
+
+    def test_empty_input_hashes_to_zero(self):
+        assert toeplitz_hash(b"") == 0
+
+    def test_key_too_short_rejected(self):
+        with pytest.raises(PacketError):
+            toeplitz_hash(b"\x00" * 64, key=b"\x01" * 8)
+
+
+class TestRssQueue:
+    def test_deterministic(self):
+        flow = tcp_flow("10.0.0.1", 1234, "10.0.0.2", 80)
+        assert rss_queue(flow, 8) == rss_queue(flow, 8)
+
+    def test_within_range(self):
+        for sport in range(1000, 1050):
+            flow = tcp_flow("10.0.0.1", sport, "10.0.0.2", 80)
+            assert 0 <= rss_queue(flow, 8) < 8
+
+    def test_spreads_flows(self):
+        queues = {
+            rss_queue(tcp_flow("10.0.0.1", sport, "10.0.0.2", 80), 8)
+            for sport in range(1000, 1100)
+        }
+        assert len(queues) >= 6  # 100 flows should land on most of 8 queues
+
+    def test_direction_sensitivity(self):
+        # RSS is not symmetric under the standard key: forward and reverse
+        # of a flow generally hash differently.
+        fwd = tcp_flow("66.9.149.187", 2794, "161.142.100.80", 1766)
+        data_f = (
+            fwd.src_ip.to_bytes() + fwd.dst_ip.to_bytes()
+            + fwd.sport.to_bytes(2, "big") + fwd.dport.to_bytes(2, "big")
+        )
+        rev = fwd.reversed()
+        data_r = (
+            rev.src_ip.to_bytes() + rev.dst_ip.to_bytes()
+            + rev.sport.to_bytes(2, "big") + rev.dport.to_bytes(2, "big")
+        )
+        assert toeplitz_hash(data_f) != toeplitz_hash(data_r)
+
+    def test_needs_queue(self):
+        with pytest.raises(PacketError):
+            rss_queue(tcp_flow("1.1.1.1", 1, "2.2.2.2", 2), 0)

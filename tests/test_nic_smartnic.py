@@ -1,0 +1,136 @@
+"""SmartNIC substrate: SRAM scarcity and FPGA reconfiguration."""
+
+import pytest
+
+from repro import units
+from repro.config import DEFAULT_COSTS
+from repro.errors import NicError, NicResourceExhausted, VerifierError
+from repro.nic.smartnic import Bitstream, FpgaFabric, SramAllocator
+from repro.overlay import assemble
+from repro.sim import Simulator
+
+
+class TestSram:
+    def test_alloc_and_accounting(self):
+        sram = SramAllocator(capacity_bytes=1_000)
+        a = sram.alloc(320, "conn_state")
+        sram.alloc(64, "filter")
+        assert sram.used_bytes == 384
+        assert sram.free_bytes == 616
+        assert sram.used_by_purpose() == {"conn_state": 320, "filter": 64}
+        sram.free(a)
+        assert sram.used_bytes == 64
+
+    def test_exhaustion_raises_and_counts(self):
+        sram = SramAllocator(capacity_bytes=100)
+        sram.alloc(80, "conn_state")
+        with pytest.raises(NicResourceExhausted):
+            sram.alloc(30, "conn_state")
+        assert sram.metrics.counter("exhaustions").value == 1
+        sram.alloc(20, "conn_state")  # exact fit still works
+
+    def test_double_free(self):
+        sram = SramAllocator(capacity_bytes=100)
+        b = sram.alloc(10, "x")
+        sram.free(b)
+        with pytest.raises(NicResourceExhausted):
+            sram.free(b)
+
+    def test_blocks_by_purpose_and_utilization(self):
+        sram = SramAllocator(capacity_bytes=100)
+        sram.alloc(25, "a")
+        sram.alloc(25, "a")
+        assert len(sram.blocks("a")) == 2
+        assert sram.utilization() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(NicResourceExhausted):
+            SramAllocator(capacity_bytes=0)
+        with pytest.raises(NicResourceExhausted):
+            SramAllocator(capacity_bytes=10).alloc(0, "x")
+
+
+KOPI_BITSTREAM = Bitstream(
+    name="kopi-v1",
+    overlay_slots=(("filter", 1_024), ("classifier", 512)),
+    logic_units=500_000,
+)
+
+
+class TestFpgaFabric:
+    def test_bitstream_load_takes_seconds_and_goes_offline(self):
+        sim = Simulator()
+        fpga = FpgaFabric(sim, DEFAULT_COSTS)
+        offline_log = []
+        fpga.on_offline_change(offline_log.append)
+        done = []
+        fpga.load_bitstream(KOPI_BITSTREAM).add_callback(lambda s: done.append(sim.now))
+        assert fpga.offline
+        sim.run()
+        assert done == [DEFAULT_COSTS.bitstream_load_ns]
+        assert done[0] >= 2 * units.SEC  # "seconds or longer"
+        assert not fpga.offline
+        assert offline_log == [True, False]
+        assert set(fpga.slots) == {"filter", "classifier"}
+
+    def test_overlay_load_is_microseconds_and_stays_online(self):
+        sim = Simulator()
+        fpga = FpgaFabric(sim, DEFAULT_COSTS)
+        fpga.load_bitstream(KOPI_BITSTREAM)
+        sim.run()
+        start = sim.now
+        loaded = []
+        prog = assemble("accept", name="allow-all")
+        fpga.load_overlay("filter", prog).add_callback(lambda s: loaded.append(sim.now))
+        assert not fpga.offline  # dataplane live during overlay load
+        sim.run()
+        assert loaded == [start + DEFAULT_COSTS.overlay_load_ns]
+        assert fpga.machine("filter") is not None
+        assert fpga.machine("filter").program.name == "allow-all"
+
+    def test_overlay_reload_replaces_program(self):
+        sim = Simulator()
+        fpga = FpgaFabric(sim, DEFAULT_COSTS)
+        fpga.load_bitstream(KOPI_BITSTREAM)
+        sim.run()
+        fpga.load_overlay("filter", assemble("accept", name="v1"))
+        sim.run()
+        fpga.load_overlay("filter", assemble("drop", name="v2"))
+        sim.run()
+        assert fpga.machine("filter").program.name == "v2"
+        assert fpga.slots["filter"].loads == 2
+
+    def test_bitstream_wipes_overlays(self):
+        sim = Simulator()
+        fpga = FpgaFabric(sim, DEFAULT_COSTS)
+        fpga.load_bitstream(KOPI_BITSTREAM)
+        sim.run()
+        fpga.load_overlay("filter", assemble("accept"))
+        sim.run()
+        fpga.load_bitstream(KOPI_BITSTREAM)
+        sim.run()
+        assert fpga.machine("filter") is None  # hardware was rewritten
+
+    def test_program_exceeding_slot_capacity_rejected(self):
+        sim = Simulator()
+        fpga = FpgaFabric(sim, DEFAULT_COSTS)
+        fpga.load_bitstream(KOPI_BITSTREAM)
+        sim.run()
+        big = assemble("\n".join(["ldi r0, 1"] * 600 + ["accept"]))
+        with pytest.raises(VerifierError):
+            fpga.load_overlay("classifier", big)  # 512-instr slot
+
+    def test_errors(self):
+        sim = Simulator()
+        fpga = FpgaFabric(sim, DEFAULT_COSTS, logic_capacity=100)
+        with pytest.raises(NicError, match="logic"):
+            fpga.load_bitstream(KOPI_BITSTREAM)
+        fpga2 = FpgaFabric(sim, DEFAULT_COSTS)
+        with pytest.raises(NicError, match="no bitstream"):
+            fpga2.load_overlay("filter", assemble("accept"))
+        fpga2.load_bitstream(KOPI_BITSTREAM)
+        with pytest.raises(NicError, match="in progress"):
+            fpga2.load_bitstream(KOPI_BITSTREAM)
+        sim.run()
+        with pytest.raises(NicError, match="no slot"):
+            fpga2.load_overlay("nat", assemble("accept"))

@@ -1,0 +1,140 @@
+"""Overlay assembler and verifier."""
+
+import pytest
+
+from repro.errors import AssemblerError, VerifierError
+from repro.overlay import Instr, Program, assemble, verify
+from repro.overlay.isa import OP_ACCEPT, OP_DROP, OP_JMP, OP_LDI
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        prog = assemble(
+            """
+            ; block postgres port
+                ldf r0, l4.dport
+                jne r0, 5432, allow
+                drop
+            allow:
+                accept
+            """
+        )
+        assert len(prog) == 4
+        assert prog.instrs[0].op == "ldf"
+        assert prog.instrs[1].target == 3  # label resolved
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = assemble("# a comment\n\n   accept ; trailing\n")
+        assert len(prog) == 1
+
+    def test_hex_immediates(self):
+        prog = assemble("ldi r2, 0x1F\naccept")
+        assert prog.instrs[0].src == ("imm", 31)
+
+    def test_register_operands(self):
+        prog = assemble("mov r1, r0\nadd r1, r2\nadd r1, 7\naccept")
+        assert prog.instrs[0].src == ("reg", 0)
+        assert prog.instrs[1].src == ("reg", 2)
+        assert prog.instrs[2].src == ("imm", 7)
+
+    def test_label_on_same_line(self):
+        prog = assemble("start: ldi r0, 1\njmp end\nend: accept")
+        assert prog.instrs[1].target == 2
+
+    def test_meter_and_counter_encoding(self):
+        prog = assemble("meter 0, r3\ncnt 2\naccept", n_counters=3, n_meters=1)
+        assert prog.instrs[0].index == 0 and prog.instrs[0].rd == 3
+        assert prog.instrs[1].index == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r0",              # unknown op
+            "ldf r9, l4.dport\naccept",   # bad register
+            "ldf r0, tcp.window\naccept", # unknown field
+            "jmp nowhere\naccept",        # unknown label
+            "ldi r0\naccept",             # wrong arity
+            "jeq r0, xyz, done\ndone: accept",  # bad immediate
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(AssemblerError):
+            assemble(bad)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: accept\nx: drop")
+
+    def test_disassembly_roundtrip_shape(self):
+        prog = assemble("ldf r0, l4.dport\njeq r0, 22, ssh\ndrop\nssh: accept")
+        text = prog.disassemble()
+        assert "ldf r0 l4.dport" in text
+        assert "@3" in text
+
+
+class TestVerifier:
+    def good(self):
+        return assemble("ldf r0, l4.dport\njeq r0, 22, ok\ndrop\nok: accept")
+
+    def test_accepts_valid_program(self):
+        verify(self.good())
+
+    def test_rejects_empty(self):
+        with pytest.raises(VerifierError):
+            verify(Program(instrs=()))
+
+    def test_rejects_oversized(self):
+        with pytest.raises(VerifierError, match="too large"):
+            verify(self.good(), max_instrs=2)
+
+    def test_rejects_backward_jump(self):
+        prog = Program(
+            instrs=(
+                Instr(op=OP_LDI, rd=0, src=("imm", 1)),
+                Instr(op=OP_JMP, target=0),  # hand-built back edge
+                Instr(op=OP_ACCEPT),
+            )
+        )
+        with pytest.raises(VerifierError, match="forward-only"):
+            verify(prog)
+
+    def test_rejects_self_jump(self):
+        prog = Program(instrs=(Instr(op=OP_JMP, target=0), Instr(op=OP_ACCEPT)))
+        with pytest.raises(VerifierError, match="forward-only"):
+            verify(prog)
+
+    def test_rejects_out_of_bounds_jump(self):
+        prog = Program(instrs=(Instr(op=OP_JMP, target=5), Instr(op=OP_ACCEPT)))
+        with pytest.raises(VerifierError, match="out of bounds"):
+            verify(prog)
+
+    def test_rejects_fallthrough_end(self):
+        prog = assemble("ldi r0, 1\naccept")
+        bad = Program(instrs=prog.instrs[:1])  # ends on ldi
+        with pytest.raises(VerifierError, match="fall off"):
+            verify(bad)
+
+    def test_rejects_undeclared_counter(self):
+        prog = assemble("cnt 0\naccept", n_counters=0)
+        with pytest.raises(VerifierError, match="counter"):
+            verify(prog)
+
+    def test_rejects_undeclared_meter(self):
+        prog = assemble("meter 1, r0\naccept", n_meters=1)
+        with pytest.raises(VerifierError, match="meter"):
+            verify(prog)
+
+    def test_rejects_excess_resources(self):
+        prog = assemble("accept", n_counters=100)
+        with pytest.raises(VerifierError, match="counters"):
+            verify(prog, max_counters=10)
+
+    def test_rejects_tap_out_of_range(self):
+        prog = assemble("mirror 9\naccept")
+        with pytest.raises(VerifierError, match="tap"):
+            verify(prog, max_taps=8)
+
+    def test_rejects_oversized_immediate(self):
+        prog = Program(instrs=(Instr(op=OP_LDI, rd=0, src=("imm", 1 << 33)), Instr(op=OP_DROP)))
+        with pytest.raises(VerifierError, match="32-bit"):
+            verify(prog)

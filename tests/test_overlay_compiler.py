@@ -1,0 +1,117 @@
+"""Policy -> overlay compilation (the §4.4 iptables/tc lowering)."""
+
+import pytest
+
+from repro import units
+from repro.config import DEFAULT_COSTS
+from repro.errors import PolicyError
+from repro.kernel import ACCEPT, DROP, NetfilterRule
+from repro.net import IPv4Address, MacAddress, PROTO_TCP, make_tcp, make_udp
+from repro.overlay import (
+    OverlayMachine,
+    VERDICT_ACCEPT,
+    VERDICT_DROP,
+    compile_classifier,
+    compile_filter_rules,
+    verify,
+)
+from repro.overlay.compiler import compile_rate_limiter
+
+MAC_A, MAC_B = MacAddress.from_index(1), MacAddress.from_index(2)
+IP_A, IP_B = IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2")
+
+
+def tcp(dport=5432, conn_id=None):
+    pkt = make_tcp(MAC_A, MAC_B, IP_A, IP_B, sport=40_000, dport=dport)
+    if conn_id is not None:
+        pkt.meta.conn_id = conn_id
+    return pkt
+
+
+def run(prog, pkt, now=0):
+    verify(prog)
+    return OverlayMachine(prog, DEFAULT_COSTS).execute(pkt, now)
+
+
+class TestFilterCompilation:
+    def test_header_only_rule(self):
+        prog = compile_filter_rules([NetfilterRule(verdict=DROP, proto=PROTO_TCP, dport=5432)])
+        assert run(prog, tcp(dport=5432)).verdict == VERDICT_DROP
+        assert run(prog, tcp(dport=80)).verdict == VERDICT_ACCEPT
+
+    def test_owner_rule_resolved_to_connections(self):
+        """§2 port partition: 'only Bob's postgres on 5432'. The control
+        plane resolves Bob's postgres to connections {3, 9}."""
+        rules = [
+            NetfilterRule(verdict=ACCEPT, dport=5432, uid_owner=1000, cmd_owner="postgres"),
+            NetfilterRule(verdict=DROP, dport=5432),
+        ]
+        prog = compile_filter_rules(rules, resolve_conns=lambda r: [3, 9])
+        m = OverlayMachine(prog, DEFAULT_COSTS)
+        verify(prog)
+        assert m.execute(tcp(conn_id=3), 0).verdict == VERDICT_ACCEPT
+        assert m.execute(tcp(conn_id=9), 0).verdict == VERDICT_ACCEPT
+        assert m.execute(tcp(conn_id=4), 0).verdict == VERDICT_DROP  # another app
+        assert m.execute(tcp(dport=80, conn_id=4), 0).verdict == VERDICT_ACCEPT
+        # Per-rule counters landed on the right rules.
+        assert m.counters == [2, 1]
+
+    def test_owner_rule_with_no_connections_skipped(self):
+        rules = [
+            NetfilterRule(verdict=ACCEPT, dport=5432, uid_owner=1000),
+            NetfilterRule(verdict=DROP, dport=5432),
+        ]
+        prog = compile_filter_rules(rules, resolve_conns=lambda r: [])
+        assert run(prog, tcp(conn_id=1)).verdict == VERDICT_DROP
+
+    def test_owner_rule_without_resolver_fails_loudly(self):
+        rules = [NetfilterRule(verdict=DROP, uid_owner=1000, dport=1)]
+        with pytest.raises(PolicyError, match="resolver"):
+            compile_filter_rules(rules)
+        with pytest.raises(PolicyError, match="resolved"):
+            compile_filter_rules(rules, resolve_conns=lambda r: None)
+
+    def test_ip_matches_compile(self):
+        prog = compile_filter_rules([NetfilterRule(verdict=DROP, src_ip=IP_A, dst_ip=IP_B)])
+        assert run(prog, tcp()).verdict == VERDICT_DROP
+        other = make_udp(MAC_B, MAC_A, IP_B, IP_A, 1, 2)
+        assert run(prog, other).verdict == VERDICT_ACCEPT
+
+    def test_empty_ruleset_accepts(self):
+        prog = compile_filter_rules([])
+        assert run(prog, tcp()).verdict == VERDICT_ACCEPT
+
+    def test_rule_order_preserved(self):
+        rules = [
+            NetfilterRule(verdict=ACCEPT, dport=5432, sport=40_000),
+            NetfilterRule(verdict=DROP, dport=5432),
+        ]
+        prog = compile_filter_rules(rules)
+        assert run(prog, tcp()).verdict == VERDICT_ACCEPT
+
+
+class TestClassifierCompilation:
+    def test_conn_to_classid(self):
+        prog = compile_classifier({5: 0x10001, 6: 0x10002}, default_classid=0)
+        assert run(prog, tcp(conn_id=5)).sched_class == 0x10001
+        assert run(prog, tcp(conn_id=6)).sched_class == 0x10002
+        assert run(prog, tcp(conn_id=99)).sched_class == 0
+
+    def test_empty_map_defaults(self):
+        prog = compile_classifier({}, default_classid=7)
+        assert run(prog, tcp(conn_id=1)).sched_class == 7
+
+
+class TestRateLimiter:
+    def test_policer_program(self):
+        prog = compile_rate_limiter(8 * units.MBPS, 2_000)
+        verify(prog)
+        m = OverlayMachine(prog, DEFAULT_COSTS)
+        m.configure_meter(0, 8 * units.MBPS, 2_000)
+        pkt = make_udp(MAC_A, MAC_B, IP_A, IP_B, 1, 2, 958)
+        verdicts = [m.execute(pkt, 0).verdict for _ in range(3)]
+        assert verdicts == [VERDICT_ACCEPT, VERDICT_ACCEPT, VERDICT_DROP]
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            compile_rate_limiter(0, 100)

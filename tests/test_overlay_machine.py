@@ -1,0 +1,149 @@
+"""Overlay execution: field loads, branches, verdicts, meters, cost model."""
+
+import pytest
+
+from repro import units
+from repro.config import DEFAULT_COSTS
+from repro.errors import OverlayError
+from repro.net import IPv4Address, MacAddress, make_arp_request, make_tcp, make_udp
+from repro.net.headers import TCP_FLAG_SYN
+from repro.overlay import OverlayMachine, VERDICT_ACCEPT, VERDICT_DROP, assemble, verify
+
+MAC_A, MAC_B = MacAddress.from_index(1), MacAddress.from_index(2)
+IP_A, IP_B = IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2")
+
+
+def machine(text, **kwargs):
+    prog = assemble(text, **kwargs)
+    verify(prog)
+    return OverlayMachine(prog, DEFAULT_COSTS)
+
+
+def udp(dport=2000, size=100):
+    return make_udp(MAC_A, MAC_B, IP_A, IP_B, 1000, dport, size)
+
+
+class TestExecution:
+    def test_port_filter(self):
+        m = machine(
+            """
+                ldf r0, l4.dport
+                jne r0, 5432, allow
+                drop
+            allow:
+                accept
+            """
+        )
+        assert m.execute(udp(dport=5432), 0).verdict == VERDICT_DROP
+        assert m.execute(udp(dport=80), 0).verdict == VERDICT_ACCEPT
+        assert m.packets_seen == 2
+
+    def test_field_loads(self):
+        m = machine(
+            """
+                ldf r0, ip.src
+                jne r0, 0x0A000001, bad
+                ldf r1, meta.len
+                jlt r1, 100, bad
+                accept
+            bad:
+                drop
+            """
+        )
+        assert m.execute(udp(size=100), 0).verdict == VERDICT_ACCEPT
+        assert m.execute(udp(size=10), 0).verdict == VERDICT_DROP
+
+    def test_tcp_flags_and_arp_fields(self):
+        syn_filter = machine(
+            """
+                ldf r0, tcp.flags
+                and r0, 0x02
+                jeq r0, 0, pass
+                drop
+            pass:
+                accept
+            """
+        )
+        syn = make_tcp(MAC_A, MAC_B, IP_A, IP_B, 1, 2, flags=TCP_FLAG_SYN)
+        assert syn_filter.execute(syn, 0).verdict == VERDICT_DROP
+        assert syn_filter.execute(udp(), 0).verdict == VERDICT_ACCEPT
+
+        arp_counter = machine("ldf r0, arp.op\njeq r0, 1, isreq\naccept\nisreq: cnt 0\naccept",
+                              n_counters=1)
+        arp_counter.execute(make_arp_request(MAC_A, IP_A, IP_B), 0)
+        arp_counter.execute(udp(), 0)
+        assert arp_counter.counters[0] == 1
+
+    def test_missing_fields_read_zero(self):
+        m = machine("ldf r0, l4.dport\njeq r0, 0, z\ndrop\nz: accept")
+        assert m.execute(make_arp_request(MAC_A, IP_A, IP_B), 0).verdict == VERDICT_ACCEPT
+
+    def test_set_queue_and_class(self):
+        m = machine("setq 3\nsetcls 0x10001\naccept")
+        result = m.execute(udp(), 0)
+        assert result.queue == 3
+        assert result.sched_class == 0x10001
+
+    def test_mirror_taps(self):
+        m = machine("mirror 0\nmirror 2\naccept")
+        assert m.execute(udp(), 0).mirrors == [0, 2]
+
+    def test_alu_wrapping(self):
+        m = machine(
+            """
+                ldi r0, 0xFFFFFFFF
+                add r0, 1
+                jeq r0, 0, ok
+                drop
+            ok:
+                accept
+            """
+        )
+        assert m.execute(udp(), 0).verdict == VERDICT_ACCEPT
+
+    def test_conn_id_meta(self):
+        m = machine("ldf r0, meta.conn_id\njeq r0, 7, hit\naccept\nhit: drop")
+        pkt = udp()
+        pkt.meta.conn_id = 7
+        assert m.execute(pkt, 0).verdict == VERDICT_DROP
+        assert m.execute(udp(), 0).verdict == VERDICT_ACCEPT
+
+    def test_cost_scales_with_instructions(self):
+        m = machine("ldf r0, l4.dport\njne r0, 1, a\na: accept")
+        result = m.execute(udp(), 0)
+        assert result.instrs_executed == 3
+        assert result.cost_ns == 3 * DEFAULT_COSTS.overlay_instr_ns
+
+
+class TestMeters:
+    def test_policer_enforces_rate(self):
+        m = machine(
+            "meter 0, r0\njeq r0, 1, ok\ndrop\nok: accept", n_meters=1
+        )
+        # 1000B-wire packets; bucket = 2 packets; rate = 8 Mbps = 1 packet/ms.
+        m.configure_meter(0, rate_bps=8 * units.MBPS, burst_bytes=2_000)
+        pkt = udp(size=958)
+        assert m.execute(pkt, 0).verdict == VERDICT_ACCEPT
+        assert m.execute(pkt, 0).verdict == VERDICT_ACCEPT
+        assert m.execute(pkt, 0).verdict == VERDICT_DROP  # bucket empty
+        assert m.execute(pkt, 1_000_000 + 10).verdict == VERDICT_ACCEPT  # refilled
+
+    def test_unconfigured_meter_is_open(self):
+        m = machine("meter 0, r0\njeq r0, 1, ok\ndrop\nok: accept", n_meters=1)
+        assert m.execute(udp(), 0).verdict == VERDICT_ACCEPT
+
+    def test_configure_undeclared_meter_rejected(self):
+        m = machine("accept")
+        with pytest.raises(OverlayError):
+            m.configure_meter(0, units.MBPS, 1_000)
+
+
+class TestFuelGuard:
+    def test_unverified_backward_loop_caught(self):
+        from repro.overlay import Instr, Program
+        from repro.overlay.isa import OP_JMP, OP_ACCEPT
+
+        looping = Program(instrs=(Instr(op=OP_JMP, target=0), Instr(op=OP_ACCEPT)))
+        m = OverlayMachine(looping, DEFAULT_COSTS)
+        with pytest.raises(OverlayError, match="fuel"):
+            m.execute(udp(), 0)

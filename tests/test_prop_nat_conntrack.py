@@ -1,0 +1,100 @@
+"""Property-based tests: NAT translation round trips, conntrack bounds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conntrack import CT_ENTRY_BYTES, ConntrackTable, NatTable
+from repro.net import IPv4Address, MacAddress, make_tcp, make_udp
+from repro.net.checksum import internet_checksum
+from repro.net.headers import PROTO_TCP
+from repro.nic.smartnic import SramAllocator
+
+MAC_A, MAC_B = MacAddress.from_index(1), MacAddress.from_index(9)
+HOST = IPv4Address.parse("10.0.0.1")
+PUBLIC = IPv4Address.parse("192.0.2.1")
+
+
+def flows():
+    return st.tuples(
+        st.booleans(),                      # tcp?
+        st.integers(1, 0xFFFF),             # sport
+        st.integers(1, 0xFFFF),             # dport
+        st.integers(0, (1 << 32) - 1),      # remote ip
+        st.integers(0, 1400),               # payload
+    )
+
+
+def build(flow):
+    tcp, sport, dport, remote, size = flow
+    maker = make_tcp if tcp else make_udp
+    return maker(MAC_A, MAC_B, HOST, IPv4Address(remote), sport, dport, size)
+
+
+class TestNatProperties:
+    @given(flow=flows())
+    @settings(max_examples=200)
+    def test_out_then_reply_in_round_trips(self, flow):
+        nat = NatTable(SramAllocator(1 << 20), PUBLIC)
+        pkt = build(flow)
+        out = nat.translate_out(pkt)
+        assert out is not None
+        assert out.ipv4.src == PUBLIC
+        assert out.ipv4.dst == pkt.ipv4.dst
+        assert out.l4.dport == pkt.l4.dport
+        assert out.payload_len == pkt.payload_len
+        assert internet_checksum(out.ipv4.to_bytes()) == 0
+
+        # Build the peer's reply to what it saw and translate it back.
+        ft = out.five_tuple
+        maker = make_tcp if ft.proto == PROTO_TCP else make_udp
+        reply = maker(MAC_B, MAC_A, ft.dst_ip, PUBLIC, ft.dport, ft.sport, 10)
+        back = nat.translate_in(reply)
+        assert back.ipv4.dst == HOST
+        assert back.l4.dport == pkt.l4.sport  # original source restored
+
+    @given(flow_list=st.lists(flows(), min_size=1, max_size=40, unique=True))
+    @settings(max_examples=50)
+    def test_public_ports_never_collide(self, flow_list):
+        nat = NatTable(SramAllocator(1 << 20), PUBLIC)
+        seen = {}
+        for flow in flow_list:
+            pkt = build(flow)
+            out = nat.translate_out(pkt)
+            key = (out.five_tuple.proto, out.l4.sport)
+            internal = pkt.five_tuple
+            if key in seen:
+                assert seen[key] == internal  # same binding -> same flow
+            seen[key] = internal
+
+    @given(flow=flows())
+    def test_translation_is_stable(self, flow):
+        nat = NatTable(SramAllocator(1 << 20), PUBLIC)
+        a = nat.translate_out(build(flow))
+        b = nat.translate_out(build(flow))
+        assert a.l4.sport == b.l4.sport
+        assert len(nat.bindings()) == 1
+
+
+class TestConntrackProperties:
+    @given(
+        flow_list=st.lists(flows(), min_size=1, max_size=60),
+        capacity_entries=st.integers(1, 20),
+    )
+    @settings(max_examples=100)
+    def test_entries_never_exceed_sram(self, flow_list, capacity_entries):
+        sram = SramAllocator(capacity_entries * CT_ENTRY_BYTES)
+        ct = ConntrackTable(sram)
+        for i, flow in enumerate(flow_list):
+            ct.observe(build(flow), now_ns=i)
+            assert len(ct) <= capacity_entries
+            assert sram.used_bytes == len(ct) * CT_ENTRY_BYTES
+
+    @given(flow_list=st.lists(flows(), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_packet_accounting_conserved(self, flow_list):
+        ct = ConntrackTable(SramAllocator(1 << 20))
+        tracked = 0
+        for i, flow in enumerate(flow_list):
+            if ct.observe(build(flow), now_ns=i) is not None:
+                tracked += 1
+        assert sum(e.packets for e in ct.entries()) == tracked

@@ -1,0 +1,140 @@
+"""Property-based tests: overlay programs always terminate, compilers agree
+with the software rule engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_COSTS
+from repro.errors import VerifierError
+from repro.kernel import ACCEPT, CHAIN_OUTPUT, DROP, NetfilterRule
+from repro.net import IPv4Address, MacAddress, make_tcp, make_udp
+from repro.net.headers import PROTO_TCP, PROTO_UDP
+from repro.overlay import (
+    Instr,
+    OverlayMachine,
+    Program,
+    VERDICT_ACCEPT,
+    VERDICT_DROP,
+    compile_filter_rules,
+    verify,
+)
+
+MAC_A, MAC_B = MacAddress.from_index(1), MacAddress.from_index(2)
+IP_A, IP_B = IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2")
+
+
+def random_packet():
+    return st.tuples(
+        st.sampled_from([PROTO_TCP, PROTO_UDP]),
+        st.integers(1, 0xFFFF),
+        st.integers(1, 0xFFFF),
+        st.integers(0, 1400),
+    ).map(lambda t: (make_tcp if t[0] == PROTO_TCP else make_udp)(
+        MAC_A, MAC_B, IP_A, IP_B, t[1], t[2], t[3]
+    ))
+
+
+def random_verified_program():
+    """Generate structurally valid programs: random straight-line ALU/load
+    instructions with forward branches, ending in a terminal."""
+
+    def build(draw_ops):
+        instrs = []
+        n = len(draw_ops)
+        for i, (kind, a, b) in enumerate(draw_ops):
+            remaining = n - i  # slots after this one incl. terminal
+            if kind == "ldi":
+                instrs.append(Instr(op="ldi", rd=a % 8, src=("imm", b)))
+            elif kind == "alu":
+                instrs.append(Instr(op="add", rd=a % 8, src=("imm", b)))
+            elif kind == "ldf":
+                instrs.append(Instr(op="ldf", rd=a % 8, field="l4.dport"))
+            elif kind == "branch" and remaining > 1:
+                target = i + 1 + (b % remaining)
+                target = min(target, n)  # may jump to the terminal slot
+                instrs.append(
+                    Instr(op="jeq", ra=a % 8, src=("imm", b), target=target)
+                )
+            else:
+                instrs.append(Instr(op="ldi", rd=a % 8, src=("imm", b)))
+        instrs.append(Instr(op="accept"))
+        return Program(instrs=tuple(instrs))
+
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["ldi", "alu", "ldf", "branch"]),
+            st.integers(0, 7),
+            st.integers(0, 0xFFFF),
+        ),
+        min_size=0,
+        max_size=40,
+    ).map(build)
+
+
+class TestTermination:
+    @given(prog=random_verified_program(), pkt=random_packet())
+    @settings(max_examples=200)
+    def test_verified_programs_terminate_within_length(self, prog, pkt):
+        verify(prog)
+        machine = OverlayMachine(prog, DEFAULT_COSTS)
+        result = machine.execute(pkt, now_ns=0)
+        assert result.instrs_executed <= len(prog)
+        assert result.verdict in (VERDICT_ACCEPT, VERDICT_DROP)
+        assert result.cost_ns == result.instrs_executed * DEFAULT_COSTS.overlay_instr_ns
+
+    @given(prog=random_verified_program())
+    @settings(max_examples=100)
+    def test_verifier_accepts_generated_programs(self, prog):
+        verify(prog)  # must not raise
+
+    @given(target_delta=st.integers(1, 40))
+    def test_verifier_rejects_any_back_edge(self, target_delta):
+        pad = tuple(
+            Instr(op="ldi", rd=0, src=("imm", 0)) for _ in range(target_delta)
+        )
+        prog = Program(
+            instrs=pad + (Instr(op="jmp", target=0), Instr(op="accept"))
+        )
+        try:
+            verify(prog)
+            assert False, "back edge must be rejected"
+        except VerifierError:
+            pass
+
+
+def rule_strategy():
+    return st.builds(
+        NetfilterRule,
+        verdict=st.sampled_from([ACCEPT, DROP]),
+        chain=st.just(CHAIN_OUTPUT),
+        proto=st.one_of(st.none(), st.sampled_from([PROTO_TCP, PROTO_UDP])),
+        sport=st.one_of(st.none(), st.integers(1, 0xFFFF)),
+        dport=st.one_of(st.none(), st.integers(1, 0xFFFF)),
+    )
+
+
+class TestCompilerEquivalence:
+    """The compiled overlay program must agree with the software rule
+    engine on every packet — the §4.4 lowering is semantics-preserving."""
+
+    @given(rules=st.lists(rule_strategy(), min_size=0, max_size=8),
+           pkt=random_packet())
+    @settings(max_examples=300)
+    def test_header_rules_agree_with_software_engine(self, rules, pkt):
+        from repro.kernel.netfilter import RuleTable
+
+        table = RuleTable()
+        for rule in rules:
+            # Fresh copies: counters mutate.
+            table.append(NetfilterRule(
+                verdict=rule.verdict, chain=rule.chain, proto=rule.proto,
+                sport=rule.sport, dport=rule.dport,
+            ))
+        software_verdict, _ = table.evaluate(CHAIN_OUTPUT, pkt, owner=None)
+
+        prog = compile_filter_rules(rules)
+        verify(prog)
+        machine = OverlayMachine(prog, DEFAULT_COSTS)
+        hw = machine.execute(pkt, 0)
+        expected = VERDICT_DROP if software_verdict == DROP else VERDICT_ACCEPT
+        assert hw.verdict == expected

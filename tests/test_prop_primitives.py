@@ -1,0 +1,99 @@
+"""Property-based tests: units, checksum, addresses, Toeplitz, metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.net import IPv4Address, MacAddress, internet_checksum, toeplitz_hash
+from repro.sim import Histogram
+
+
+class TestUnitsProperties:
+    @given(nbytes=st.integers(1, 10**9), rate=st.integers(1_000, 10**12))
+    def test_transmit_time_positive_and_monotone(self, nbytes, rate):
+        t = units.transmit_time_ns(nbytes, rate)
+        assert t >= 1
+        assert units.transmit_time_ns(nbytes + 1, rate) >= t
+
+    @given(nbytes=st.integers(1, 10**7), rate=st.integers(10**6, 10**11))
+    def test_throughput_inverts_transmit_time(self, nbytes, rate):
+        t = units.transmit_time_ns(nbytes, rate)
+        measured = units.throughput_bps(nbytes, t)
+        assert measured > 0
+        # Whole-ns quantization: flooring t can at most double the measured
+        # rate (t_true < 2), and the 1 ns floor caps it at bits/ns.
+        assert measured <= max(2 * rate, units.bits(nbytes) * units.SEC)
+        # Large transfers amortize the quantization away entirely.
+        if t >= 100:
+            assert measured <= rate * 1.02
+
+
+class TestChecksumProperties:
+    @given(data=st.binary(min_size=0, max_size=512))
+    def test_checksum_in_range(self, data):
+        c = internet_checksum(data)
+        assert 0 <= c <= 0xFFFF
+
+    @given(data=st.binary(min_size=2, max_size=512).filter(lambda d: len(d) % 2 == 0))
+    def test_inserting_checksum_makes_it_verify(self, data):
+        """The defining property: data || checksum verifies to zero."""
+        c = internet_checksum(data)
+        combined = data + c.to_bytes(2, "big")
+        assert internet_checksum(combined) == 0
+
+    @given(data=st.binary(min_size=0, max_size=128))
+    def test_deterministic(self, data):
+        assert internet_checksum(data) == internet_checksum(data)
+
+
+class TestAddressProperties:
+    @given(value=st.integers(0, (1 << 48) - 1))
+    def test_mac_roundtrip(self, value):
+        mac = MacAddress(value)
+        assert MacAddress.parse(str(mac)) == mac
+        assert int.from_bytes(mac.to_bytes(), "big") == value
+
+    @given(value=st.integers(0, (1 << 32) - 1))
+    def test_ipv4_roundtrip(self, value):
+        ip = IPv4Address(value)
+        assert IPv4Address.parse(str(ip)) == ip
+        assert int.from_bytes(ip.to_bytes(), "big") == value
+
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    def test_ipv4_ordering_matches_integers(self, a, b):
+        assert (IPv4Address(a) < IPv4Address(b)) == (a < b)
+
+
+class TestToeplitzProperties:
+    @given(data=st.binary(min_size=0, max_size=32))
+    def test_hash_is_32_bit_and_deterministic(self, data):
+        h = toeplitz_hash(data)
+        assert 0 <= h < 1 << 32
+        assert toeplitz_hash(data) == h
+
+    @given(data=st.binary(min_size=1, max_size=32))
+    def test_hash_is_linear_under_xor(self, data):
+        """Toeplitz is GF(2)-linear: H(a ^ b) == H(a) ^ H(b)."""
+        zero = bytes(len(data))
+        other = bytes((b ^ 0x55) for b in data)
+        mask = bytes(0x55 for _ in data)
+        assert toeplitz_hash(data) ^ toeplitz_hash(mask) == toeplitz_hash(other)
+        assert toeplitz_hash(zero) == 0
+
+
+class TestHistogramProperties:
+    @given(samples=st.lists(st.floats(0, 1e9, allow_nan=False), min_size=1, max_size=200))
+    def test_percentiles_monotone_and_bounded(self, samples):
+        h = Histogram()
+        h.extend(samples)
+        p25, p50, p99 = h.percentile(25), h.percentile(50), h.percentile(99)
+        assert h.minimum <= p25 <= p50 <= p99 <= h.maximum
+        # Mean is a float sum; allow one ulp of rounding slack at the edges.
+        slack = 1e-9 * max(abs(h.maximum), 1.0)
+        assert h.minimum - slack <= h.mean <= h.maximum + slack
+
+    @given(samples=st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+    def test_percentile_100_is_max(self, samples):
+        h = Histogram()
+        h.extend(samples)
+        assert h.percentile(100) == max(samples)

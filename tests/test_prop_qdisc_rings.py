@@ -1,0 +1,136 @@
+"""Property-based tests: qdisc conservation/fairness, ring invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.host import MemorySystem
+from repro.kernel import DrrQdisc, PfifoQdisc, PrioQdisc, TbfQdisc
+from repro.net import IPv4Address, MacAddress, make_udp
+from repro.nic import DescriptorRing
+
+MAC_A, MAC_B = MacAddress.from_index(1), MacAddress.from_index(2)
+IP_A, IP_B = IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2")
+
+
+def pkt(size=958):
+    return make_udp(MAC_A, MAC_B, IP_A, IP_B, 1000, 2000, size)
+
+
+class TestQdiscConservation:
+    """No qdisc may create, duplicate, or silently destroy packets:
+    enqueued == dequeued + still_queued + dropped."""
+
+    @given(sizes=st.lists(st.integers(1, 1400), min_size=1, max_size=100),
+           limit=st.integers(1, 50))
+    def test_pfifo_conserves(self, sizes, limit):
+        q = PfifoQdisc(limit=limit)
+        accepted = sum(1 for s in sizes if q.enqueue(pkt(s)))
+        drained = 0
+        while q.dequeue(0):
+            drained += 1
+        assert accepted == drained
+        assert accepted + q.dropped == len(sizes)
+
+    @given(sizes=st.lists(st.integers(1, 1400), min_size=1, max_size=60))
+    def test_tbf_conserves_and_never_reorders(self, sizes):
+        q = TbfQdisc(rate_bps=units.GBPS, burst_bytes=2_000)
+        packets = [pkt(s) for s in sizes]
+        accepted = [p for p in packets if q.enqueue(p)]
+        drained = []
+        now = 0
+        for _ in range(10 * len(sizes) + 10):
+            got = q.dequeue(now)
+            if got is None:
+                nxt = q.next_ready_ns(now)
+                if nxt is None:
+                    break
+                now = max(nxt, now + 1)
+                continue
+            drained.append(got)
+        assert drained == accepted  # FIFO order, nothing lost or invented
+
+    @given(
+        counts=st.tuples(st.integers(0, 40), st.integers(0, 40)),
+        weights=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    )
+    def test_drr_conserves_across_classes(self, counts, weights):
+        q = DrrQdisc(weights={"a": weights[0], "b": weights[1]}, limit=100)
+        for _ in range(counts[0]):
+            q.enqueue(pkt(), "a")
+        for _ in range(counts[1]):
+            q.enqueue(pkt(), "b")
+        drained = 0
+        while q.dequeue(0):
+            drained += 1
+        assert drained == counts[0] + counts[1]
+        assert q.backlog == 0
+
+    @given(weights=st.tuples(st.integers(1, 6), st.integers(1, 6)))
+    @settings(max_examples=30)
+    def test_drr_share_tracks_weights_under_backlog(self, weights):
+        wa, wb = weights
+        q = DrrQdisc(weights={"a": wa, "b": wb})
+        for _ in range(400):
+            q.enqueue(pkt(), "a")
+            q.enqueue(pkt(), "b")
+        for _ in range(150):
+            assert q.dequeue(0) is not None
+        expected = wa / (wa + wb)
+        assert abs(q.share_of("a") - expected) < 0.12
+
+    @given(bands=st.lists(st.integers(0, 2), min_size=1, max_size=60))
+    def test_prio_always_serves_lowest_band_first(self, bands):
+        q = PrioQdisc(bands=3)
+        tagged = []
+        for band in bands:
+            p = pkt()
+            tagged.append((band, p))
+            q.enqueue(p, str(band))
+        out_bands = []
+        while True:
+            p = q.dequeue(0)
+            if p is None:
+                break
+            band = next(b for b, x in tagged if x is p)
+            out_bands.append(band)
+        # At any point, a dequeued band is never higher-numbered than a
+        # band still waiting from before it... simpler invariant: the output
+        # is each band's packets in FIFO order, bands sorted per drain loop.
+        assert sorted(out_bands) == sorted(bands)
+        assert out_bands == sorted(bands, key=lambda b: b)  # strict priority drain
+
+
+class TestRingProperties:
+    @given(ops=st.lists(st.sampled_from(["post", "consume"]), min_size=1, max_size=200),
+           entries=st.integers(1, 16))
+    def test_ring_never_overfills_and_indices_track(self, ops, entries):
+        mem = MemorySystem(total_bytes=1 * units.MB)
+        ring = DescriptorRing(entries, mem.alloc_pinned(1024, owner="t"), "r")
+        model = []
+        for op in ops:
+            if op == "post":
+                if ring.try_post(len(model)):
+                    model.append(len(model))
+            else:
+                got = ring.try_consume()
+                if model:
+                    assert got == model.pop(0)
+                else:
+                    assert got is None
+            assert 0 <= ring.occupancy <= entries
+            assert ring.occupancy == len(model)
+            assert ring.head - ring.tail == len(model)
+
+    @given(entries=st.integers(1, 8), n=st.integers(1, 50))
+    def test_fifo_order_preserved(self, entries, n):
+        mem = MemorySystem(total_bytes=1 * units.MB)
+        ring = DescriptorRing(entries, mem.alloc_pinned(1024, owner="t"), "r")
+        seen = []
+        produced = 0
+        while produced < n:
+            while produced < n and ring.try_post(produced):
+                produced += 1
+            while not ring.is_empty:
+                seen.append(ring.consume())
+        assert seen == list(range(n))

@@ -1,0 +1,76 @@
+"""Property-based tests on the simulation engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+class TestEngineOrdering:
+    @given(delays=st.lists(st.integers(0, 10_000), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.after(d, lambda d=d: fired.append((sim.now, d)))
+        sim.run()
+        times = [t for t, _d in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(delays)
+        for t, d in fired:
+            assert t == d  # each fired exactly at its scheduled time
+
+    @given(delays=st.lists(st.integers(0, 100), min_size=2, max_size=60))
+    @settings(max_examples=100)
+    def test_ties_fifo(self, delays):
+        """Events at the same timestamp fire in insertion order."""
+        sim = Simulator()
+        fired = []
+        for i, d in enumerate(delays):
+            sim.after(d, lambda i=i: fired.append(i))
+        sim.run()
+        # Stable sort of indices by delay must equal the fire order.
+        expected = [i for i, _d in sorted(enumerate(delays), key=lambda x: x[1])]
+        assert fired == expected
+
+    @given(
+        delays=st.lists(st.integers(1, 1_000), min_size=1, max_size=50),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=50),
+    )
+    @settings(max_examples=100)
+    def test_cancelled_events_never_fire(self, delays, cancel_mask):
+        sim = Simulator()
+        fired = []
+        handles = []
+        for i, d in enumerate(delays):
+            handles.append(sim.after(d, lambda i=i: fired.append(i)))
+        for handle, cancel in zip(handles, cancel_mask):
+            if cancel:
+                handle.cancel()
+        sim.run()
+        cancelled = {i for i, c in enumerate(zip(handles, cancel_mask)) if c[1]}
+        assert set(fired).isdisjoint(cancelled)
+        assert len(fired) == len(delays) - len(
+            [1 for h, c in zip(handles, cancel_mask) if c]
+        )
+
+    @given(
+        first=st.lists(st.integers(0, 500), min_size=1, max_size=30),
+        nested=st.integers(0, 500),
+    )
+    @settings(max_examples=50)
+    def test_nested_scheduling_preserves_order(self, first, nested):
+        """Events scheduled from inside callbacks still fire in time order."""
+        sim = Simulator()
+        fired = []
+
+        def outer(d):
+            fired.append(sim.now)
+            sim.after(nested, lambda: fired.append(sim.now))
+
+        for d in first:
+            sim.after(d, outer, d)
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == 2 * len(first)

@@ -1,0 +1,119 @@
+"""Discrete-event engine behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.after(30, order.append, "c")
+        sim.after(10, order.append, "a")
+        sim.after(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.after(100, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.after(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.after(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.after(5, order.append, "nested")
+
+        sim.after(10, first)
+        sim.after(100, order.append, "last")
+        sim.run()
+        assert order == ["first", "nested", "last"]
+        assert sim.now == 100
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.after(10, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.after(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        h = sim.after(10, lambda: None)
+        sim.after(20, lambda: None)
+        h.cancel()
+        assert sim.peek() == 20
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.after(10, fired.append, "early")
+        sim.after(100, fired.append, "late")
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=1_000)
+        assert sim.now == 1_000
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.after(1, lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_fired == 3
+
+    def test_run_until_idle_detects_livelock(self):
+        sim = Simulator()
+
+        def rescheduler():
+            sim.after(1, rescheduler)
+
+        sim.after(1, rescheduler)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)

@@ -1,0 +1,88 @@
+"""Signal (promise) semantics and combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Signal
+
+
+class TestSignal:
+    def test_succeed_delivers_value(self):
+        s = Signal("s")
+        got = []
+        s.add_callback(lambda sig: got.append(sig.value))
+        s.succeed(42)
+        assert got == [42]
+        assert s.ok and s.triggered and not s.failed
+
+    def test_callback_after_resolution_runs_immediately(self):
+        s = Signal()
+        s.succeed("v")
+        got = []
+        s.add_callback(lambda sig: got.append(sig.value))
+        assert got == ["v"]
+
+    def test_double_resolution_rejected(self):
+        s = Signal()
+        s.succeed()
+        with pytest.raises(SimulationError):
+            s.succeed()
+        with pytest.raises(SimulationError):
+            s.fail(RuntimeError("x"))
+
+    def test_fail_carries_exception(self):
+        s = Signal()
+        err = RuntimeError("boom")
+        s.fail(err)
+        assert s.failed
+        assert s.exception is err
+
+    def test_value_unavailable_until_success(self):
+        s = Signal("pending")
+        with pytest.raises(SimulationError):
+            _ = s.value
+
+    def test_fail_requires_exception(self):
+        s = Signal()
+        with pytest.raises(SimulationError):
+            s.fail("not an exception")  # type: ignore[arg-type]
+
+
+class TestAllOf:
+    def test_collects_values_in_order(self):
+        a, b, c = Signal("a"), Signal("b"), Signal("c")
+        combo = AllOf([a, b, c])
+        b.succeed(2)
+        a.succeed(1)
+        assert not combo.triggered
+        c.succeed(3)
+        assert combo.value == [1, 2, 3]
+
+    def test_empty_succeeds_immediately(self):
+        assert AllOf([]).value == []
+
+    def test_fails_fast(self):
+        a, b = Signal(), Signal()
+        combo = AllOf([a, b])
+        a.fail(ValueError("bad"))
+        assert combo.failed
+        assert isinstance(combo.exception, ValueError)
+
+
+class TestAnyOf:
+    def test_first_winner_reported_with_index(self):
+        a, b = Signal(), Signal()
+        combo = AnyOf([a, b])
+        b.succeed("second-signal")
+        assert combo.value == (1, "second-signal")
+
+    def test_later_resolutions_ignored(self):
+        a, b = Signal(), Signal()
+        combo = AnyOf([a, b])
+        a.succeed("x")
+        b.succeed("y")
+        assert combo.value == (0, "x")
+
+    def test_requires_children(self):
+        with pytest.raises(SimulationError):
+            AnyOf([])

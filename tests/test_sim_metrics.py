@@ -1,0 +1,103 @@
+"""Counters, histograms, time series, rate meters."""
+
+import pytest
+
+from repro import units
+from repro.sim import Counter, Histogram, MetricSet, RateMeter, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("pkts")
+        c.inc()
+        c.inc(9)
+        assert c.value == 10
+        assert int(c) == 10
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("lat")
+        h.extend([10, 20, 30, 40])
+        assert h.count == 4
+        assert h.mean == 25
+        assert h.minimum == 10
+        assert h.maximum == 40
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        h.extend(range(1, 101))
+        assert h.percentile(50) == 50
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.percentile(1) == 1
+
+    def test_percentile_interleaved_with_observation(self):
+        h = Histogram()
+        h.observe(5)
+        assert h.p50 == 5
+        h.observe(1)
+        assert h.p50 == 1  # re-sorts after new sample
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.p99 == 0.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestTimeSeries:
+    def test_records_and_window_mean(self):
+        ts = TimeSeries("depth")
+        ts.record(0, 1.0)
+        ts.record(10, 3.0)
+        ts.record(20, 5.0)
+        assert ts.last == 5.0
+        assert ts.window_mean(0, 10) == 2.0
+        assert len(ts) == 3
+
+    def test_rejects_time_travel(self):
+        ts = TimeSeries()
+        ts.record(10, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(5, 2.0)
+
+
+class TestRateMeter:
+    def test_average_rate(self):
+        m = RateMeter("rx")
+        m.record(0, 0)
+        m.record(units.SEC, 125_000_000)  # 1 Gbit over 1 second
+        assert m.rate_bps() == pytest.approx(units.GBPS)
+
+    def test_explicit_end_time(self):
+        m = RateMeter()
+        m.record(0, 125_000_000)
+        assert m.rate_bps(end_ns=2 * units.SEC) == pytest.approx(units.GBPS / 2)
+
+    def test_empty_meter(self):
+        assert RateMeter().rate_bps() == 0.0
+
+
+class TestMetricSet:
+    def test_lazy_creation_and_identity(self):
+        ms = MetricSet("nic0")
+        assert ms.counter("rx") is ms.counter("rx")
+        assert ms.histogram("lat") is ms.histogram("lat")
+        assert ms.series("depth") is ms.series("depth")
+        assert ms.meter("bytes") is ms.meter("bytes")
+
+    def test_snapshot_qualifies_names(self):
+        ms = MetricSet("nic0")
+        ms.counter("rx").inc(3)
+        ms.histogram("lat").observe(7)
+        snap = ms.snapshot()
+        assert snap["nic0.rx"] == 3.0
+        assert snap["nic0.lat.mean"] == 7.0

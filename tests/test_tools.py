@@ -1,0 +1,212 @@
+"""Admin tools over kernel and KOPI dataplanes."""
+
+import pytest
+
+from repro.core import NormanOS
+from repro.dataplanes import BypassDataplane, KernelPathDataplane, Testbed
+from repro.dataplanes.testbed import PEER_IP
+from repro.errors import ToolError, UnsupportedOperation
+from repro.net import PROTO_UDP, make_arp_request
+from repro.tools import Arp, Ifconfig, Iptables, Netstat, Tc, Tcpdump, compile_filter
+
+PLANES = [KernelPathDataplane, NormanOS]
+
+
+@pytest.fixture(params=PLANES, ids=lambda c: c.name)
+def tb(request):
+    return Testbed(request.param)
+
+
+class TestIptables:
+    def test_add_list_flush(self, tb):
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        tb.user("bob")
+        out = ipt("-A OUTPUT -p udp --dport 5432 -m owner --uid-owner bob "
+                  "--cmd-owner postgres -j ACCEPT")
+        assert out.startswith("ok:")
+        ipt("-A OUTPUT -p udp --dport 5432 -j DROP")
+        listing = ipt("-L OUTPUT")
+        assert "--uid-owner 1000" in listing
+        assert listing.count("-j") == 2
+        ipt("-F OUTPUT")
+        assert ipt("-L OUTPUT").count("-j") == 0
+
+    def test_rule_actually_enforces(self, tb):
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        ipt("-A OUTPUT -p udp --dport 9000 -j DROP")
+        tb.run_all()  # allow overlay loads on KOPI
+        proc = tb.spawn("app", "bob", core_id=1)
+        ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+        tb.run_all()
+        ep.send(100, dst=(PEER_IP, 9000))
+        ep.send(100, dst=(PEER_IP, 9001))
+        tb.run_all()
+        assert [p.five_tuple.dport for p in tb.peer.received] == [9001]
+
+    def test_verbose_counters(self, tb):
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        ipt("-A OUTPUT -p udp --dport 9000 -j DROP")
+        tb.run_all()
+        proc = tb.spawn("app", "bob", core_id=1)
+        ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+        tb.run_all()
+        ep.send(100, dst=(PEER_IP, 9000))
+        tb.run_all()
+        listing = ipt("-L OUTPUT -v")
+        assert "pkts=1" in listing
+
+    def test_insert_and_delete(self, tb):
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        ipt("-A OUTPUT --dport 1 -j DROP")
+        ipt("-I OUTPUT --dport 1 -j ACCEPT")  # inserted at head
+        rules = tb.kernel.filters.rules("OUTPUT")
+        assert rules[0].verdict == "ACCEPT"
+        ipt("-D OUTPUT 1")
+        assert tb.kernel.filters.rules("OUTPUT")[0].verdict == "DROP"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "-X OUTPUT",
+            "-A NAT -j DROP",
+            "-A OUTPUT -j REJECT",
+            "-A OUTPUT --dport 1",
+            "-A OUTPUT -p icmp -j DROP",
+            "-A OUTPUT -m state -j DROP",
+            "-D OUTPUT 99",
+            "-A OUTPUT --dport",
+        ],
+    )
+    def test_bad_commands(self, tb, bad):
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        with pytest.raises(ToolError):
+            ipt(bad)
+
+    def test_bypass_refuses(self):
+        tb = Testbed(BypassDataplane)
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        with pytest.raises(UnsupportedOperation):
+            ipt("-A OUTPUT --dport 9000 -j DROP")
+
+
+class TestTc:
+    def test_wfq_configures_scheduler(self, tb):
+        tb.kernel.cgroups.create("/games")
+        tb.kernel.cgroups.create("/work")
+        tc = Tc(tb.dataplane, tb.kernel)
+        out = tc("qdisc replace dev nic0 root wfq /games:1 /work:9")
+        assert out.startswith("ok:")
+        assert "/games:1" in tc("qdisc show dev nic0")
+
+    def test_unknown_cgroup_rejected(self, tb):
+        tc = Tc(tb.dataplane, tb.kernel)
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError):
+            tc("qdisc replace dev nic0 root wfq /missing:1")
+
+    @pytest.mark.parametrize("bad", ["", "qdisc add dev nic0 root codel",
+                                     "qdisc replace dev nic0 root wfq",
+                                     "qdisc replace dev nic0 root wfq /g"])
+    def test_bad_commands(self, tb, bad):
+        tb.kernel.cgroups.create("/g")
+        tc = Tc(tb.dataplane, tb.kernel)
+        with pytest.raises(ToolError):
+            tc(bad)
+
+
+class TestTcpdumpFilters:
+    def pkt(self, dport=80):
+        from repro.net import IPv4Address, MacAddress, make_udp
+
+        return make_udp(MacAddress.from_index(1), MacAddress.from_index(2),
+                        IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2"),
+                        1234, dport, 10)
+
+    def test_expressions(self):
+        assert compile_filter("")(self.pkt())
+        assert compile_filter("udp")(self.pkt())
+        assert not compile_filter("tcp")(self.pkt())
+        assert compile_filter("port 80")(self.pkt(80))
+        assert compile_filter("dst port 80")(self.pkt(80))
+        assert not compile_filter("src port 80")(self.pkt(80))
+        assert compile_filter("udp and dst port 80")(self.pkt(80))
+        assert not compile_filter("udp and dst port 81")(self.pkt(80))
+        assert compile_filter("host 10.0.0.2")(self.pkt())
+
+    def test_arp_expression(self):
+        from repro.net import IPv4Address, MacAddress
+
+        arp = make_arp_request(MacAddress.from_index(1), IPv4Address.parse("10.0.0.1"),
+                               IPv4Address.parse("10.0.0.2"))
+        assert compile_filter("arp")(arp)
+        assert not compile_filter("udp")(arp)
+
+    def test_bad_expression(self):
+        with pytest.raises(ToolError):
+            compile_filter("frames with vibes")
+        with pytest.raises(ToolError):
+            compile_filter("port eighty")
+
+
+class TestTcpdumpTool:
+    def test_capture_and_format(self, tb):
+        proc = tb.spawn("postgres", "bob", core_id=1)
+        dump = Tcpdump(tb.dataplane)
+        session = dump.start("udp and dst port 9000")
+        ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+        ep.send(100, dst=(PEER_IP, 9000))
+        ep.send(100, dst=(PEER_IP, 9001))
+        tb.run_all()
+        text = dump.format(session)
+        assert "1 packets captured" in text
+        assert "comm=postgres" in text
+
+    def test_save_pcap_kopi_only(self, tmp_path):
+        tb = Testbed(NormanOS)
+        proc = tb.spawn("app", "bob", core_id=1)
+        dump = Tcpdump(tb.dataplane)
+        session = dump.start("")
+        tb.dataplane.open_endpoint(proc, PROTO_UDP, 6000).send(10, dst=(PEER_IP, 1))
+        tb.run_all()
+        path = dump.save_pcap(session, str(tmp_path / "out.pcap"))
+        assert path is not None
+        from repro.net.pcap import read_pcap_summary
+
+        count, _ = read_pcap_summary((tmp_path / "out.pcap").read_bytes())
+        assert count == 1
+
+
+class TestNetstatAndArp:
+    def test_netstat_joins_process_table(self, tb):
+        proc = tb.spawn("postgres", "bob", core_id=1)
+        tb.dataplane.open_endpoint(proc, PROTO_UDP, 5432)
+        ns = Netstat(tb.kernel)
+        out = ns()
+        assert "5432" in out
+        assert "postgres" in out
+        assert "bob" in out
+        assert ns.rows() == 1
+
+    def test_netstat_blind_under_bypass(self):
+        tb = Testbed(BypassDataplane)
+        proc = tb.spawn("postgres", "bob", core_id=1)
+        tb.dataplane.open_endpoint(proc, PROTO_UDP, 5432)
+        assert Netstat(tb.kernel).rows() == 0  # the §2 pathology
+
+    def test_ifconfig_shows_counters(self, tb):
+        proc = tb.spawn("app", "bob", core_id=1)
+        tb.dataplane.open_endpoint(proc, PROTO_UDP, 6000).send(10, dst=(PEER_IP, 1))
+        tb.run_all()
+        out = Ifconfig(tb.dataplane, tb.kernel)()
+        assert "TX packets 1" in out
+
+    def test_arp_tool(self):
+        tb = Testbed(KernelPathDataplane)
+        assert Arp(tb.dataplane)() == "arp: no entries"
+        tb.peer.send(make_arp_request(tb.peer.mac, tb.peer.ip, PEER_IP))
+        tb.run_all()
+        out = Arp(tb.dataplane)()
+        assert str(tb.peer.ip) in out
+        assert Arp(tb.dataplane).count() == 1

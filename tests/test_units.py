@@ -1,0 +1,62 @@
+"""Unit conversions and formatting."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversion:
+    def test_constants_are_consistent(self):
+        assert units.US == 1_000
+        assert units.MS == 1_000_000
+        assert units.SEC == 1_000_000_000
+        assert units.MINUTE == 60 * units.SEC
+
+    def test_roundtrip_seconds(self):
+        assert units.sec_to_ns(1.5) == 1_500_000_000
+        assert units.ns_to_sec(units.sec_to_ns(0.25)) == pytest.approx(0.25)
+
+
+class TestTransmitTime:
+    def test_one_kb_at_one_gbps(self):
+        # 1000 bytes = 8000 bits at 1e9 bps -> 8000 ns
+        assert units.transmit_time_ns(1_000, units.GBPS) == 8_000
+
+    def test_full_mtu_at_100gbps(self):
+        # 1500B = 12000 bits at 100 Gbps -> 120 ns
+        assert units.transmit_time_ns(1_500, 100 * units.GBPS) == 120
+
+    def test_zero_bytes_is_free(self):
+        assert units.transmit_time_ns(0, units.GBPS) == 0
+
+    def test_minimum_one_ns(self):
+        assert units.transmit_time_ns(1, 10**15) == 1
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.transmit_time_ns(100, 0)
+
+
+class TestThroughput:
+    def test_inverse_of_transmit_time(self):
+        t = units.transmit_time_ns(125_000, units.GBPS)
+        assert units.throughput_bps(125_000, t) == pytest.approx(units.GBPS)
+
+    def test_zero_elapsed(self):
+        assert units.throughput_bps(100, 0) == 0.0
+
+
+class TestFormatting:
+    def test_fmt_rate(self):
+        assert units.fmt_rate(97.3 * units.GBPS) == "97.30 Gbps"
+        assert units.fmt_rate(1.5 * units.MBPS) == "1.50 Mbps"
+        assert units.fmt_rate(12) == "12 bps"
+
+    def test_fmt_time(self):
+        assert units.fmt_time(3) == "3 ns"
+        assert units.fmt_time(12_500) == "12.500 us"
+        assert units.fmt_time(2 * units.SEC) == "2.000 s"
+
+    def test_fmt_size(self):
+        assert units.fmt_size(64) == "64 B"
+        assert units.fmt_size(6 * units.MB) == "6.0 MiB"
