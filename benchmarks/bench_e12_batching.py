@@ -1,0 +1,84 @@
+"""E12 — batching bench: the coalesced-event fast path pays for itself.
+
+Beyond the simulated amortization (fewer ns of simulated CPU per packet),
+burst mode must also make the *simulator* cheaper: one heap entry per burst
+instead of one per packet means fewer events fired and less wall-clock per
+simulated packet. This bench measures both and writes a JSON artifact with
+the wall-clock/throughput numbers so CI runs leave a comparable record.
+"""
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.apps import BulkSender
+from repro.config import DEFAULT_COSTS
+from repro.dataplanes import BypassDataplane, KernelPathDataplane, Testbed
+from repro.experiments.common import fmt_table
+from repro.experiments.e12_batching import headline, run_e12
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "e12_batching.json"
+COUNT = 2_048
+
+
+def _run_point(plane_cls, batch, count=COUNT):
+    costs = replace(DEFAULT_COSTS, batch_size=batch)
+    tb = Testbed(plane_cls, costs=costs)
+    app = BulkSender(tb, comm="bulk", user="bob", core_id=1,
+                     payload_len=1_458, count=count, burst=batch)
+    t0 = time.perf_counter()
+    app.start()
+    tb.run_all()
+    wall_s = time.perf_counter() - t0
+    return {
+        "plane": plane_cls.name,
+        "batch": batch,
+        "packets": app.sent,
+        "events_fired": tb.sim.events_fired,
+        "sim_goodput_gbps": app.goodput_bps() / 1e9,
+        "wall_s": wall_s,
+        "wall_pkts_per_s": app.sent / wall_s if wall_s else 0.0,
+    }
+
+
+def test_e12_batching(once):
+    rows = once(run_e12, count=320)
+    from repro.experiments.e12_batching import COLUMNS
+
+    print("\n" + fmt_table(rows, columns=COLUMNS))
+    h = headline(rows)
+    # Acceptance: ring-based planes amortize monotonically; the sidecar's
+    # physical movement does not amortize.
+    assert h["ring_planes_monotone"]
+    assert h["kernel_amortization_x"] > 1.1
+    assert h["bypass_amortization_x"] > 1.5
+    assert h["sidecar_amortization_x"] < 1.05
+
+
+def test_e12_wall_clock_artifact():
+    points = []
+    for plane_cls in (BypassDataplane, KernelPathDataplane):
+        for batch in (1, 16, 32):
+            points.append(_run_point(plane_cls, batch))
+
+    by_key = {(p["plane"], p["batch"]): p for p in points}
+    for plane in ("bypass", "kernel"):
+        base, batched = by_key[(plane, 1)], by_key[(plane, 32)]
+        # The coalesced-event fast path: strictly fewer simulator events.
+        assert batched["events_fired"] < base["events_fired"], (
+            f"{plane}: burst mode fired {batched['events_fired']} events, "
+            f"per-packet fired {base['events_fired']}"
+        )
+        print(
+            f"\n{plane}: batch=1 {base['events_fired']} events "
+            f"({base['wall_s'] * 1e3:.1f} ms wall, "
+            f"{base['wall_pkts_per_s']:,.0f} pkt/s) -> batch=32 "
+            f"{batched['events_fired']} events "
+            f"({batched['wall_s'] * 1e3:.1f} ms wall, "
+            f"{batched['wall_pkts_per_s']:,.0f} pkt/s)"
+        )
+
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(json.dumps({"points": points}, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")

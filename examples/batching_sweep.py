@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Burst-mode dataplane: sweep batch size and watch which per-packet
+overheads amortize.
+
+Ring-based planes pay fixed costs per *call* — a syscall crossing, an MMIO
+doorbell, a DMA round trip — and batching spreads each over the whole
+burst. The sidecar's dominant cost is physical data movement (coherence
+traffic to its dedicated core), which is per-byte: batching cannot buy it
+back. That asymmetry is §1's virtual-vs-physical taxonomy, measured.
+
+Run:  python examples/batching_sweep.py         (~30 seconds)
+"""
+
+from repro.dataplanes import BypassDataplane, KernelPathDataplane, SidecarDataplane
+from repro.experiments.common import fmt_table, run_burst_tx
+
+BATCHES = (1, 4, 16, 64)
+COLUMNS = [
+    "plane", "batch", "goodput_gbps",
+    "app_cpu_ns_per_pkt", "host_cpu_ns_per_pkt", "latency_us_mean",
+]
+
+
+def main() -> None:
+    rows = []
+    for plane_cls in (KernelPathDataplane, BypassDataplane, SidecarDataplane):
+        for batch in BATCHES:
+            row = run_burst_tx(plane_cls, 1_458, 256, batch)
+            del row["movements"]
+            rows.append(row)
+    print(fmt_table(rows, columns=COLUMNS))
+
+    print(
+        "\nkernel and bypass per-packet CPU falls with batch size (the\n"
+        "syscall crossing / doorbell / DMA setup amortize); the sidecar's\n"
+        "stays flat — its cost is physical movement, charged per byte.\n"
+        "Latency rises with batch size: packets wait for their burst.\n"
+        "Full sweep across all five planes: python -m repro e12"
+    )
+
+
+if __name__ == "__main__":
+    main()

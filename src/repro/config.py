@@ -78,6 +78,29 @@ class CostModel:
     app_pkt_work_ns: int = 100
     """Application-level work per packet (parse/serve), common to all paths."""
 
+    # --- batching (burst-mode dataplane) ------------------------------------
+    batch_size: int = 1
+    """Packets moved per burst on every layer that supports bursts: ring
+    doorbells, NIC TX drains, NAPI-style RX delivery, sendmmsg/recvmmsg.
+    1 reproduces strict per-packet processing (the seed behaviour)."""
+
+    dma_setup_ns: int = 40
+    """Marginal cost per extra descriptor inside one batched DMA transaction
+    (TLP framing, descriptor walk). Far below the full round-trip
+    :attr:`pcie_dma_latency_ns` a lone descriptor pays — that gap is
+    precisely what a burst fetch amortizes. Charged only on the burst
+    (n > 1) paths; n == 1 stays the classic per-transaction latency."""
+
+    interrupt_coalesce_ns: int = 8_000
+    """NIC interrupt-coalescing window: in burst mode (batch_size > 1) RX
+    notifications/interrupts are edge-triggered per burst rather than
+    level-triggered per packet, bounding wakeups to one per window."""
+
+    sendmmsg_per_msg_ns: int = 40
+    """Marginal in-kernel bookkeeping per extra message of a batched
+    sendmmsg/recvmmsg call (iovec walk, cmsg checks) — the part of syscall
+    dispatch that does *not* amortize."""
+
     # --- memory hierarchy ---------------------------------------------------
     llc_size_bytes: int = 33 * units.MB
     llc_ways: int = 11
@@ -161,6 +184,8 @@ class CostModel:
         for name, value in dataclasses.asdict(self).items():
             if isinstance(value, (int, float)) and value < 0:
                 raise ConfigError(f"CostModel.{name} must be >= 0, got {value}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.ddio_ways > self.llc_ways:
             raise ConfigError(
                 f"ddio_ways ({self.ddio_ways}) cannot exceed llc_ways ({self.llc_ways})"
@@ -190,6 +215,27 @@ class CostModel:
         if nbytes <= 0:
             return 0
         return max(1, round(nbytes * self.copy_ns_per_byte))
+
+    # --- batch-aware cost components -----------------------------------------
+
+    def dma_burst_ns(self, n: int) -> int:
+        """Latency of one DMA transaction carrying ``n`` descriptors.
+
+        A burst pays the transaction latency once plus a small per-extra-
+        descriptor setup share; ``n == 1`` is exactly the classic per-packet
+        :attr:`pcie_dma_latency_ns`, so batch_size=1 runs are unchanged.
+        """
+        if n <= 1:
+            return self.pcie_dma_latency_ns
+        return self.pcie_dma_latency_ns + (n - 1) * self.dma_setup_ns
+
+    def syscall_burst_ns(self, n: int) -> int:
+        """Entry/exit cost of one batched syscall moving ``n`` messages
+        (``sendmmsg``/``recvmmsg``): one crossing plus per-extra-message
+        dispatch bookkeeping. ``n == 1`` equals :attr:`syscall_ns`."""
+        if n <= 1:
+            return self.syscall_ns
+        return self.syscall_ns + (n - 1) * self.sendmmsg_per_msg_ns
 
     def replace(self, **changes: object) -> "CostModel":
         """Return a copy with the given fields changed (ablation helper)."""

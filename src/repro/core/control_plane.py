@@ -428,11 +428,15 @@ class ControlPlane:
     def notification_queue(self, pid: int) -> Optional[NotificationQueue]:
         return self._notifq.get(pid)
 
-    def _post_notification(self, conn: NormanConnection, kind: str) -> None:
+    def _post_notification(self, conn: NormanConnection, kind: str, count: int = 1) -> None:
         queue = self._notifq.get(conn.proc.pid)
         if queue is None:
             return
-        queue.post(Notification(conn_id=conn.conn_id, kind=kind, time_ns=self.machine.sim.now))
+        queue.post(
+            Notification(
+                conn_id=conn.conn_id, kind=kind, time_ns=self.machine.sim.now, count=count
+            )
+        )
 
     def set_monitor_mode(
         self, pid: int, mode: str, poll_interval_ns: int = 50_000

@@ -9,14 +9,14 @@ use the kernel stack — same API, kernel-path costs.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
 from ..net.addresses import IPv4Address
 from ..net.headers import PROTO_TCP
 from ..net.packet import Packet, make_tcp, make_udp
 from ..sim import Signal
-from ..dataplanes.base import Endpoint
+from ..dataplanes.base import Endpoint, _as_bool, _as_first
 from .connection import NormanConnection
 
 Message = Tuple[int, IPv4Address, int]
@@ -51,33 +51,52 @@ class NormanEndpoint(Endpoint):
     # --- TX ------------------------------------------------------------------
 
     def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        return _as_bool(self.send_burst((payload_len,), dst), "norman.send")
+
+    def send_burst(
+        self, payload_lens: Sequence[int], dst: Optional[Tuple[IPv4Address, int]] = None
+    ) -> Signal:
         dst = dst or self.conn.sock.peer
         if dst is None:
             raise UnsupportedOperation("send without destination on unconnected endpoint")
         if self.conn.fallback:
-            return self._os.kernel.netstack.sendto(
-                self.proc, self.conn.sock, dst[0], dst[1], payload_len
+            return self._os.kernel.netstack.sendmmsg(
+                self.proc, self.conn.sock, dst[0], dst[1], payload_lens
             )
-        pkt = self._build(dst[0], dst[1], payload_len)
-        return self.send_raw(pkt)
+        pkts = [self._build(dst[0], dst[1], length) for length in payload_lens]
+        return self.send_raw_burst(pkts)
 
     def send_raw(self, pkt: Packet) -> Signal:
         """Zero-copy post + doorbell. Blocks (via the tx_drained
         notification) when the TX ring is full."""
+        return _as_bool(self.send_raw_burst((pkt,)), "norman.send")
+
+    def send_raw_burst(self, pkts: Sequence[Packet]) -> Signal:
+        """Post a descriptor burst under ONE doorbell. Blocks (via the
+        tx_drained notification) for the remainder when the ring fills —
+        each retry rings the doorbell once for what it managed to post."""
         if self.conn.fallback:
             raise UnsupportedOperation("fallback connections cannot inject raw frames")
-        result = Signal("norman.send")
-        pkt.meta.created_ns = self._os.machine.sim.now
-        # mmio_write_cost both prices the doorbell and counts it.
-        cost = self._costs.bypass_tx_pkt_ns + self._os.machine.dma.mmio_write_cost()
+        result = Signal("norman.send_burst")
+        now = self._os.machine.sim.now
+        for pkt in pkts:
+            pkt.meta.created_ns = now
+        # mmio_write_cost both prices the doorbell and counts it — once for
+        # the whole burst, which is exactly what batching amortizes.
+        cost = len(pkts) * self._costs.bypass_tx_pkt_ns + self._os.machine.dma.mmio_write_cost()
+        state = {"idx": 0, "posted": 0}
 
         def _attempt(_sig: Optional[Signal] = None) -> None:
             if self.closed:
-                result.succeed(False)
+                result.succeed(state["posted"])
                 return
-            if self.conn.rings.tx.try_post(pkt):
+            posted_now = self.conn.rings.tx.post_burst(pkts[state["idx"]:])
+            if posted_now:
+                state["posted"] += posted_now
+                state["idx"] += posted_now
                 self._os.nic.doorbell(self.conn)
-                result.succeed(True)
+            if state["idx"] >= len(pkts):
+                result.succeed(state["posted"])
                 return
             woken = self._os.control.block_on_tx(self.conn, self.proc)
             woken.add_callback(_attempt)
@@ -96,25 +115,34 @@ class NormanEndpoint(Endpoint):
     # --- RX -----------------------------------------------------------------------
 
     def recv(self, blocking: bool = True) -> Signal:
-        """Consume one message from the RX ring.
+        """Consume one message from the RX ring: the degenerate burst of one.
 
         The read cost is honest about the memory hierarchy: freshly
         DMA-written lines are cheap while the active working set fits DDIO
         and DRAM-expensive once it does not — the E8 mechanism.
         """
+        return _as_first(self.recv_burst(1, blocking=blocking), "norman.recv")
+
+    def recv_burst(self, max_msgs: int, blocking: bool = True) -> Signal:
+        """Drain up to ``max_msgs`` ring entries under one library call:
+        one wakeup, one CPU dispatch, per-packet memory-read costs."""
         if self.conn.fallback:
-            return self._os.kernel.netstack.recv(self.proc, self.conn.sock, blocking=blocking)
-        result = Signal("norman.recv")
+            return self._os.kernel.netstack.recvmmsg(
+                self.proc, self.conn.sock, max_msgs, blocking=blocking
+            )
+        result = Signal("norman.recv_burst")
 
         def _attempt(_sig: Optional[Signal] = None) -> None:
             if self.closed:
                 result.fail(EndpointClosed(f"endpoint :{self.port} closed"))
                 return
-            pkt = self.conn.rings.rx.try_consume()
-            if pkt is not None:
-                cost = self._costs.bypass_rx_pkt_ns + self._read_cost(pkt)
+            pkts = self.conn.rings.rx.consume_burst(max_msgs)
+            if pkts:
+                cost = sum(
+                    self._costs.bypass_rx_pkt_ns + self._read_cost(p) for p in pkts
+                )
                 self._core.execute(cost, "norman_rx").add_callback(
-                    lambda _s: result.succeed(_message_of(pkt))
+                    lambda _s: result.succeed([_message_of(p) for p in pkts])
                 )
                 return
             if not blocking:

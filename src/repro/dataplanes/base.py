@@ -15,7 +15,7 @@ those refusals, not from hand-written tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import UnsupportedOperation
 from ..kernel.netfilter import NetfilterRule
@@ -25,6 +25,34 @@ from ..sim import Signal
 
 Message = Tuple[int, IPv4Address, int]  # (payload_len, src_ip, sport)
 PacketFilter = Callable[[Packet], bool]
+
+
+def _as_bool(burst_sig: Signal, name: str) -> Signal:
+    """Adapt a send_burst count signal to the per-packet bool contract."""
+    out = Signal(name)
+
+    def _done(sig: Signal) -> None:
+        if sig.failed:
+            out.fail(sig.exception)
+        else:
+            out.succeed(bool(sig.value))
+
+    burst_sig.add_callback(_done)
+    return out
+
+
+def _as_first(burst_sig: Signal, name: str) -> Signal:
+    """Adapt a recv_burst message-list signal to the single-message contract."""
+    out = Signal(name)
+
+    def _done(sig: Signal) -> None:
+        if sig.failed:
+            out.fail(sig.exception)
+        else:
+            out.succeed(sig.value[0])
+
+    burst_sig.add_callback(_done)
+    return out
 
 
 @dataclass
@@ -85,6 +113,61 @@ class Endpoint:
         """Receive one :data:`Message`. Blocking semantics (sleep vs poll)
         are the dataplane's — that difference is experiment E6."""
         raise NotImplementedError
+
+    # --- burst interface ---------------------------------------------------
+    #
+    # The burst calls are the real dataplane surface; per-packet send/recv
+    # are the degenerate burst of one. Planes with a native batched path
+    # (rings with one doorbell per burst, sendmmsg, NAPI drains) override
+    # these; the defaults below sequentially replay per-packet calls so
+    # every endpoint supports the API even without amortization.
+
+    def send_burst(
+        self, payload_lens: Sequence[int], dst: Optional[Tuple[IPv4Address, int]] = None
+    ) -> Signal:
+        """Send a burst of messages; resolves with the number admitted."""
+        lens = list(payload_lens)
+        result = Signal("send_burst")
+        state = {"sent": 0, "idx": 0}
+
+        def _next(sig: Optional[Signal] = None) -> None:
+            if sig is not None and sig.ok and sig.value:
+                state["sent"] += 1
+            if state["idx"] >= len(lens):
+                result.succeed(state["sent"])
+                return
+            i = state["idx"]
+            state["idx"] += 1
+            self.send(lens[i], dst).add_callback(_next)
+
+        _next()
+        return result
+
+    def recv_burst(self, max_msgs: int, blocking: bool = True) -> Signal:
+        """Receive up to ``max_msgs`` messages; resolves with the list.
+
+        Blocking semantics follow :meth:`recv` for the *first* message;
+        the rest are taken only if already available (MSG_WAITFORONE).
+        """
+        result = Signal("recv_burst")
+        msgs: List[Message] = []
+
+        def _next(sig: Optional[Signal] = None) -> None:
+            if sig is not None:
+                if sig.failed:
+                    if msgs:
+                        result.succeed(msgs)
+                    else:
+                        result.fail(sig.exception)
+                    return
+                msgs.append(sig.value)
+                if len(msgs) >= max_msgs:
+                    result.succeed(msgs)
+                    return
+            self.recv(blocking=blocking if not msgs else False).add_callback(_next)
+
+        _next()
+        return result
 
     def close(self) -> None:
         self.closed = True

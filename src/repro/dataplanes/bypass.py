@@ -16,7 +16,7 @@ entire story of §2's pathologies:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation
@@ -29,7 +29,7 @@ from ..net.headers import PROTO_TCP
 from ..nic.base import BasicNic
 from ..nic.rings import DescriptorRing, RingPair
 from ..sim import Signal
-from .base import Dataplane, Endpoint
+from .base import Dataplane, Endpoint, _as_bool, _as_first
 
 
 class BypassEndpoint(Endpoint):
@@ -67,45 +67,66 @@ class BypassEndpoint(Endpoint):
         return done
 
     def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
-        dst = dst or self.peer
-        if dst is None:
-            raise UnsupportedOperation("send without destination on unconnected endpoint")
-        pkt = self._dp.build_packet(self, dst[0], dst[1], payload_len)
-        return self.send_raw(pkt)
+        """Per-packet send: the degenerate burst of one."""
+        return _as_bool(self.send_burst((payload_len,), dst), "bypass.send")
 
     def send_raw(self, pkt: Packet) -> Signal:
         """Raw injection — bypass apps can put anything on the wire, which
         is exactly why Alice cannot enforce her policies."""
-        result = Signal("bypass.send")
-        pkt.meta.created_ns = self._dp.machine.sim.now
-        cost = self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
+        return _as_bool(self.send_raw_burst((pkt,)), "bypass.send")
+
+    def send_burst(
+        self, payload_lens: Sequence[int], dst: Optional[Tuple[IPv4Address, int]] = None
+    ) -> Signal:
+        dst = dst or self.peer
+        if dst is None:
+            raise UnsupportedOperation("send without destination on unconnected endpoint")
+        pkts = [
+            self._dp.build_packet(self, dst[0], dst[1], length) for length in payload_lens
+        ]
+        return self.send_raw_burst(pkts)
+
+    def send_raw_burst(self, pkts: Sequence[Packet]) -> Signal:
+        """Post a descriptor burst under ONE doorbell: per-packet userspace
+        work, a single MMIO write, a single DMA fetch on the NIC side."""
+        result = Signal("bypass.send_burst")
+        now = self._dp.machine.sim.now
+        for pkt in pkts:
+            pkt.meta.created_ns = now
+        cost = len(pkts) * self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
 
         def _done(_sig: Signal) -> None:
             if self.closed:
-                result.succeed(False)
+                result.succeed(0)
                 return
-            ok = self.rings.tx.try_post(pkt)
-            if ok:
-                self._dp.nic_consume_tx(self.rings)
-            result.succeed(ok)
+            posted = self.rings.tx.post_burst(pkts)
+            if posted:
+                self._dp.nic_consume_tx(self.rings, posted)
+            result.succeed(posted)
 
         self._core.execute(cost, "bypass_tx").add_callback(_done)
         return result
 
     def recv(self, blocking: bool = True) -> Signal:
-        """Poll the RX ring. ``blocking=True`` here means *spin until data*:
-        the core stays 100% busy — there is nothing to sleep on."""
-        result = Signal("bypass.recv")
+        """Poll the RX ring for one message: the degenerate burst of one.
+        ``blocking=True`` here means *spin until data*: the core stays 100%
+        busy — there is nothing to sleep on."""
+        return _as_first(self.recv_burst(1, blocking=blocking), "bypass.recv")
+
+    def recv_burst(self, max_msgs: int, blocking: bool = True) -> Signal:
+        """Drain up to ``max_msgs`` descriptors in one poll: one descriptor-
+        batch read, per-packet header processing."""
+        result = Signal("bypass.recv_burst")
 
         def _attempt(_sig: Optional[Signal] = None) -> None:
             if self.closed:
                 result.fail(EndpointClosed(f"endpoint :{self.port} closed"))
                 return
-            pkt = self.rings.rx.try_consume()
-            if pkt is not None:
-                cost = self._dp.costs.bypass_rx_pkt_ns
+            pkts = self.rings.rx.consume_burst(max_msgs)
+            if pkts:
+                cost = len(pkts) * self._dp.costs.bypass_rx_pkt_ns
                 self._core.execute(cost, "bypass_rx").add_callback(
-                    lambda _s: result.succeed(_message_of(pkt))
+                    lambda _s: result.succeed([_message_of(p) for p in pkts])
                 )
                 return
             if not blocking:
@@ -160,13 +181,13 @@ class BypassDataplane(Dataplane):
     def wire_rx(self, pkt: Packet) -> None:
         self.nic.rx_from_wire(pkt)
 
-    def nic_consume_tx(self, rings: RingPair) -> None:
-        """NIC side: fetch the posted descriptor and transmit."""
-        delay = self.costs.pcie_dma_latency_ns + self.costs.nic_pipeline_ns
+    def nic_consume_tx(self, rings: RingPair, count: int = 1) -> None:
+        """NIC side: fetch ``count`` posted descriptors in one DMA
+        transaction and transmit them — one event per burst."""
+        delay = self.costs.dma_burst_ns(count) + self.costs.nic_pipeline_ns
 
         def _fetch() -> None:
-            pkt = rings.tx.try_consume()
-            if pkt is not None:
+            for pkt in rings.tx.consume_burst(count):
                 self.nic.tx(pkt)
 
         self.machine.sim.after(delay, _fetch)

@@ -10,7 +10,7 @@ interposition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
@@ -26,7 +26,15 @@ from ..net.switch import MatchAction
 from ..nic.base import BasicNic
 from ..nic.rings import DescriptorRing, RingPair
 from ..sim import MetricSet, Signal
-from .base import CaptureSession, Dataplane, Endpoint, PacketFilter, QosConfig
+from .base import (
+    CaptureSession,
+    Dataplane,
+    Endpoint,
+    PacketFilter,
+    QosConfig,
+    _as_bool,
+    _as_first,
+)
 from .bypass import _message_of
 
 
@@ -52,40 +60,57 @@ class HypervisorEndpoint(Endpoint):
         return done
 
     def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        return _as_bool(self.send_burst((payload_len,), dst), "hv.send")
+
+    def send_raw(self, pkt: Packet) -> Signal:
+        return _as_bool(self._send_raw_burst((pkt,)), "hv.send")
+
+    def send_burst(
+        self, payload_lens: Sequence[int], dst: Optional[Tuple[IPv4Address, int]] = None
+    ) -> Signal:
         dst = dst or self.peer
         if dst is None:
             raise UnsupportedOperation("send without destination on unconnected endpoint")
         dst_mac = MacAddress.from_index(dst[0].value & 0xFF_FFFF)
         maker = make_tcp if self.proto == PROTO_TCP else make_udp
-        pkt = maker(self._dp.host_mac, dst_mac, self._dp.host_ip, dst[0],
-                    self.port, dst[1], payload_len)
-        return self.send_raw(pkt)
+        pkts = [
+            maker(self._dp.host_mac, dst_mac, self._dp.host_ip, dst[0],
+                  self.port, dst[1], length)
+            for length in payload_lens
+        ]
+        return self._send_raw_burst(pkts)
 
-    def send_raw(self, pkt: Packet) -> Signal:
-        result = Signal("hv.send")
-        pkt.meta.created_ns = self._dp.machine.sim.now
-        cost = self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
+    def _send_raw_burst(self, pkts: Sequence[Packet]) -> Signal:
+        result = Signal("hv.send_burst")
+        now = self._dp.machine.sim.now
+        for pkt in pkts:
+            pkt.meta.created_ns = now
+        cost = len(pkts) * self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
 
         def _done(_sig: Signal) -> None:
-            ok = (not self.closed) and self.rings.tx.try_post(pkt)
-            if ok:
-                self._dp.nic_consume_tx(self.rings)
-            result.succeed(bool(ok))
+            posted = 0 if self.closed else self.rings.tx.post_burst(pkts)
+            if posted:
+                self._dp.nic_consume_tx(self.rings, posted)
+            result.succeed(posted)
 
         self._core.execute(cost, "hv_tx").add_callback(_done)
         return result
 
     def recv(self, blocking: bool = True) -> Signal:
-        result = Signal("hv.recv")
+        return _as_first(self.recv_burst(1, blocking=blocking), "hv.recv")
+
+    def recv_burst(self, max_msgs: int, blocking: bool = True) -> Signal:
+        result = Signal("hv.recv_burst")
 
         def _attempt(_sig: Optional[Signal] = None) -> None:
             if self.closed:
                 result.fail(EndpointClosed(f"endpoint :{self.port} closed"))
                 return
-            pkt = self.rings.rx.try_consume()
-            if pkt is not None:
-                self._core.execute(self._dp.costs.bypass_rx_pkt_ns, "hv_rx").add_callback(
-                    lambda _s: result.succeed(_message_of(pkt))
+            pkts = self.rings.rx.consume_burst(max_msgs)
+            if pkts:
+                cost = len(pkts) * self._dp.costs.bypass_rx_pkt_ns
+                self._core.execute(cost, "hv_rx").add_callback(
+                    lambda _s: result.succeed([_message_of(p) for p in pkts])
                 )
                 return
             if not blocking:
@@ -150,13 +175,13 @@ class HypervisorDataplane(Dataplane):
             return
         self.nic.rx_from_wire(pkt)
 
-    def nic_consume_tx(self, rings: RingPair) -> None:
-        delay = self.costs.pcie_dma_latency_ns + self.costs.nic_pipeline_ns
+    def nic_consume_tx(self, rings: RingPair, count: int = 1) -> None:
+        delay = self.costs.dma_burst_ns(count) + self.costs.nic_pipeline_ns
 
         def _fetch() -> None:
-            pkt = rings.tx.try_consume()
-            if pkt is not None and self._vswitch(pkt):
-                self.nic.tx(pkt)
+            for pkt in rings.tx.consume_burst(count):
+                if self._vswitch(pkt):
+                    self.nic.tx(pkt)
 
         self.machine.sim.after(delay, _fetch)
 

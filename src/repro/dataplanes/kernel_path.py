@@ -8,7 +8,7 @@ packet, all on the application's core.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CostModel
 from ..errors import UnsupportedOperation
@@ -21,7 +21,15 @@ from ..net.link import Link
 from ..net.packet import Packet
 from ..nic.base import BasicNic
 from ..sim import Signal
-from .base import CaptureSession, Dataplane, Endpoint, PacketFilter, QosConfig
+from .base import (
+    CaptureSession,
+    Dataplane,
+    Endpoint,
+    PacketFilter,
+    QosConfig,
+    _as_bool,
+    _as_first,
+)
 
 
 class KernelEndpoint(Endpoint):
@@ -39,16 +47,28 @@ class KernelEndpoint(Endpoint):
         return self._dp.kernel.netstack.connect(self.proc, self.sock, dst_ip, dport)
 
     def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        return _as_bool(self.send_burst((payload_len,), dst), "kernel.send")
+
+    def send_burst(
+        self, payload_lens: Sequence[int], dst: Optional[Tuple[IPv4Address, int]] = None
+    ) -> Signal:
+        """sendmmsg: one kernel crossing for the whole burst."""
         if dst is None:
             if self.sock.peer is None:
                 raise UnsupportedOperation("send without destination on unconnected socket")
             dst = self.sock.peer
-        return self._dp.kernel.netstack.sendto(
-            self.proc, self.sock, dst[0], dst[1], payload_len
+        return self._dp.kernel.netstack.sendmmsg(
+            self.proc, self.sock, dst[0], dst[1], payload_lens
         )
 
     def recv(self, blocking: bool = True) -> Signal:
-        return self._dp.kernel.netstack.recv(self.proc, self.sock, blocking=blocking)
+        return _as_first(self.recv_burst(1, blocking=blocking), "kernel.recv")
+
+    def recv_burst(self, max_msgs: int, blocking: bool = True) -> Signal:
+        """recvmmsg: drain queued messages under one crossing."""
+        return self._dp.kernel.netstack.recvmmsg(
+            self.proc, self.sock, max_msgs, blocking=blocking
+        )
 
     def send_raw(self, pkt: Packet) -> Signal:
         raise UnsupportedOperation(
@@ -86,7 +106,7 @@ class KernelPathDataplane(Dataplane):
             nic_send=self._kernel_tx, tx_rate_bps=egress.rate_bps,
         )
         for queue in self.nic.queues:
-            queue.set_handler(self._nic_rx)
+            queue.set_handler(self._nic_rx, burst_handler=self._nic_rx_burst)
 
     # --- wire plumbing -----------------------------------------------------
 
@@ -103,6 +123,18 @@ class KernelPathDataplane(Dataplane):
             self.kernel.netstack._run_taps(pkt)
             return
         self.kernel.netstack.deliver(pkt)
+
+    def _nic_rx_burst(self, pkts: List[Packet]) -> None:
+        """NAPI poll: one softirq for the whole coalesced burst."""
+        data = []
+        for pkt in pkts:
+            if pkt.is_arp:
+                self.kernel.observe_arp(pkt)
+                self.kernel.netstack._run_taps(pkt)
+            else:
+                data.append(pkt)
+        if data:
+            self.kernel.netstack.deliver_burst(data)
 
     # --- application surface --------------------------------------------------
 

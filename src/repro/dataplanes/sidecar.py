@@ -12,7 +12,7 @@ deployment's lifetime. E2 measures both.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
@@ -28,7 +28,15 @@ from ..net.link import Link
 from ..net.packet import Packet, make_tcp, make_udp
 from ..nic.base import BasicNic
 from ..sim import Signal
-from .base import CaptureSession, Dataplane, Endpoint, PacketFilter, QosConfig
+from .base import (
+    CaptureSession,
+    Dataplane,
+    Endpoint,
+    PacketFilter,
+    QosConfig,
+    _as_bool,
+    _as_first,
+)
 
 Message = Tuple[int, IPv4Address, int]
 
@@ -53,32 +61,52 @@ class SidecarEndpoint(Endpoint):
         return done
 
     def send(self, payload_len: int, dst: Optional[Tuple[IPv4Address, int]] = None) -> Signal:
+        return _as_bool(self.send_burst((payload_len,), dst), "sidecar.send")
+
+    def send_raw(self, pkt: Packet) -> Signal:
+        return _as_bool(self._dp.app_tx_burst(self, (pkt,)), "sidecar.send")
+
+    def send_burst(
+        self, payload_lens: Sequence[int], dst: Optional[Tuple[IPv4Address, int]] = None
+    ) -> Signal:
+        """One cross-core handoff per burst. The coherence traffic itself
+        stays proportional to bytes — physical movement does not amortize,
+        which is exactly the §1 distinction E2/E12 measure."""
         dst = dst or self.peer
         if dst is None:
             raise UnsupportedOperation("send without destination on unconnected endpoint")
-        pkt = self._dp.build_packet(self, dst[0], dst[1], payload_len)
-        return self.send_raw(pkt)
-
-    def send_raw(self, pkt: Packet) -> Signal:
-        return self._dp.app_tx(self, pkt)
+        pkts = [
+            self._dp.build_packet(self, dst[0], dst[1], length) for length in payload_lens
+        ]
+        return self._dp.app_tx_burst(self, pkts)
 
     def recv(self, blocking: bool = True) -> Signal:
-        result = Signal("sidecar.recv")
+        return _as_first(self.recv_burst(1, blocking=blocking), "sidecar.recv")
+
+    def recv_burst(self, max_msgs: int, blocking: bool = True) -> Signal:
+        result = Signal("sidecar.recv_burst")
         if self.closed:
             self._dp.machine.sim.after(0, result.fail, EndpointClosed("closed"))
             return result
         if self.rx_queue:
-            msg = self.rx_queue.popleft()
-            self._core.execute(self._dp.costs.bypass_rx_pkt_ns, "rx").add_callback(
-                lambda _s: result.succeed(msg)
-            )
+            msgs = [self.rx_queue.popleft() for _ in range(min(max_msgs, len(self.rx_queue)))]
+            self._core.execute(
+                len(msgs) * self._dp.costs.bypass_rx_pkt_ns, "rx"
+            ).add_callback(lambda _s: result.succeed(msgs))
             return result
         if not blocking:
             self._dp.machine.sim.after(0, result.fail, WouldBlock("queue empty"))
             return result
         woken = self._dp.kernel.scheduler.block(self.proc, f"sidecar:{self.port}")
         self._dp.register_waiter(self, woken)
-        woken.add_callback(lambda sig: result.succeed(sig.value))
+
+        def _after_wake(sig: Signal) -> None:
+            msgs = [sig.value]
+            while self.rx_queue and len(msgs) < max_msgs:
+                msgs.append(self.rx_queue.popleft())
+            result.succeed(msgs)
+
+        woken.add_callback(_after_wake)
         return result
 
 
@@ -107,7 +135,7 @@ class SidecarDataplane(Dataplane):
         self.nic = BasicNic(machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues)
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
         for queue in self.nic.queues:
-            queue.set_handler(self._sidecar_rx)
+            queue.set_handler(self._sidecar_rx, burst_handler=self._sidecar_rx_burst)
         self.egress_runner = PacedQdiscRunner(
             machine.sim, PfifoQdisc(), egress.rate_bps, self.nic.tx, name="sidecar_egress"
         )
@@ -145,35 +173,51 @@ class SidecarDataplane(Dataplane):
 
     # --- TX: app core -> coherence -> sidecar core -> qdisc -> NIC ----------------
 
-    def app_tx(self, ep: SidecarEndpoint, pkt: Packet) -> Signal:
-        result = Signal("sidecar.send")
-        pkt.meta.created_ns = self.machine.sim.now
+    def app_tx_burst(self, ep: SidecarEndpoint, pkts: Sequence[Packet]) -> Signal:
+        """Hand a burst across the core boundary: one app-core event, one
+        sidecar-core event, per-packet filter/qdisc work and per-byte
+        coherence cost in between. Resolves with the number admitted."""
+        result = Signal("sidecar.send_burst")
+        now = self.machine.sim.now
         owner = owner_info(ep.proc)
-        pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+        for pkt in pkts:
+            pkt.meta.created_ns = now
+            pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
         app_core = self.machine.cpus[ep.proc.core_id]
-        move_ns = self.machine.coherence.transfer_cost_ns(
-            pkt.wire_len + 64, ep.proc.core_id, self.sidecar_core_id
+        move_ns = sum(
+            self.machine.coherence.transfer_cost_ns(
+                pkt.wire_len + 64, ep.proc.core_id, self.sidecar_core_id
+            )
+            for pkt in pkts
         )
 
         def _on_sidecar(_sig: Signal) -> None:
-            verdict, examined = self.kernel.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
-            work = (
-                self.costs.bypass_tx_pkt_ns
-                + move_ns
-                + examined * self.costs.netfilter_rule_ns
-            )
+            work = move_ns
+            staged = []
+            for pkt in pkts:
+                verdict, examined = self.kernel.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
+                work += (
+                    self.costs.bypass_tx_pkt_ns
+                    + examined * self.costs.netfilter_rule_ns
+                )
+                staged.append((pkt, verdict))
 
             def _done(_s: Signal) -> None:
-                self._run_captures(pkt)
-                if verdict == DROP:
-                    result.succeed(False)
-                    return
-                cls = self._classify(ep.proc.pid)
-                result.succeed(self.egress_runner.submit(pkt, cls))
+                admitted = 0
+                for pkt, verdict in staged:
+                    self._run_captures(pkt)
+                    if verdict == DROP:
+                        continue
+                    cls = self._classify(ep.proc.pid)
+                    if self.egress_runner.submit(pkt, cls):
+                        admitted += 1
+                result.succeed(admitted)
 
             self._score.execute(work, "sidecar_tx").add_callback(_done)
 
-        app_core.execute(self.costs.bypass_tx_pkt_ns, "app_tx").add_callback(_on_sidecar)
+        app_core.execute(
+            len(pkts) * self.costs.bypass_tx_pkt_ns, "app_tx"
+        ).add_callback(_on_sidecar)
         return result
 
     # --- RX: NIC -> sidecar core -> coherence -> app ---------------------------------
@@ -182,10 +226,40 @@ class SidecarDataplane(Dataplane):
         self.nic.rx_from_wire(pkt)
 
     def _sidecar_rx(self, pkt: Packet) -> None:
+        staged = self._rx_stage(pkt)
+        if staged is None:
+            return
+        ep, verdict, work = staged
+        self._score.execute(work, "sidecar_rx").add_callback(
+            lambda _sig: self._rx_effect(pkt, ep, verdict)
+        )
+
+    def _sidecar_rx_burst(self, pkts: List[Packet]) -> None:
+        """Burst softirq on the sidecar core: one execute event covers the
+        whole burst's protocol work (coherence cost still per packet)."""
+        staged_pkts = []
+        total_work = 0
+        for pkt in pkts:
+            staged = self._rx_stage(pkt)
+            if staged is None:
+                continue
+            ep, verdict, work = staged
+            total_work += work
+            staged_pkts.append((pkt, ep, verdict))
+        if not staged_pkts:
+            return
+
+        def _done(_sig: Signal) -> None:
+            for pkt, ep, verdict in staged_pkts:
+                self._rx_effect(pkt, ep, verdict)
+
+        self._score.execute(total_work, "sidecar_rx_burst").add_callback(_done)
+
+    def _rx_stage(self, pkt: Packet):
         if pkt.is_arp:
             self.kernel.observe_arp(pkt)
             self._run_captures(pkt)
-            return
+            return None
         ft = pkt.five_tuple
         ep = self._endpoints.get((ft.proto, ft.dport)) if ft else None
         owner = owner_info(ep.proc) if ep else None
@@ -197,19 +271,19 @@ class SidecarDataplane(Dataplane):
             work += self.machine.coherence.transfer_cost_ns(
                 pkt.wire_len + 64, self.sidecar_core_id, ep.proc.core_id
             )
+        return ep, verdict, work
 
-        def _done(_sig: Signal) -> None:
-            self._run_captures(pkt)
-            if verdict == DROP or ep is None or ep.closed:
-                return
-            msg: Message = (pkt.payload_len, ft.src_ip, ft.sport)
-            waiter = self._waiters.pop((ep.proto, ep.port), None)
-            if waiter is not None:
-                self.kernel.scheduler.wake(ep.proc, value=msg)
-            else:
-                ep.rx_queue.append(msg)
-
-        self._score.execute(work, "sidecar_rx").add_callback(_done)
+    def _rx_effect(self, pkt: Packet, ep: Optional[SidecarEndpoint], verdict: str) -> None:
+        self._run_captures(pkt)
+        if verdict == DROP or ep is None or ep.closed:
+            return
+        ft = pkt.five_tuple
+        msg: Message = (pkt.payload_len, ft.src_ip, ft.sport)
+        waiter = self._waiters.pop((ep.proto, ep.port), None)
+        if waiter is not None:
+            self.kernel.scheduler.wake(ep.proc, value=msg)
+        else:
+            ep.rx_queue.append(msg)
 
     # --- administrative surface ----------------------------------------------------
 

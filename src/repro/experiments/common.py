@@ -62,12 +62,17 @@ def run_bulk_tx(
     costs: CostModel = DEFAULT_COSTS,
     app_core: int = 1,
     setup=None,
+    burst: int = 1,
+    latency_hist=None,
 ) -> Row:
     """Closed-loop TX measurement on one dataplane.
 
     Returns goodput, app-core and whole-host CPU per packet, mean one-way
     latency at the peer, and the dataplane's data-movement counters.
-    ``setup(tb)`` may install policies before traffic starts.
+    ``setup(tb)`` may install policies before traffic starts. ``burst``
+    makes the sender hand the dataplane batches of that size. Per-packet
+    one-way latencies are additionally recorded into ``latency_hist`` (a
+    :class:`~repro.sim.Histogram`) when one is passed.
     """
     tb = Testbed(plane_cls, costs=costs)
     if setup is not None:
@@ -75,7 +80,7 @@ def run_bulk_tx(
         tb.run_all()  # let policy loads (overlays etc.) commit
     app = BulkSender(
         tb, comm="bulk", user="bob", core_id=app_core,
-        payload_len=payload_len, count=count,
+        payload_len=payload_len, count=count, burst=burst,
     )
     start_busy = tb.machine.cpus.total_busy_ns()
     app_busy0 = tb.machine.cpus[app_core].busy_ns
@@ -88,6 +93,8 @@ def run_bulk_tx(
         for p in delivered
         if p.meta.created_ns and p.meta.delivered_ns
     ]
+    if latency_hist is not None:
+        latency_hist.extend(latencies)
     host_cpu = tb.machine.cpus.total_busy_ns() - start_busy
     app_cpu = tb.machine.cpus[app_core].busy_ns - app_busy0
     sent = max(app.sent, 1)
@@ -101,3 +108,27 @@ def run_bulk_tx(
         "latency_us_mean": (sum(latencies) / len(latencies) / units.US) if latencies else 0.0,
         "movements": tb.dataplane.data_movements(),
     }
+
+
+def run_burst_tx(
+    plane_cls: Type[Dataplane],
+    payload_len: int,
+    count: int,
+    batch_size: int,
+    costs: CostModel = DEFAULT_COSTS,
+    app_core: int = 1,
+    latency_hist=None,
+) -> Row:
+    """:func:`run_bulk_tx` with the whole stack in burst mode: the cost
+    model's ``batch_size`` governs NIC/kernel amortization and the sender
+    submits matching bursts. ``batch_size=1`` is exactly the per-packet
+    path."""
+    from dataclasses import replace
+
+    batched = replace(costs, batch_size=batch_size)
+    row = run_bulk_tx(
+        plane_cls, payload_len, count, costs=batched, app_core=app_core,
+        burst=batch_size, latency_hist=latency_hist,
+    )
+    row["batch"] = batch_size
+    return row

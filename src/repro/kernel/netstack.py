@@ -9,7 +9,7 @@ points for tcpdump, and the ability to block/wake readers.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..config import CostModel
 from ..errors import ConnectionRefused, KernelError, WouldBlock
@@ -126,6 +126,71 @@ class KernelNetStack:
         syscall_done.add_callback(_after_syscall)
         return result
 
+    def sendmmsg(
+        self,
+        proc: Process,
+        sock: KernelSocket,
+        dst_ip: IPv4Address,
+        dport: int,
+        payload_lens: Sequence[int],
+    ) -> Signal:
+        """Batched send — the ``sendmmsg(2)`` model: ONE user->kernel
+        crossing for the whole burst, per-message protocol work unchanged.
+
+        The returned signal fires when the batched syscall returns; its
+        value is the number of messages admitted to the egress qdisc. A
+        burst of one is cost- and event-identical to :meth:`sendto`.
+        """
+        n = len(payload_lens)
+        if n == 0:
+            result = Signal("sendmmsg")
+            self.sim.after(0, result.succeed, 0)
+            return result
+        owner = owner_info(proc)
+        work = 0
+        staged: "list[tuple[Packet, str]]" = []
+        for payload_len in payload_lens:
+            pkt = self._build(sock, dst_ip, dport, payload_len)
+            pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+            pkt.meta.created_ns = self.sim.now
+            verdict, examined = self.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
+            work += (
+                self.syscalls.copy_to_kernel(proc, payload_len)
+                + self.costs.kernel_tx_pkt_ns
+                + examined * self.costs.netfilter_rule_ns
+                + self.costs.qdisc_enqueue_ns
+            )
+            staged.append((pkt, verdict))
+        # The crossing itself amortizes; invoke() charges syscall_ns, so only
+        # the batched dispatch surplus is added to the in-kernel work.
+        work += self.costs.syscall_burst_ns(n) - self.costs.syscall_ns
+        result = Signal("sendmmsg")
+        if n > 1:
+            self.syscalls.record_batched(n)
+        syscall_done = self.syscalls.invoke(
+            proc, "sendto" if n == 1 else "sendmmsg", work
+        )
+
+        def _after_syscall(_sig: Signal) -> None:
+            admitted_count = 0
+            for pkt, verdict in staged:
+                self._run_taps(pkt)
+                if verdict == DROP:
+                    self.metrics.counter("tx_filtered").inc()
+                    continue
+                cls = self.classify(pkt, proc.pid)
+                admitted = self.egress.submit(pkt, cls)
+                if admitted:
+                    sock.tx_bytes += pkt.payload_len
+                    self.metrics.counter("tx_pkts").inc()
+                    admitted_count += 1
+                else:
+                    self.metrics.counter("tx_qdisc_drops").inc()
+            result.succeed(admitted_count)
+
+        syscall_done.add_callback(_after_syscall)
+        return result
+
     def _build(
         self, sock: KernelSocket, dst_ip: IPv4Address, dport: int, payload_len: int
     ) -> Packet:
@@ -174,48 +239,126 @@ class KernelNetStack:
         woken.add_callback(_after_wake)
         return result
 
+    def recvmmsg(
+        self, proc: Process, sock: KernelSocket, max_msgs: int, blocking: bool = True
+    ) -> Signal:
+        """Batched receive — the ``recvmmsg(2)`` model: drain up to
+        ``max_msgs`` queued messages under one crossing (or, when blocking
+        on an empty queue, wake once and drain whatever the burst brought,
+        like ``MSG_WAITFORONE``). The value is the list of messages; a
+        burst of one is cost- and event-identical to :meth:`recv`.
+        """
+        result = Signal("recvmmsg")
+        if sock.rx_queue:
+            msgs = [sock.rx_queue.popleft() for _ in range(min(max_msgs, len(sock.rx_queue)))]
+            n = len(msgs)
+            work = sum(self.syscalls.copy_to_user(proc, m[0]) for m in msgs)
+            work += self.costs.syscall_burst_ns(n) - self.costs.syscall_ns
+            if n > 1:
+                self.syscalls.record_batched(n)
+            done = self.syscalls.invoke(proc, "recvfrom" if n == 1 else "recvmmsg", work)
+            done.add_callback(lambda _s: result.succeed(msgs))
+            return result
+        if not blocking:
+            self.metrics.counter("rx_wouldblock").inc()
+            self.sim.after(0, result.fail, WouldBlock(f"no data on port {sock.port}"))
+            return result
+        if sock.port in self._rx_waiters:
+            raise KernelError(f"port {sock.port} already has a blocked reader")
+        woken = self.scheduler.block(proc, reason=f"recv:{sock.port}")
+        self._rx_waiters[sock.port] = (proc, woken)
+
+        def _after_wake(sig: Signal) -> None:
+            msgs = [sig.value]
+            while sock.rx_queue and len(msgs) < max_msgs:
+                msgs.append(sock.rx_queue.popleft())
+            work = sum(self.syscalls.copy_to_user(proc, m[0]) for m in msgs)
+            if len(msgs) > 1:
+                work += self.costs.syscall_burst_ns(len(msgs)) - self.costs.syscall_ns
+            self.cpus[proc.core_id].execute(work, "rx_copy").add_callback(
+                lambda _s: result.succeed(msgs)
+            )
+
+        woken.add_callback(_after_wake)
+        return result
+
     def deliver(self, pkt: Packet) -> None:
         """RX entry from the NIC: protocol processing, INPUT filtering,
         socket demux, and waking any blocked reader."""
+        staged = self._rx_stage(pkt)
+        if staged is None:
+            return
+        sock, verdict, work = staged
+        core = self.cpus[sock.owner.core_id if sock else 0]
+        done = core.execute(work, "rx")
+        done.add_callback(lambda _sig: self._rx_effect(pkt, sock, verdict))
+
+    def deliver_burst(self, pkts: Sequence[Packet]) -> None:
+        """NAPI-style RX entry: one softirq processes a whole burst.
+
+        Protocol/filter/demux work is still charged per packet, but it is
+        serialized under a single core-execute event per core — the burst
+        amortizes scheduling, not protocol work.
+        """
+        per_core: "dict[int, list[tuple[Packet, Optional[KernelSocket], str]]]" = {}
+        core_work: "dict[int, int]" = {}
+        for pkt in pkts:
+            staged = self._rx_stage(pkt)
+            if staged is None:
+                continue
+            sock, verdict, work = staged
+            core_id = sock.owner.core_id if sock else 0
+            per_core.setdefault(core_id, []).append((pkt, sock, verdict))
+            core_work[core_id] = core_work.get(core_id, 0) + work
+        for core_id, staged_pkts in per_core.items():
+            self.metrics.counter("rx_bursts").inc()
+
+            def _after_rx(_sig: Signal, staged_pkts=staged_pkts) -> None:
+                for pkt, sock, verdict in staged_pkts:
+                    self._rx_effect(pkt, sock, verdict)
+
+            self.cpus[core_id].execute(core_work[core_id], "rx_burst").add_callback(_after_rx)
+
+    def _rx_stage(self, pkt: Packet):
+        """Shared demux/filter stage; returns (sock, verdict, work_ns) or
+        None for non-IP traffic (handled inline)."""
         ft = pkt.five_tuple
         if ft is None:
             self._run_taps(pkt)
             self.metrics.counter("rx_non_ip").inc()
-            return
+            return None
         sock = self.sockets.lookup(ft.proto, ft.dport)
         owner = owner_info(sock.owner) if sock else None
         if owner is not None:
             # The kernel attributes inbound packets at socket demux time.
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
         verdict, examined = self.filters.evaluate(CHAIN_INPUT, pkt, owner)
-        core = self.cpus[sock.owner.core_id if sock else 0]
         work = (
             self.costs.kernel_rx_pkt_ns
             + examined * self.costs.netfilter_rule_ns
             + self.costs.socket_demux_ns
         )
-        done = core.execute(work, "rx")
+        return sock, verdict, work
 
-        def _after_rx(_sig: Signal) -> None:
-            self._run_taps(pkt)
-            if verdict == DROP:
-                self.metrics.counter("rx_filtered").inc()
-                return
-            if sock is None:
-                self.metrics.counter("rx_no_socket").inc()
-                return
-            payload = pkt.payload_len
-            msg = (payload, ft.src_ip, ft.sport)
-            sock.rx_bytes += payload
-            self.metrics.counter("rx_pkts").inc()
-            waiter = self._rx_waiters.pop(sock.port, None)
-            if waiter is not None:
-                proc, _woken = waiter
-                self.scheduler.wake(proc, value=msg)
-            else:
-                sock.rx_queue.append(msg)
-
-        done.add_callback(_after_rx)
+    def _rx_effect(self, pkt: Packet, sock: Optional[KernelSocket], verdict: str) -> None:
+        self._run_taps(pkt)
+        if verdict == DROP:
+            self.metrics.counter("rx_filtered").inc()
+            return
+        if sock is None:
+            self.metrics.counter("rx_no_socket").inc()
+            return
+        ft = pkt.five_tuple
+        payload = pkt.payload_len
+        msg = (payload, ft.src_ip, ft.sport)
+        sock.rx_bytes += payload
+        self.metrics.counter("rx_pkts").inc()
+        waiter = self._rx_waiters.pop(sock.port, None)
+        if waiter is not None:
+            proc, _woken = waiter
+            self.scheduler.wake(proc, value=msg)
+        else:
+            sock.rx_queue.append(msg)
 
     # --- introspection ----------------------------------------------------------
 

@@ -33,6 +33,12 @@ class SyscallLayer:
         core = self.cpus[proc.core_id]
         return core.execute(self.costs.syscall_ns + work_ns, label=f"sys_{name}")
 
+    def record_batched(self, n_msgs: int) -> None:
+        """Account messages moved by one batched crossing (sendmmsg/
+        recvmmsg): the gap between ``batched_msgs`` and ``total`` is
+        exactly the §1 virtual-movement cost that batching amortized."""
+        self.metrics.counter("batched_msgs").inc(n_msgs)
+
     def copy_to_kernel(self, proc: Process, nbytes: int) -> int:
         """Cost of copying a user buffer into the kernel (charged by caller)."""
         self.metrics.counter("copy_in_bytes").inc(max(0, nbytes))

@@ -21,6 +21,7 @@ from .rings import DescriptorRing
 from .steering import SteeringTable
 
 RxHandler = Callable[[Packet], None]
+RxBurstHandler = Callable[[List[Packet]], None]
 
 
 class NicQueue:
@@ -29,12 +30,21 @@ class NicQueue:
     def __init__(self, queue_id: int):
         self.queue_id = queue_id
         self.handler: Optional[RxHandler] = None
+        self.burst_handler: Optional[RxBurstHandler] = None
         self.ring: Optional[DescriptorRing] = None
+        # NAPI-style coalescing state (burst mode only).
+        self.rx_pending: List[Packet] = []
+        self.flush_handle: Optional[object] = None
 
-    def set_handler(self, handler: RxHandler) -> None:
+    def set_handler(
+        self, handler: RxHandler, burst_handler: Optional[RxBurstHandler] = None
+    ) -> None:
+        """Install the per-packet softirq entry, and optionally a burst
+        variant used when the cost model's ``batch_size`` exceeds 1."""
         if self.ring is not None:
             raise NicError(f"queue {self.queue_id} already has a ring")
         self.handler = handler
+        self.burst_handler = burst_handler
 
     def set_ring(self, ring: DescriptorRing) -> None:
         if self.handler is not None:
@@ -80,13 +90,43 @@ class BasicNic:
         pkt.meta.queue_id = queue_id
         queue = self.queues[queue_id]
         if queue.handler is not None:
-            # DMA then hand to the handler (kernel path).
-            self.sim.after(self.costs.pcie_dma_latency_ns, queue.handler, pkt)
+            if self.costs.batch_size > 1 and queue.burst_handler is not None:
+                self._rx_coalesce(queue, pkt)
+            else:
+                # DMA then hand to the handler (kernel path).
+                self.sim.after(self.costs.pcie_dma_latency_ns, queue.handler, pkt)
         elif queue.ring is not None:
             if not queue.ring.try_post(pkt):
                 self.metrics.counter("rx_ring_drops").inc()
         else:
             self.metrics.counter("rx_unconfigured_drops").inc()
+
+    # --- burst RX (NAPI-style interrupt coalescing) ------------------------
+
+    def _rx_coalesce(self, queue: NicQueue, pkt: Packet) -> None:
+        """Buffer the packet; deliver a whole burst to the handler either
+        when ``batch_size`` packets are pending or when the coalescing
+        window expires — one DMA + one softirq event per burst."""
+        queue.rx_pending.append(pkt)
+        if len(queue.rx_pending) >= self.costs.batch_size:
+            self._rx_flush(queue)
+        elif queue.flush_handle is None:
+            queue.flush_handle = self.sim.after(
+                self.costs.interrupt_coalesce_ns, self._rx_timer_flush, queue
+            )
+
+    def _rx_timer_flush(self, queue: NicQueue) -> None:
+        queue.flush_handle = None
+        if queue.rx_pending:
+            self._rx_flush(queue)
+
+    def _rx_flush(self, queue: NicQueue) -> None:
+        if queue.flush_handle is not None:
+            queue.flush_handle.cancel()
+            queue.flush_handle = None
+        burst, queue.rx_pending = queue.rx_pending, []
+        self.metrics.counter("rx_bursts").inc()
+        self.sim.after(self.costs.dma_burst_ns(len(burst)), queue.burst_handler, burst)
 
     def classify_rx(self, pkt: Packet) -> int:
         """Queue selection: exact steering entry, else RSS, else queue 0."""

@@ -31,9 +31,16 @@ class Notification:
     kind: str
     time_ns: int
 
+    count: int = 1
+    """How many packets this notification covers. Burst mode posts one
+    coalesced notification per burst (NAPI/interrupt-coalescing style)
+    instead of one per packet; per-packet mode always uses 1."""
+
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise NicError(f"unknown notification kind: {self.kind!r}")
+        if self.count < 1:
+            raise NicError(f"notification must cover >= 1 packet: {self.count}")
 
 
 class NotificationQueue:

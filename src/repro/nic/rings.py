@@ -9,7 +9,7 @@ moves packets via DMA.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Iterable, List, Optional
 
 from ..errors import RingEmpty, RingFull
 from ..host.memory import PinnedRegion
@@ -81,6 +81,47 @@ class DescriptorRing:
 
     def try_consume(self) -> Optional[Any]:
         return self.consume() if self._items else None
+
+    # --- burst interface ---------------------------------------------------
+
+    def post_burst(self, items: Iterable[Any]) -> int:
+        """Produce as many of ``items`` as fit, in order, under one doorbell.
+
+        Returns the number posted; the remainder is dropped (counted in
+        ``full_drops``) exactly as a real NIC tail-drops a full ring. Head
+        and slot indices wrap identically to repeated :meth:`post` calls.
+        """
+        posted = 0
+        offered = 0
+        for item in items:
+            offered += 1
+            if self.is_full:
+                self.metrics.counter("full_drops").inc()
+                continue
+            self._items.append(item)
+            self.head += 1
+            posted += 1
+        if posted:
+            self.metrics.counter("posted").inc(posted)
+        if offered > 1:
+            self.metrics.counter("burst_posts").inc()
+        return posted
+
+    def consume_burst(self, max_items: int) -> List[Any]:
+        """Consume up to ``max_items`` oldest entries in FIFO order.
+
+        Returns the (possibly empty) list; tail advances by its length.
+        """
+        if max_items < 0:
+            raise RingEmpty(f"{self.name}: negative burst size {max_items}")
+        n = min(max_items, len(self._items))
+        out = [self._items.popleft() for _ in range(n)]
+        if out:
+            self.tail += n
+            self.metrics.counter("consumed").inc(n)
+        if max_items > 1:
+            self.metrics.counter("burst_consumes").inc()
+        return out
 
     def next_lines(self, count: int) -> "list[int]":
         """The next ``count`` cache-line addresses a transfer will touch,

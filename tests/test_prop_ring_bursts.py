@@ -1,0 +1,99 @@
+"""Property tests: burst ring operations are equivalent to per-item loops.
+
+post_burst/consume_burst must keep exactly the invariants of repeated
+post/consume — FIFO order, head/tail advance, full-drop accounting,
+wraparound — because the per-packet API is defined as the burst of one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host import MemorySystem
+from repro.nic import DescriptorRing
+
+
+def _ring(entries, name="r"):
+    mem = MemorySystem()
+    return DescriptorRing(entries, mem.alloc_pinned(1_024, owner="t"), name)
+
+
+def _counters(ring):
+    m = ring.metrics
+    return {
+        "posted": m.counter("posted").value,
+        "consumed": m.counter("consumed").value,
+        "full_drops": m.counter("full_drops").value,
+    }
+
+
+_ops = st.lists(
+    st.one_of(
+        st.lists(st.integers(0, 10_000), min_size=0, max_size=12)
+        .map(lambda xs: ("post", xs)),
+        st.integers(0, 14).map(lambda n: ("consume", n)),
+    ),
+    max_size=60,
+)
+
+
+class TestBurstEquivalence:
+    @given(ops=_ops, entries=st.integers(1, 8))
+    @settings(max_examples=200)
+    def test_burst_ops_match_per_item_loops(self, ops, entries):
+        """Interleaved post_burst/consume_burst on one ring behave exactly
+        like try_post/consume loops on a reference ring."""
+        burst, ref = _ring(entries, "burst"), _ring(entries, "ref")
+        for op, arg in ops:
+            if op == "post":
+                posted = burst.post_burst(list(arg))
+                ref_posted = sum(1 for item in arg if ref.try_post(item))
+                assert posted == ref_posted
+            else:
+                got = burst.consume_burst(arg)
+                want = [ref.consume() for _ in range(min(arg, ref.occupancy))]
+                assert got == want
+            assert burst.occupancy == ref.occupancy
+            assert burst.head == ref.head
+            assert burst.tail == ref.tail
+            assert list(burst._items) == list(ref._items)
+            assert _counters(burst) == _counters(ref)
+
+    @given(
+        entries=st.integers(1, 6),
+        rounds=st.integers(1, 30),
+        batch=st.integers(1, 10),
+    )
+    @settings(max_examples=150)
+    def test_wraparound_preserves_fifo(self, entries, rounds, batch):
+        """Head/tail wrap past the ring size many times; order and indices
+        must stay consistent (head - tail == occupancy, FIFO intact)."""
+        ring = _ring(entries)
+        seq = iter(range(10_000))
+        drained = []
+        for _ in range(rounds):
+            offered = [next(seq) for _ in range(batch)]
+            ring.post_burst(offered)
+            drained.extend(ring.consume_burst(batch))
+            assert 0 <= ring.occupancy <= entries
+            assert ring.head - ring.tail == ring.occupancy
+        drained.extend(ring.consume_burst(ring.occupancy))
+        # Everything that survived the full ring came out in FIFO order.
+        assert drained == sorted(drained)
+        assert ring.is_empty
+
+    @given(sizes=st.lists(st.integers(0, 20), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_conservation(self, sizes):
+        """posted == consumed + occupancy + never-negative, whatever the
+        burst pattern."""
+        ring = _ring(4)
+        offered = 0
+        for n in sizes:
+            offered += n
+            ring.post_burst(list(range(n)))
+            ring.consume_burst(n // 2)
+        posted = ring.metrics.counter("posted").value
+        consumed = ring.metrics.counter("consumed").value
+        drops = ring.metrics.counter("full_drops").value
+        assert posted + drops == offered
+        assert posted == consumed + ring.occupancy
