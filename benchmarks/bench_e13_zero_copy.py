@@ -1,0 +1,105 @@
+"""E13 — zero-copy bench: the copy-elision crossover, plus wall-clock.
+
+Two jobs:
+
+* Replay the E13 sweep and assert its acceptance shape — zerocopy loses
+  below the pinning break-even, wins above it, and the sidecar's per-byte
+  coherence copies don't move at all.
+* Record the simulator's own performance. This PR also slots ``Packet``,
+  caches ``wire_len``, and removes the double heap traversal in
+  ``Simulator.run``, so the artifact carries events-fired + wall-clock
+  lines (copy vs zerocopy at a large message size) next to the E12 one —
+  the start of the perf trajectory in ``BENCH_*.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps import BulkSender
+from repro.config import DEFAULT_COSTS
+from repro.dataplanes import KernelPathDataplane, Testbed
+from repro.experiments.common import copy_summary, fmt_table
+from repro.experiments.e13_zero_copy import (
+    COLUMNS,
+    SIZES,
+    headline,
+    run_e13,
+)
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "e13_zero_copy.json"
+WALL_COUNT = 2_048
+WALL_PAYLOAD = 32_768  # well above the ~14 KB pinning break-even
+
+
+def _run_wall_point(mode: str, count: int = WALL_COUNT):
+    costs = (
+        DEFAULT_COSTS.replace(tx_zerocopy=True, rx_zerocopy=True)
+        if mode == "zerocopy"
+        else DEFAULT_COSTS
+    )
+    tb = Testbed(KernelPathDataplane, costs=costs)
+    app = BulkSender(tb, comm="bulk", user="bob", core_id=1,
+                     payload_len=WALL_PAYLOAD, count=count)
+    t0 = time.perf_counter()
+    app.start()
+    tb.run_all()
+    wall_s = time.perf_counter() - t0
+    copies = copy_summary(tb.machine.copies)
+    return {
+        "plane": "kernel",
+        "mode": mode,
+        "payload_B": WALL_PAYLOAD,
+        "packets": app.sent,
+        "sim_goodput_gbps": app.goodput_bps() / 1e9,
+        "cpu_bytes_copied": copies["cpu_bytes_copied"],
+        "cpu_ns_copying": copies["cpu_ns_copying"],
+        "bytes_elided": copies["bytes_elided"],
+        "events_fired": tb.sim.events_fired,
+        "wall_s": wall_s,
+        "wall_pkts_per_s": app.sent / wall_s if wall_s else 0.0,
+    }
+
+
+def test_e13_zero_copy(once):
+    rows = once(run_e13, count=64)
+    print("\n" + fmt_table(rows, columns=COLUMNS))
+    h = headline(rows)
+    # Acceptance: the crossover exists and brackets the modeled break-even —
+    # zerocopy wins large kernel messages, loses below the pinning cost.
+    assert h["crossover_measured_B"] is not None
+    assert h["largest_losing_B"] is not None
+    assert h["largest_losing_B"] < h["break_even_model_B"] <= h["crossover_measured_B"]
+    assert h["kernel_large_msg_win_ns"] > 0
+    assert h["kernel_small_msg_penalty_ns"] > 0
+    # Sidecar coherence copies are per-byte physical movement: unaffected.
+    assert h["sidecar_unaffected"]
+    # Bypass-class planes were already zero-copy: the knobs are no-ops.
+    assert h["bypass_unaffected"] and h["kopi_unaffected"]
+
+
+def test_e13_wall_clock_artifact():
+    points = [_run_wall_point("copy"), _run_wall_point("zerocopy")]
+    cp, zc = points
+
+    # Elision moves bytes out of the copied column, not into thin air.
+    assert zc["bytes_elided"] == cp["cpu_bytes_copied"] > 0
+    assert zc["cpu_bytes_copied"] == 0
+    # Above break-even, the zerocopy run finishes the same simulated work
+    # with at least the copy run's goodput.
+    assert zc["sim_goodput_gbps"] >= cp["sim_goodput_gbps"]
+
+    for p in points:
+        # The perf-trajectory line: simulator cost of this workload.
+        print(
+            f"\nkernel/{p['mode']} @ {p['payload_B']} B: "
+            f"{p['events_fired']} events, {p['wall_s'] * 1e3:.1f} ms wall, "
+            f"{p['wall_pkts_per_s']:,.0f} pkt/s, "
+            f"sim goodput {p['sim_goodput_gbps']:.1f} Gbps"
+        )
+
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(
+        json.dumps({"sizes": list(SIZES), "points": points}, indent=2) + "\n"
+    )
+    print(f"wrote {ARTIFACT}")

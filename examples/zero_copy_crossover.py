@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Zero-copy crossover: when does eliding the kernel's payload copy pay?
+
+MSG_ZEROCOPY-style TX trades the per-byte user->kernel copy for a fixed
+per-send cost (pin the pages, deliver a completion). Per-byte vs fixed
+means there is a break-even message size: below it the pin costs more
+than the copy it saves; above it the saving grows linearly. The sidecar
+is the counterpoint — its movement is cross-core cache-line migration,
+charged per byte by the coherence fabric, and the kernel's zero-copy
+knobs cannot touch it.
+
+Run:  python examples/zero_copy_crossover.py         (~15 seconds)
+"""
+
+from repro.config import DEFAULT_COSTS
+from repro.dataplanes import KernelPathDataplane, SidecarDataplane
+from repro.experiments.common import fmt_table, run_bulk_tx
+
+SIZES = (64, 1_458, 4_096, 16_384, 32_768)
+COLUMNS = [
+    "plane", "mode", "payload_B", "goodput_gbps",
+    "app_cpu_ns_per_pkt", "copied_B_per_pkt", "elided_B_per_pkt",
+]
+
+ZC_COSTS = DEFAULT_COSTS.replace(tx_zerocopy=True, rx_zerocopy=True)
+
+
+def main() -> None:
+    rows = []
+    for plane_cls in (KernelPathDataplane, SidecarDataplane):
+        for mode, costs in (("copy", DEFAULT_COSTS), ("zerocopy", ZC_COSTS)):
+            for size in SIZES:
+                row = run_bulk_tx(plane_cls, size, 64, costs=costs, with_copies=True)
+                copies = row.pop("copies")
+                del row["movements"]
+                row["mode"] = mode
+                row["copied_B_per_pkt"] = copies["cpu_bytes_copied"] / 64
+                row["elided_B_per_pkt"] = copies["bytes_elided"] / 64
+                rows.append(row)
+    print(fmt_table(rows, columns=COLUMNS))
+
+    print(
+        f"\nbreak-even for MSG_ZEROCOPY at these costs: "
+        f"{DEFAULT_COSTS.zc_tx_break_even_bytes} bytes — "
+        f"{DEFAULT_COSTS.zc_tx_pin_ns + DEFAULT_COSTS.zc_tx_completion_ns} ns of\n"
+        "pin+completion vs 0.06 ns per copied byte. Below it zerocopy is a\n"
+        "regression; above it the kernel path's per-packet CPU goes flat while\n"
+        "the copy path keeps growing with message size. The sidecar's rows\n"
+        "never change: coherence traffic is movement a TX flag cannot elide.\n"
+        "Full sweep (all five planes + RX mode): python -m repro e13"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -101,6 +101,32 @@ class CostModel:
     sendmmsg/recvmmsg call (iovec walk, cmsg checks) — the part of syscall
     dispatch that does *not* amortize."""
 
+    # --- zero-copy datapath (copy elision, experiment E13) -------------------
+    tx_zerocopy: bool = False
+    """MSG_ZEROCOPY-style kernel TX: pin the user pages and let the NIC DMA
+    from them instead of copying the payload into kernel buffers. Each send
+    pays :attr:`zc_tx_pin_ns` + :attr:`zc_tx_completion_ns` instead of the
+    per-byte copy, so it only wins above the break-even message size.
+    Off (the default) reproduces the seed byte-identically."""
+
+    rx_zerocopy: bool = False
+    """Registered-buffer (io_uring-style) kernel RX: payloads land in
+    pre-registered user buffers the stack can address directly, so recv
+    pays :attr:`zc_rx_fixed_ns` instead of the kernel->user per-byte copy.
+    Off (the default) reproduces the seed byte-identically."""
+
+    zc_tx_pin_ns: int = 450
+    """Per-send cost of pinning user pages and building the scatter-gather
+    descriptor for a zero-copy transmit (get_user_pages + skb frag setup)."""
+
+    zc_tx_completion_ns: int = 400
+    """Delivering the MSG_ZEROCOPY completion notification that tells the
+    sender its buffer may be reused (error-queue entry + wakeup share)."""
+
+    zc_rx_fixed_ns: int = 350
+    """Per-recv fixed cost of the registered-buffer RX path: buffer-table
+    lookup and handing the application a reference instead of bytes."""
+
     # --- memory hierarchy ---------------------------------------------------
     llc_size_bytes: int = 33 * units.MB
     llc_ways: int = 11
@@ -215,6 +241,37 @@ class CostModel:
         if nbytes <= 0:
             return 0
         return max(1, round(nbytes * self.copy_ns_per_byte))
+
+    # --- zero-copy cost components -------------------------------------------
+
+    def zc_tx_ns(self, nbytes: int) -> int:
+        """Fixed cost of one zero-copy transmit (pin + completion), charged
+        in place of ``copy_ns(nbytes)`` when :attr:`tx_zerocopy` is on.
+        Zero-length sends pin nothing and cost nothing extra."""
+        if nbytes <= 0:
+            return 0
+        return self.zc_tx_pin_ns + self.zc_tx_completion_ns
+
+    def zc_rx_ns(self, nbytes: int) -> int:
+        """Fixed cost of one registered-buffer receive, charged in place of
+        ``copy_ns(nbytes)`` when :attr:`rx_zerocopy` is on."""
+        if nbytes <= 0:
+            return 0
+        return self.zc_rx_fixed_ns
+
+    @property
+    def zc_tx_break_even_bytes(self) -> int:
+        """Smallest payload for which a zero-copy TX is no slower than the
+        copy it elides: ``copy_ns(n) >= zc_tx_pin_ns + zc_tx_completion_ns``.
+        With the defaults (0.06 ns/B vs 850 ns fixed) this is ~14.2 KB —
+        why MSG_ZEROCOPY only pays off for large messages."""
+        if self.copy_ns_per_byte <= 0:
+            return 0
+        fixed = self.zc_tx_pin_ns + self.zc_tx_completion_ns
+        n = int(fixed / self.copy_ns_per_byte)
+        while self.copy_ns(n) < fixed:
+            n += 1
+        return n
 
     # --- batch-aware cost components -----------------------------------------
 

@@ -18,8 +18,10 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional
 
+from .. import units
 from ..config import CostModel
 from ..errors import NicError
+from ..host.copies import LAYER_DMA, LAYER_DMA_DIRECT
 from ..host.machine import Machine
 from ..kernel.qdisc import DEFAULT_CLASS, DrrQdisc, PfifoQdisc, Qdisc
 from ..kernel.qdisc_runner import PacedQdiscRunner
@@ -194,6 +196,9 @@ class KopiNic:
         if not ring.try_post(pkt):
             self.metrics.counter("rx_ring_drops").inc()
             return
+        # KOPI delivery is DMA-direct: lines land in the app-readable ring
+        # (through DDIO when the structural LLC is wired); no CPU copy ever.
+        self.machine.copies.charge(LAYER_DMA_DIRECT, pkt.wire_len, 0)
         conn.rx_packets += 1
         if conn.notify_rx and self.notify is not None:
             if self.costs.batch_size > 1 and not was_empty:
@@ -259,6 +264,10 @@ class KopiNic:
         pkt.meta.conn_id = conn.conn_id
         pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = conn.owner
         conn.tx_packets += 1
+        self.machine.copies.charge(
+            LAYER_DMA, pkt.wire_len,
+            units.transmit_time_ns(pkt.wire_len, self.costs.pcie_bandwidth_bps),
+        )
 
         verdict, sched_class, overlay_cost = self._tx_pipeline(pkt)
         latency = self._fixed_latency() + overlay_cost
@@ -267,8 +276,6 @@ class KopiNic:
         if not conn.rings.tx.is_empty:
             # Keep draining, paced by PCIe fetch bandwidth — or by the
             # connection's congestion-control rate when one is set.
-            from .. import units
-
             gap = units.transmit_time_ns(pkt.wire_len, self.costs.pcie_bandwidth_bps)
             if conn.rate_bps is not None:
                 gap = max(gap, units.transmit_time_ns(pkt.wire_len, conn.rate_bps))
@@ -302,11 +309,14 @@ class KopiNic:
             verdict, sched_class, overlay_cost = self._tx_pipeline(pkt)
             latency += overlay_cost
             items.append((pkt, conn, verdict, sched_class))
+        self.machine.copies.charge(
+            LAYER_DMA, total_wire,
+            units.transmit_time_ns(total_wire, self.costs.pcie_bandwidth_bps),
+            ops=len(pkts),
+        )
         self.sim.after_burst(latency, self._tx_effects_item, items)
 
         if not conn.rings.tx.is_empty:
-            from .. import units
-
             gap = units.transmit_time_ns(total_wire, self.costs.pcie_bandwidth_bps)
             if conn.rate_bps is not None:
                 gap = max(gap, units.transmit_time_ns(total_wire, conn.rate_bps))

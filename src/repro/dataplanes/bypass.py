@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation
+from ..host.copies import LAYER_DMA_DIRECT
 from ..host.machine import Machine
 from ..kernel.kernel import Kernel
 from ..net.addresses import IPv4Address, MacAddress
@@ -184,10 +185,20 @@ class BypassDataplane(Dataplane):
     def nic_consume_tx(self, rings: RingPair, count: int = 1) -> None:
         """NIC side: fetch ``count`` posted descriptors in one DMA
         transaction and transmit them — one event per burst."""
-        delay = self.costs.dma_burst_ns(count) + self.costs.nic_pipeline_ns
+        fetch_ns = self.costs.dma_burst_ns(count)
+        delay = fetch_ns + self.costs.nic_pipeline_ns
 
         def _fetch() -> None:
-            for pkt in rings.tx.consume_burst(count):
+            pkts = rings.tx.consume_burst(count)
+            if pkts:
+                # Hardware fetch straight from app-owned rings: no CPU copy.
+                self.machine.dma.account_placement(
+                    LAYER_DMA_DIRECT,
+                    sum(p.wire_len for p in pkts),
+                    fetch_ns,
+                    ops=len(pkts),
+                )
+            for pkt in pkts:
                 self.nic.tx(pkt)
 
         self.machine.sim.after(delay, _fetch)

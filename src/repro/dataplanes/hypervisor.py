@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
+from ..host.copies import LAYER_HV_VRING
 from ..host.machine import Machine
 from ..kernel.arp import ArpCache
 from ..kernel.kernel import Kernel
@@ -176,10 +177,21 @@ class HypervisorDataplane(Dataplane):
         self.nic.rx_from_wire(pkt)
 
     def nic_consume_tx(self, rings: RingPair, count: int = 1) -> None:
-        delay = self.costs.dma_burst_ns(count) + self.costs.nic_pipeline_ns
+        fetch_ns = self.costs.dma_burst_ns(count)
+        delay = fetch_ns + self.costs.nic_pipeline_ns
 
         def _fetch() -> None:
-            for pkt in rings.tx.consume_burst(count):
+            pkts = rings.tx.consume_burst(count)
+            if pkts:
+                # The vswitch pulls every guest-posted packet through the
+                # vring: interposition by copy, charged to the ledger.
+                self.machine.copies.charge(
+                    LAYER_HV_VRING,
+                    sum(p.wire_len for p in pkts),
+                    fetch_ns,
+                    ops=len(pkts),
+                )
+            for pkt in pkts:
                 if self._vswitch(pkt):
                     self.nic.tx(pkt)
 

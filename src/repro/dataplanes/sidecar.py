@@ -332,5 +332,13 @@ class SidecarDataplane(Dataplane):
             "physical": self.machine.coherence.lines_moved,
         }
 
+    def copy_ledger_snapshot(self) -> Dict[str, int]:
+        """Per-layer copy accounting for this host. The sidecar's cross-core
+        line migration lands under the ``coherence`` layer (charged by
+        :class:`~repro.host.coherence.CoherenceFabric` per transfer); kernel
+        zero-copy modes never touch it — the sidecar moves bytes physically,
+        not across the user/kernel boundary, so E13 shows it unaffected."""
+        return self.machine.copies.snapshot()
+
     def sidecar_core_busy_ns(self) -> int:
         return self._score.busy_ns

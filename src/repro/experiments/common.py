@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence, Type
 from .. import units
 from ..config import DEFAULT_COSTS, CostModel
 from ..core import NormanOS
+from ..host.copies import CPU_COPY_LAYERS, LAYER_DMA, LAYER_DMA_DIRECT, CopyLedger
 from ..dataplanes import (
     BypassDataplane,
     HypervisorDataplane,
@@ -55,6 +56,21 @@ def fmt_table(rows: Sequence[Row], columns: Optional[List[str]] = None) -> str:
     return "\n".join(out)
 
 
+def copy_summary(ledger: CopyLedger) -> Dict[str, int]:
+    """Condense a :class:`~repro.host.copies.CopyLedger` into the totals
+    E13 plots: CPU-copied bytes/time (the §1 tax), elided bytes and their
+    fixed overhead, and the hardware DMA movement that replaced copies."""
+    return {
+        "cpu_bytes_copied": ledger.cpu_bytes_copied(),
+        "cpu_ns_copying": ledger.cpu_ns_copying(),
+        "cpu_copies": ledger.copies(CPU_COPY_LAYERS),
+        "bytes_elided": ledger.bytes_elided(),
+        "elision_overhead_ns": ledger.elision_overhead_ns(),
+        "dma_bytes": ledger.bytes_copied((LAYER_DMA,)),
+        "dma_direct_bytes": ledger.bytes_copied((LAYER_DMA_DIRECT,)),
+    }
+
+
 def run_bulk_tx(
     plane_cls: Type[Dataplane],
     payload_len: int,
@@ -64,6 +80,7 @@ def run_bulk_tx(
     setup=None,
     burst: int = 1,
     latency_hist=None,
+    with_copies: bool = False,
 ) -> Row:
     """Closed-loop TX measurement on one dataplane.
 
@@ -98,7 +115,7 @@ def run_bulk_tx(
     host_cpu = tb.machine.cpus.total_busy_ns() - start_busy
     app_cpu = tb.machine.cpus[app_core].busy_ns - app_busy0
     sent = max(app.sent, 1)
-    return {
+    row: Row = {
         "plane": plane_cls.name,
         "payload_B": payload_len,
         "delivered": len(delivered),
@@ -108,6 +125,11 @@ def run_bulk_tx(
         "latency_us_mean": (sum(latencies) / len(latencies) / units.US) if latencies else 0.0,
         "movements": tb.dataplane.data_movements(),
     }
+    if with_copies:
+        # Opt-in so the default row shape (and every seed experiment's
+        # table) stays byte-identical.
+        row["copies"] = copy_summary(tb.machine.copies)
+    return row
 
 
 def run_burst_tx(

@@ -1,0 +1,196 @@
+"""E13 — zero-copy: where copy elision pays, and where it cannot.
+
+Sweeps message size × dataplane × {copy, zerocopy}. "zerocopy" turns on
+both kernel elision modes: MSG_ZEROCOPY-style TX (pin pages + completion
+notification instead of the user->kernel copy) and registered-buffer RX
+(io_uring-style fixed handoff instead of the kernel->user copy). The
+CopyLedger attributes every byte moved, so the table shows copied bytes,
+copy nanoseconds, and elided bytes per packet, per layer class.
+
+The shape the cost model predicts — the paper's data-movement taxonomy,
+measured:
+
+* **kernel**: elision trades a per-byte copy for a fixed per-operation
+  pinning cost, so there is a crossover. Below the break-even message size
+  (~14 KB at 0.06 ns/B vs 850 ns pin+completion) zerocopy *loses*; above
+  it, it wins and the win grows linearly with message size.
+* **sidecar**: its dominant movement is *physical* — cache lines migrating
+  to the interposition core. That per-byte cost is charged by the
+  coherence fabric, not the syscall boundary, so kernel zero-copy modes
+  change nothing: same CPU, same ledger. You cannot elide interposition
+  done by copy.
+* **bypass / hypervisor / KOPI**: already zero-copy — frames move by DMA
+  straight into application-visible rings (`dma_direct` in the ledger),
+  and the elision knobs are no-ops. This is §3's claim: KOPI keeps
+  kernel-grade interposition at bypass-grade data movement.
+
+A second, RX-side table re-runs the kernel plane as a receiver (peer
+injects, a blocking sink reads) to show the registered-buffer RX mode has
+the same fixed-vs-per-byte structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..apps.echo import SinkServer
+from ..config import DEFAULT_COSTS, CostModel
+from ..dataplanes import KernelPathDataplane, Testbed
+from .common import Row, copy_summary, fmt_table, planes_under_test, run_bulk_tx
+
+SIZES = (64, 512, 1_458, 4_096, 16_384, 32_768)
+DEFAULT_COUNT = 64
+RX_COUNT = 32
+RX_GAP_NS = 25_000  # injection spacing: keeps the sink ahead of the peer
+
+MODES: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("copy", {}),
+    ("zerocopy", {"tx_zerocopy": True, "rx_zerocopy": True}),
+)
+
+COLUMNS = [
+    "plane", "mode", "payload_B", "delivered", "goodput_gbps",
+    "app_cpu_ns_per_pkt", "copied_B_per_pkt", "copy_ns_per_pkt",
+    "elided_B_per_pkt",
+]
+
+RX_COLUMNS = ["mode", "payload_B", "received", "app_cpu_ns_per_msg",
+              "copied_B_per_msg", "elided_B_per_msg"]
+
+
+def run_e13(
+    count: int = DEFAULT_COUNT,
+    sizes: "tuple[int, ...]" = SIZES,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Row]:
+    rows: List[Row] = []
+    for plane_cls in planes_under_test():
+        for mode, changes in MODES:
+            mode_costs = costs.replace(**changes) if changes else costs
+            for size in sizes:
+                row = run_bulk_tx(
+                    plane_cls, size, count, costs=mode_costs, with_copies=True
+                )
+                copies = row.pop("copies")
+                row.pop("movements")
+                row["mode"] = mode
+                row["copied_B_per_pkt"] = copies["cpu_bytes_copied"] / count
+                row["copy_ns_per_pkt"] = copies["cpu_ns_copying"] / count
+                row["elided_B_per_pkt"] = copies["bytes_elided"] / count
+                row["zc_overhead_ns_per_pkt"] = copies["elision_overhead_ns"] / count
+                row["dma_direct_B_per_pkt"] = copies["dma_direct_bytes"] / count
+                rows.append(row)
+    return rows
+
+
+def run_e13_rx(
+    count: int = RX_COUNT,
+    sizes: "tuple[int, ...]" = SIZES,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Row]:
+    """Kernel-plane RX counterpart: the peer injects ``count`` messages,
+    a blocking sink reads them, and we charge the reader's core."""
+    rows: List[Row] = []
+    for mode, changes in MODES:
+        mode_costs = costs.replace(**changes) if changes else costs
+        for size in sizes:
+            tb = Testbed(KernelPathDataplane, costs=mode_costs)
+            sink = SinkServer(tb, port=9_000, comm="sink", user="bob", core_id=1)
+            sink.start()
+            for i in range(count):
+                tb.sim.at(i * RX_GAP_NS, tb.peer.send_udp, 7_000, 9_000, size)
+            tb.run_all()
+            copies = copy_summary(tb.machine.copies)
+            got = max(sink.messages, 1)
+            rows.append({
+                "mode": mode,
+                "payload_B": size,
+                "received": sink.messages,
+                "app_cpu_ns_per_msg": tb.machine.cpus[1].busy_ns / got,
+                "copied_B_per_msg": copies["cpu_bytes_copied"] / got,
+                "elided_B_per_msg": copies["bytes_elided"] / got,
+            })
+    return rows
+
+
+def _by_plane_mode(rows: List[Row]) -> Dict[Tuple[str, str, int], Row]:
+    return {(str(r["plane"]), str(r["mode"]), int(r["payload_B"])): r for r in rows}
+
+
+def crossover(rows: List[Row], plane: str = "kernel") -> Dict[str, object]:
+    """Measured crossover on one plane: per size, does zerocopy beat copy
+    on app-core CPU? Returns the smallest winning size (or None)."""
+    index = _by_plane_mode(rows)
+    sizes = sorted({int(r["payload_B"]) for r in rows if r["plane"] == plane})
+    wins: Dict[int, float] = {}
+    for size in sizes:
+        cp = index.get((plane, "copy", size))
+        zc = index.get((plane, "zerocopy", size))
+        if cp is None or zc is None:
+            continue
+        wins[size] = float(cp["app_cpu_ns_per_pkt"]) - float(zc["app_cpu_ns_per_pkt"])
+    winning = [s for s, delta in wins.items() if delta > 0]
+    losing = [s for s, delta in wins.items() if delta < 0]
+    return {
+        "cpu_delta_ns_by_size": wins,
+        "crossover_B": min(winning) if winning else None,
+        "largest_losing_B": max(losing) if losing else None,
+    }
+
+
+def headline(rows: List[Row], costs: CostModel = DEFAULT_COSTS) -> Dict[str, object]:
+    index = _by_plane_mode(rows)
+    cross = crossover(rows, "kernel")
+    sizes = sorted({int(r["payload_B"]) for r in rows})
+    small, large = sizes[0], sizes[-1]
+
+    def unaffected(plane: str, key: str) -> bool:
+        return all(
+            index[(plane, "copy", s)][key] == index[(plane, "zerocopy", s)][key]
+            for s in sizes
+            if (plane, "copy", s) in index and (plane, "zerocopy", s) in index
+        )
+
+    return {
+        "break_even_model_B": costs.zc_tx_break_even_bytes,
+        "crossover_measured_B": cross["crossover_B"],
+        "largest_losing_B": cross["largest_losing_B"],
+        "kernel_small_msg_penalty_ns": -cross["cpu_delta_ns_by_size"].get(small, 0.0),
+        "kernel_large_msg_win_ns": cross["cpu_delta_ns_by_size"].get(large, 0.0),
+        # Sidecar movement is coherence, not user/kernel copies — the knobs
+        # must not touch it.
+        "sidecar_unaffected": unaffected("sidecar", "app_cpu_ns_per_pkt")
+        and unaffected("sidecar", "copied_B_per_pkt"),
+        # Bypass-class planes have no boundary copy to elide.
+        "bypass_unaffected": unaffected("bypass", "app_cpu_ns_per_pkt"),
+        "kopi_unaffected": unaffected("kopi", "app_cpu_ns_per_pkt"),
+    }
+
+
+def main() -> str:
+    rows = run_e13()
+    rx_rows = run_e13_rx()
+    summary = headline(rows)
+    lines = [fmt_table(rows, columns=COLUMNS), ""]
+    lines.append("kernel RX (registered-buffer mode):")
+    lines.append(fmt_table(rx_rows, columns=RX_COLUMNS))
+    lines.append("")
+    lines.append(
+        f"model break-even {summary['break_even_model_B']} B; measured "
+        f"crossover at {summary['crossover_measured_B']} B (zerocopy still "
+        f"loses at {summary['largest_losing_B']} B)"
+    )
+    lines.append(
+        f"headline: MSG_ZEROCOPY costs the kernel path "
+        f"{summary['kernel_small_msg_penalty_ns']:.0f} ns/pkt at "
+        f"{SIZES[0]} B but wins {summary['kernel_large_msg_win_ns']:.0f} ns/pkt "
+        f"at {SIZES[-1]} B; sidecar coherence copies are untouched "
+        f"(unaffected={summary['sidecar_unaffected']}) and bypass/KOPI were "
+        "already zero-copy — interposition without data movement is a "
+        "placement question, not a flag"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -7,6 +7,7 @@ component accounts costs in integer nanoseconds against the shared
 
 from .cache import AnalyticDdioModel, WayPartitionedCache
 from .coherence import CoherenceFabric
+from .copies import CopyLedger, LayerLedger
 from .cpu import Core, CpuSet
 from .machine import Machine
 from .memory import MemorySystem, PinnedRegion
@@ -15,9 +16,11 @@ from .pcie import DmaEngine
 __all__ = [
     "AnalyticDdioModel",
     "CoherenceFabric",
+    "CopyLedger",
     "Core",
     "CpuSet",
     "DmaEngine",
+    "LayerLedger",
     "Machine",
     "MemorySystem",
     "PinnedRegion",

@@ -8,17 +8,21 @@ experiment can report both nanoseconds and lines moved.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import CostModel
 from ..errors import SimulationError
 from ..sim import MetricSet
+from .copies import LAYER_COHERENCE, CopyLedger
 
 
 class CoherenceFabric:
     """Charges and counts cache-line transfers between cores."""
 
-    def __init__(self, costs: CostModel):
+    def __init__(self, costs: CostModel, ledger: Optional[CopyLedger] = None):
         self.costs = costs
         self.metrics = MetricSet("coherence")
+        self.ledger = ledger if ledger is not None else CopyLedger()
 
     def transfer_cost_ns(self, nbytes: int, src_core: int, dst_core: int) -> int:
         """Cost of moving ``nbytes`` of modified data from ``src_core``'s
@@ -31,7 +35,11 @@ class CoherenceFabric:
         lines = -(-nbytes // line)
         self.metrics.counter("lines_moved").inc(lines)
         self.metrics.counter("transfers").inc()
-        return lines * self.costs.coherence_line_ns
+        cost = lines * self.costs.coherence_line_ns
+        # Physical movement is still movement: the sidecar's cross-core
+        # line migration lands in the same ledger as the kernel's copies.
+        self.ledger.charge(LAYER_COHERENCE, nbytes, cost)
+        return cost
 
     @property
     def lines_moved(self) -> int:

@@ -1,0 +1,163 @@
+"""End-to-end copy accounting: where every packet byte gets moved, by whom.
+
+The paper's §1 argument is that kernel interposition pays for itself in
+*data movement* — per-byte copies across the user/kernel boundary (virtual
+movement), cache-line migration to a sidecar core (physical movement) — and
+that NIC-resident interposition keeps the interposition while eliding the
+copies. The :class:`CopyLedger` makes that claim measurable: every layer
+that moves packet bytes charges the ledger explicitly, so any run can
+report bytes-copied, copy operations, and ns-spent-copying *per layer*.
+
+Two kinds of entries:
+
+* ``charge`` — bytes actually moved (by the CPU, the coherence fabric, or
+  a DMA engine) plus the nanoseconds that movement cost. Charging is
+  observational: the cost itself is still paid wherever it always was, so
+  attaching the ledger never changes simulated timing.
+* ``elide`` — bytes a zero-copy mode *avoided* moving, plus the fixed
+  per-operation cost (pinning, completion notification) paid instead.
+  With every elision mode off, all elision counters stay at zero.
+
+Layer names are free-form strings; the constants below are the ones the
+built-in planes use. ``CPU_COPY_LAYERS`` is the subset where a CPU (or the
+coherence fabric on the CPU's behalf) touches every byte — the movement
+§1 says interposition should not cost. DMA layers move the same bytes in
+hardware; they are accounted separately so E13 can show the distinction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+LAYER_KERNEL_TX = "kernel_tx"
+"""User -> kernel payload copy on the TX syscall path."""
+
+LAYER_KERNEL_RX = "kernel_rx"
+"""Kernel -> user payload copy on the RX syscall path."""
+
+LAYER_COHERENCE = "coherence"
+"""Cross-core cache-line migration (the sidecar's physical movement)."""
+
+LAYER_HV_VRING = "hv_vring"
+"""Hypervisor vring traversal: guest-posted descriptors + payload pulled
+through the vswitch on the NIC."""
+
+LAYER_DMA = "dma"
+"""PCIe DMA transactions between NIC and host memory (hardware movement)."""
+
+LAYER_DMA_DIRECT = "dma_direct"
+"""Zero-copy deliveries straight into application-visible rings (bypass /
+KOPI), landing in the LLC via DDIO — no CPU ever touches the bytes."""
+
+CPU_COPY_LAYERS = (LAYER_KERNEL_TX, LAYER_KERNEL_RX, LAYER_COHERENCE, LAYER_HV_VRING)
+"""Layers whose bytes are moved by (or on behalf of) a CPU — the §1 cost."""
+
+
+class LayerLedger:
+    """Copy accounting for one layer."""
+
+    __slots__ = ("layer", "bytes_copied", "copies", "ns_copying",
+                 "bytes_elided", "elisions", "ns_elision_overhead")
+
+    def __init__(self, layer: str):
+        self.layer = layer
+        self.bytes_copied = 0
+        self.copies = 0
+        self.ns_copying = 0
+        self.bytes_elided = 0
+        self.elisions = 0
+        self.ns_elision_overhead = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LayerLedger {self.layer} copied={self.bytes_copied}B/"
+            f"{self.ns_copying}ns elided={self.bytes_elided}B>"
+        )
+
+
+class CopyLedger:
+    """Per-layer accounting of every byte moved (or elided) in one machine."""
+
+    def __init__(self) -> None:
+        self._layers: Dict[str, LayerLedger] = {}
+
+    def layer(self, name: str) -> LayerLedger:
+        entry = self._layers.get(name)
+        if entry is None:
+            entry = self._layers[name] = LayerLedger(name)
+        return entry
+
+    def layers(self) -> List[LayerLedger]:
+        return list(self._layers.values())
+
+    # --- recording ----------------------------------------------------------
+
+    def charge(self, layer: str, nbytes: int, ns: int, ops: int = 1) -> None:
+        """Record ``nbytes`` actually moved at ``layer`` costing ``ns``
+        (already paid by the caller — the ledger never adds cost)."""
+        if nbytes < 0 or ns < 0 or ops < 0:
+            raise ValueError(
+                f"ledger charge cannot be negative: {layer} {nbytes}B {ns}ns"
+            )
+        entry = self.layer(layer)
+        entry.bytes_copied += nbytes
+        entry.copies += ops
+        entry.ns_copying += ns
+
+    def elide(self, layer: str, nbytes: int, overhead_ns: int = 0, ops: int = 1) -> None:
+        """Record ``nbytes`` a zero-copy mode avoided moving at ``layer``,
+        and the fixed per-operation overhead (pinning, completion
+        notification) paid in exchange."""
+        if nbytes < 0 or overhead_ns < 0 or ops < 0:
+            raise ValueError(
+                f"ledger elision cannot be negative: {layer} {nbytes}B"
+            )
+        entry = self.layer(layer)
+        entry.bytes_elided += nbytes
+        entry.elisions += ops
+        entry.ns_elision_overhead += overhead_ns
+
+    # --- aggregation ---------------------------------------------------------
+
+    def bytes_copied(self, layers: Optional[Iterable[str]] = None) -> int:
+        return sum(e.bytes_copied for e in self._select(layers))
+
+    def ns_copying(self, layers: Optional[Iterable[str]] = None) -> int:
+        return sum(e.ns_copying for e in self._select(layers))
+
+    def copies(self, layers: Optional[Iterable[str]] = None) -> int:
+        return sum(e.copies for e in self._select(layers))
+
+    def bytes_elided(self, layers: Optional[Iterable[str]] = None) -> int:
+        return sum(e.bytes_elided for e in self._select(layers))
+
+    def elision_overhead_ns(self, layers: Optional[Iterable[str]] = None) -> int:
+        return sum(e.ns_elision_overhead for e in self._select(layers))
+
+    def cpu_bytes_copied(self) -> int:
+        """Bytes moved by a CPU — §1's interposition tax."""
+        return self.bytes_copied(CPU_COPY_LAYERS)
+
+    def cpu_ns_copying(self) -> int:
+        return self.ns_copying(CPU_COPY_LAYERS)
+
+    def _select(self, layers: Optional[Iterable[str]]) -> List[LayerLedger]:
+        if layers is None:
+            return list(self._layers.values())
+        return [self._layers[l] for l in layers if l in self._layers]
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat per-layer view (for reports and tests)."""
+        out: Dict[str, int] = {}
+        for name in sorted(self._layers):
+            entry = self._layers[name]
+            out[f"{name}.bytes_copied"] = entry.bytes_copied
+            out[f"{name}.copies"] = entry.copies
+            out[f"{name}.ns_copying"] = entry.ns_copying
+            out[f"{name}.bytes_elided"] = entry.bytes_elided
+            out[f"{name}.elisions"] = entry.elisions
+            out[f"{name}.ns_elision_overhead"] = entry.ns_elision_overhead
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CopyLedger layers={sorted(self._layers)}>"

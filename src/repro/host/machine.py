@@ -9,6 +9,7 @@ from ..config import DEFAULT_COSTS, CostModel
 from ..sim import Simulator
 from .cache import AnalyticDdioModel, WayPartitionedCache
 from .coherence import CoherenceFabric
+from .copies import CopyLedger
 from .cpu import CpuSet
 from .memory import MemorySystem
 from .pcie import DmaEngine
@@ -38,8 +39,9 @@ class Machine:
             WayPartitionedCache.from_costs(costs) if structural_cache else None
         )
         self.ddio_model = AnalyticDdioModel(costs)
-        self.dma = DmaEngine(self.sim, costs, llc=self.llc)
-        self.coherence = CoherenceFabric(costs)
+        self.copies = CopyLedger()
+        self.dma = DmaEngine(self.sim, costs, llc=self.llc, ledger=self.copies)
+        self.coherence = CoherenceFabric(costs, ledger=self.copies)
 
     @property
     def now(self) -> int:

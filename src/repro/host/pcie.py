@@ -15,6 +15,7 @@ from ..config import CostModel
 from ..errors import SimulationError
 from ..sim import MetricSet, Signal, Simulator
 from .cache import WayPartitionedCache
+from .copies import LAYER_DMA, CopyLedger
 from .memory import PinnedRegion
 
 
@@ -26,12 +27,14 @@ class DmaEngine:
         sim: Simulator,
         costs: CostModel,
         llc: Optional[WayPartitionedCache] = None,
+        ledger: Optional[CopyLedger] = None,
     ):
         self.sim = sim
         self.costs = costs
         self.llc = llc
         self._link_free_at = 0
         self.metrics = MetricSet("dma")
+        self.ledger = ledger if ledger is not None else CopyLedger()
 
     def _serialize(self, nbytes: int) -> int:
         """Reserve link time for ``nbytes``; returns completion timestamp."""
@@ -57,6 +60,10 @@ class DmaEngine:
         finish = self._serialize(nbytes) + self.costs.pcie_dma_latency_ns
         self.metrics.counter("writes").inc()
         self.metrics.meter("write_bytes").record(self.sim.now, nbytes)
+        self.ledger.charge(
+            LAYER_DMA, nbytes,
+            units.transmit_time_ns(nbytes, self.costs.pcie_bandwidth_bps),
+        )
         self.sim.at(finish, done.succeed, lines)
         return done
 
@@ -68,6 +75,10 @@ class DmaEngine:
         finish = self._serialize(nbytes) + self.costs.pcie_dma_latency_ns
         self.metrics.counter("reads").inc()
         self.metrics.meter("read_bytes").record(self.sim.now, nbytes)
+        self.ledger.charge(
+            LAYER_DMA, nbytes,
+            units.transmit_time_ns(nbytes, self.costs.pcie_bandwidth_bps),
+        )
         self.sim.at(finish, done.succeed, nbytes)
         return done
 
@@ -94,6 +105,12 @@ class DmaEngine:
                 self.llc.dma_write(addr)
             count += 1
         return count
+
+    def account_placement(self, layer: str, nbytes: int, ns: int, ops: int = 1) -> None:
+        """Ledger-only entry for DMA movement modeled outside this engine
+        (NIC ring posts, burst descriptor fetches). Records the bytes and the
+        hardware time already charged by the caller — adds no cost itself."""
+        self.ledger.charge(layer, nbytes, ns, ops=ops)
 
     # --- MMIO -------------------------------------------------------------
 

@@ -47,7 +47,9 @@ class Kernel:
         self.procs = ProcessTable()
         self.cgroups = CgroupTree()
         self.scheduler = KernelScheduler(self.sim, machine.cpus, self.costs)
-        self.syscalls = SyscallLayer(self.sim, machine.cpus, self.costs)
+        self.syscalls = SyscallLayer(
+            self.sim, machine.cpus, self.costs, ledger=machine.copies
+        )
         self.sockets = SocketTable()
         self.filters = RuleTable()
         self.arp_cache = ArpCache()

@@ -80,6 +80,27 @@ class KernelNetStack:
         for tap in self._taps:
             tap(pkt)
 
+    # --- payload movement (copy or zero-copy) --------------------------------
+
+    def _tx_payload(self, proc: Process, sock: KernelSocket, payload_len: int) -> int:
+        """Charge moving TX payload across the boundary; track per-socket
+        copied vs elided bytes (`ss`-style observability for E13)."""
+        cost = self.syscalls.tx_payload_cost(proc, payload_len)
+        if self.costs.tx_zerocopy:
+            sock.tx_elided_bytes += payload_len
+        else:
+            sock.tx_copied_bytes += payload_len
+        return cost
+
+    def _rx_payload(self, proc: Process, sock: KernelSocket, payload_len: int) -> int:
+        """RX counterpart of :meth:`_tx_payload`."""
+        cost = self.syscalls.rx_payload_cost(proc, payload_len)
+        if self.costs.rx_zerocopy:
+            sock.rx_elided_bytes += payload_len
+        else:
+            sock.rx_copied_bytes += payload_len
+        return cost
+
     # --- TX -------------------------------------------------------------------
 
     def sendto(
@@ -100,7 +121,7 @@ class KernelNetStack:
 
         verdict, examined = self.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
         work = (
-            self.syscalls.copy_to_kernel(proc, payload_len)
+            self._tx_payload(proc, sock, payload_len)
             + self.costs.kernel_tx_pkt_ns
             + examined * self.costs.netfilter_rule_ns
             + self.costs.qdisc_enqueue_ns
@@ -155,7 +176,7 @@ class KernelNetStack:
             pkt.meta.created_ns = self.sim.now
             verdict, examined = self.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
             work += (
-                self.syscalls.copy_to_kernel(proc, payload_len)
+                self._tx_payload(proc, sock, payload_len)
                 + self.costs.kernel_tx_pkt_ns
                 + examined * self.costs.netfilter_rule_ns
                 + self.costs.qdisc_enqueue_ns
@@ -216,7 +237,7 @@ class KernelNetStack:
         result = Signal("recv")
         if sock.rx_queue:
             msg = sock.rx_queue.popleft()
-            work = self.syscalls.copy_to_user(proc, msg[0])
+            work = self._rx_payload(proc, sock, msg[0])
             done = self.syscalls.invoke(proc, "recvfrom", work)
             done.add_callback(lambda _s: result.succeed(msg))
             return result
@@ -231,7 +252,7 @@ class KernelNetStack:
 
         def _after_wake(sig: Signal) -> None:
             msg = sig.value
-            work = self.syscalls.copy_to_user(proc, msg[0])
+            work = self._rx_payload(proc, sock, msg[0])
             self.cpus[proc.core_id].execute(work, "rx_copy").add_callback(
                 lambda _s: result.succeed(msg)
             )
@@ -252,7 +273,7 @@ class KernelNetStack:
         if sock.rx_queue:
             msgs = [sock.rx_queue.popleft() for _ in range(min(max_msgs, len(sock.rx_queue)))]
             n = len(msgs)
-            work = sum(self.syscalls.copy_to_user(proc, m[0]) for m in msgs)
+            work = sum(self._rx_payload(proc, sock, m[0]) for m in msgs)
             work += self.costs.syscall_burst_ns(n) - self.costs.syscall_ns
             if n > 1:
                 self.syscalls.record_batched(n)
@@ -272,7 +293,7 @@ class KernelNetStack:
             msgs = [sig.value]
             while sock.rx_queue and len(msgs) < max_msgs:
                 msgs.append(sock.rx_queue.popleft())
-            work = sum(self.syscalls.copy_to_user(proc, m[0]) for m in msgs)
+            work = sum(self._rx_payload(proc, sock, m[0]) for m in msgs)
             if len(msgs) > 1:
                 work += self.costs.syscall_burst_ns(len(msgs)) - self.costs.syscall_ns
             self.cpus[proc.core_id].execute(work, "rx_copy").add_callback(

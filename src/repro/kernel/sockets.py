@@ -32,6 +32,12 @@ class KernelSocket:
         self.rx_queue: Deque[RxMessage] = deque()
         self.rx_bytes = 0
         self.tx_bytes = 0
+        # Copy accounting (E13): payload bytes that crossed the user/kernel
+        # boundary by copy vs. bytes a zero-copy mode avoided copying.
+        self.tx_copied_bytes = 0
+        self.tx_elided_bytes = 0
+        self.rx_copied_bytes = 0
+        self.rx_elided_bytes = 0
         self.closed = False
 
     def connect(self, ip: IPv4Address, port: int) -> None:

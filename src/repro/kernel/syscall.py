@@ -3,12 +3,20 @@
 Every user/kernel crossing in the simulation is charged here, so the "virtual
 data movement" overheads of §1 are visible in one counter. ``invoke`` charges
 the crossing plus in-kernel work on the caller's core.
+
+Payload movement across the boundary goes through :meth:`tx_payload_cost` /
+:meth:`rx_payload_cost`, which pick between the classic per-byte copy and the
+zero-copy elision paths (``CostModel.tx_zerocopy`` / ``rx_zerocopy``) and
+record either outcome in the machine's :class:`~repro.host.copies.CopyLedger`.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import CostModel
 from ..errors import InvalidSyscall
+from ..host.copies import LAYER_KERNEL_RX, LAYER_KERNEL_TX, CopyLedger
 from ..host.cpu import CpuSet
 from ..sim import MetricSet, Signal, Simulator
 from .process import Process
@@ -17,11 +25,18 @@ from .process import Process
 class SyscallLayer:
     """Charges syscall entry/exit and counts crossings per syscall name."""
 
-    def __init__(self, sim: Simulator, cpus: CpuSet, costs: CostModel):
+    def __init__(
+        self,
+        sim: Simulator,
+        cpus: CpuSet,
+        costs: CostModel,
+        ledger: Optional[CopyLedger] = None,
+    ):
         self.sim = sim
         self.cpus = cpus
         self.costs = costs
         self.metrics = MetricSet("syscall")
+        self.ledger = ledger if ledger is not None else CopyLedger()
 
     def invoke(self, proc: Process, name: str, work_ns: int = 0) -> Signal:
         """Run syscall ``name`` for ``proc``: entry/exit cost + ``work_ns``
@@ -42,12 +57,42 @@ class SyscallLayer:
     def copy_to_kernel(self, proc: Process, nbytes: int) -> int:
         """Cost of copying a user buffer into the kernel (charged by caller)."""
         self.metrics.counter("copy_in_bytes").inc(max(0, nbytes))
-        return self.costs.copy_ns(nbytes)
+        cost = self.costs.copy_ns(nbytes)
+        self.ledger.charge(LAYER_KERNEL_TX, max(0, nbytes), cost)
+        return cost
 
     def copy_to_user(self, proc: Process, nbytes: int) -> int:
         """Cost of copying kernel data out to userspace."""
         self.metrics.counter("copy_out_bytes").inc(max(0, nbytes))
-        return self.costs.copy_ns(nbytes)
+        cost = self.costs.copy_ns(nbytes)
+        self.ledger.charge(LAYER_KERNEL_RX, max(0, nbytes), cost)
+        return cost
+
+    # --- payload movement with optional copy elision --------------------------
+
+    def tx_payload_cost(self, proc: Process, nbytes: int) -> int:
+        """Cost of making ``nbytes`` of user payload visible to the stack on
+        the TX path: a user->kernel copy, or — with ``tx_zerocopy`` on — a
+        page pin + completion notification (MSG_ZEROCOPY)."""
+        if not self.costs.tx_zerocopy:
+            return self.copy_to_kernel(proc, nbytes)
+        cost = self.costs.zc_tx_ns(nbytes)
+        self.metrics.counter("tx_zc_ops").inc()
+        self.metrics.counter("tx_zc_elided_bytes").inc(max(0, nbytes))
+        self.ledger.elide(LAYER_KERNEL_TX, max(0, nbytes), cost)
+        return cost
+
+    def rx_payload_cost(self, proc: Process, nbytes: int) -> int:
+        """Cost of landing ``nbytes`` of received payload in userspace: a
+        kernel->user copy, or — with ``rx_zerocopy`` on — a registered-buffer
+        handoff (io_uring-style)."""
+        if not self.costs.rx_zerocopy:
+            return self.copy_to_user(proc, nbytes)
+        cost = self.costs.zc_rx_ns(nbytes)
+        self.metrics.counter("rx_zc_ops").inc()
+        self.metrics.counter("rx_zc_elided_bytes").inc(max(0, nbytes))
+        self.ledger.elide(LAYER_KERNEL_RX, max(0, nbytes), cost)
+        return cost
 
     @property
     def total_syscalls(self) -> int:

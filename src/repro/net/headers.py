@@ -8,7 +8,7 @@ analogue emit genuine pcap files.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 from ..errors import PacketError
@@ -42,6 +42,26 @@ def _check_u16(name: str, value: int) -> None:
         raise PacketError(f"{name} out of range: {value}")
 
 
+def _slotted(cls):
+    """Rebuild a dataclass with ``__slots__`` (``slots=True`` needs 3.10+).
+
+    Headers are allocated per packet on the hot path; slots cut the per-
+    instance dict. Field defaults survive in ``__init__``'s signature, so
+    the class-level attributes that would collide with slots can go.
+    """
+    cls_dict = dict(cls.__dict__)
+    field_names = tuple(f.name for f in fields(cls))
+    cls_dict["__slots__"] = field_names
+    for name in field_names:
+        cls_dict.pop(name, None)
+    cls_dict.pop("__dict__", None)
+    cls_dict.pop("__weakref__", None)
+    new_cls = type(cls.__name__, cls.__bases__, cls_dict)
+    new_cls.__qualname__ = cls.__qualname__
+    return new_cls
+
+
+@_slotted
 @dataclass(frozen=True)
 class EthernetHeader:
     dst: MacAddress
@@ -59,6 +79,7 @@ class EthernetHeader:
         return ETH_HEADER_LEN
 
 
+@_slotted
 @dataclass(frozen=True)
 class ArpHeader:
     """IPv4-over-Ethernet ARP body."""
@@ -87,6 +108,7 @@ class ArpHeader:
         return ARP_BODY_LEN
 
 
+@_slotted
 @dataclass(frozen=True)
 class Ipv4Header:
     src: IPv4Address
@@ -137,6 +159,7 @@ class Ipv4Header:
         return IPV4_HEADER_LEN
 
 
+@_slotted
 @dataclass(frozen=True)
 class TcpHeader:
     sport: int
@@ -174,6 +197,7 @@ class TcpHeader:
         return TCP_HEADER_LEN
 
 
+@_slotted
 @dataclass(frozen=True)
 class UdpHeader:
     sport: int
@@ -197,6 +221,7 @@ class UdpHeader:
         return UDP_HEADER_LEN
 
 
+@_slotted
 @dataclass
 class PacketMeta:
     """Mutable per-packet metadata carried alongside the headers.

@@ -30,7 +30,14 @@ class Packet:
     Payload bytes are synthetic (length only) — what experiments measure is
     movement and headers, not content — but ``to_bytes`` produces a valid
     wire image (zero-filled payload) so captures are real pcap files.
+
+    Packets are the hottest allocation in the simulator, so the class is
+    slotted and ``wire_len`` is computed once at construction (headers are
+    frozen, so it can never change).
     """
+
+    __slots__ = ("packet_id", "eth", "ipv4", "l4", "arp", "payload_len",
+                 "meta", "wire_len")
 
     _ids = 0
 
@@ -58,6 +65,15 @@ class Packet:
         self.arp = arp
         self.payload_len = payload_len
         self.meta = PacketMeta()
+        total = eth.wire_len
+        if arp is not None:
+            total += arp.wire_len
+        else:
+            total += ipv4.wire_len
+            if l4 is not None:
+                total += l4.wire_len
+            total += payload_len
+        self.wire_len = total
 
     # --- classification ------------------------------------------------------
 
@@ -84,18 +100,6 @@ class Packet:
             dst_ip=self.ipv4.dst,
             dport=self.l4.dport,
         )
-
-    @property
-    def wire_len(self) -> int:
-        """Total frame length on the wire."""
-        total = self.eth.wire_len
-        if self.arp is not None:
-            return total + self.arp.wire_len
-        assert self.ipv4 is not None
-        total += self.ipv4.wire_len
-        if self.l4 is not None:
-            total += self.l4.wire_len
-        return total + self.payload_len
 
     def to_bytes(self) -> bytes:
         """Wire image with a zero-filled payload."""

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..config import CostModel
 from ..errors import NicError
+from ..host.copies import LAYER_DMA, LAYER_DMA_DIRECT
 from ..host.pcie import DmaEngine
 from ..net.link import Link
 from ..net.packet import Packet
@@ -94,9 +95,16 @@ class BasicNic:
                 self._rx_coalesce(queue, pkt)
             else:
                 # DMA then hand to the handler (kernel path).
+                self.dma.account_placement(
+                    LAYER_DMA, pkt.wire_len, self.costs.pcie_dma_latency_ns
+                )
                 self.sim.after(self.costs.pcie_dma_latency_ns, queue.handler, pkt)
         elif queue.ring is not None:
-            if not queue.ring.try_post(pkt):
+            if queue.ring.try_post(pkt):
+                # Zero-copy delivery: the frame lands directly in the
+                # app-visible ring (DDIO); no CPU touches the bytes.
+                self.dma.account_placement(LAYER_DMA_DIRECT, pkt.wire_len, 0)
+            else:
                 self.metrics.counter("rx_ring_drops").inc()
         else:
             self.metrics.counter("rx_unconfigured_drops").inc()
@@ -126,7 +134,11 @@ class BasicNic:
             queue.flush_handle = None
         burst, queue.rx_pending = queue.rx_pending, []
         self.metrics.counter("rx_bursts").inc()
-        self.sim.after(self.costs.dma_burst_ns(len(burst)), queue.burst_handler, burst)
+        burst_ns = self.costs.dma_burst_ns(len(burst))
+        self.dma.account_placement(
+            LAYER_DMA, sum(p.wire_len for p in burst), burst_ns, ops=len(burst)
+        )
+        self.sim.after(burst_ns, queue.burst_handler, burst)
 
     def classify_rx(self, pkt: Packet) -> int:
         """Queue selection: exact steering entry, else RSS, else queue 0."""

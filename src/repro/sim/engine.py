@@ -149,6 +149,7 @@ class Simulator:
         clock segments.
         """
         fired = 0
+        heap = self._heap
         while True:
             if max_events is not None and fired >= max_events:
                 return self._now
@@ -160,7 +161,13 @@ class Simulator:
             if until is not None and nxt > until:
                 self._now = until
                 return self._now
-            self.step()
+            # peek() left a non-cancelled entry on top, so pop it directly
+            # instead of going through step()'s skip-cancelled scan — one
+            # heap traversal per event, not two.
+            time_ns, _, handle = heapq.heappop(heap)
+            self._now = time_ns
+            self._events_fired += 1
+            handle._fire()
             fired += 1
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:

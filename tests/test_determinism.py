@@ -76,3 +76,19 @@ class TestDeterminism:
         baseline = run_workload()
         assert baseline == run_workload()
         assert baseline["events"] > 0
+
+    def test_zerocopy_off_reproduces_seed_fingerprint(self):
+        """The copy ledger is observational and the elision modes default
+        off: the mixed workload must hash to the exact fingerprint captured
+        on the seed tree, byte for byte. Ints and floats repr identically
+        across supported Pythons, so the sha256 is stable. If this fails,
+        a 'pure accounting' change altered simulated behaviour."""
+        import hashlib
+
+        fingerprint = hashlib.sha256(
+            repr(sorted(run_workload().items())).encode()
+        ).hexdigest()
+        assert fingerprint == (
+            "3eeddc5fcef1881523bc34dcc4bab94e"  # captured from the seed
+            "d92fe292723a9fd840f4c71ac94c6820"
+        )

@@ -1,0 +1,208 @@
+"""Copy accounting and copy elision (E13).
+
+The CopyLedger must be purely observational (attaching it changes nothing),
+elision modes must only trade per-byte copy cost for their fixed pin cost,
+and with the modes off every elision counter stays at zero.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import BulkSender
+from repro.apps.echo import SinkServer
+from repro.config import DEFAULT_COSTS
+from repro.dataplanes import KernelPathDataplane, SidecarDataplane, Testbed
+from repro.host.copies import (
+    CPU_COPY_LAYERS,
+    LAYER_COHERENCE,
+    LAYER_DMA,
+    LAYER_DMA_DIRECT,
+    LAYER_KERNEL_RX,
+    LAYER_KERNEL_TX,
+    CopyLedger,
+)
+
+ZC_COSTS = DEFAULT_COSTS.replace(tx_zerocopy=True, rx_zerocopy=True)
+
+
+class TestCopyLedger:
+    def test_charge_accumulates(self):
+        led = CopyLedger()
+        led.charge(LAYER_KERNEL_TX, 1_000, 60)
+        led.charge(LAYER_KERNEL_TX, 500, 30, ops=2)
+        entry = led.layer(LAYER_KERNEL_TX)
+        assert entry.bytes_copied == 1_500
+        assert entry.copies == 3
+        assert entry.ns_copying == 90
+        assert entry.bytes_elided == 0
+
+    def test_elide_accumulates_separately(self):
+        led = CopyLedger()
+        led.elide(LAYER_KERNEL_TX, 4_096, 850)
+        entry = led.layer(LAYER_KERNEL_TX)
+        assert entry.bytes_copied == 0
+        assert entry.bytes_elided == 4_096
+        assert entry.ns_elision_overhead == 850
+
+    def test_negative_entries_rejected(self):
+        led = CopyLedger()
+        with pytest.raises(ValueError):
+            led.charge(LAYER_DMA, -1, 0)
+        with pytest.raises(ValueError):
+            led.elide(LAYER_DMA, 1, -1)
+
+    def test_layer_selection(self):
+        led = CopyLedger()
+        led.charge(LAYER_KERNEL_TX, 100, 6)
+        led.charge(LAYER_COHERENCE, 200, 12)
+        led.charge(LAYER_DMA_DIRECT, 1_000, 0)
+        assert led.cpu_bytes_copied() == 300
+        assert led.bytes_copied() == 1_300
+        assert led.bytes_copied((LAYER_DMA_DIRECT,)) == 1_000
+
+    def test_snapshot_flat_and_sorted(self):
+        led = CopyLedger()
+        led.charge(LAYER_KERNEL_RX, 64, 4)
+        snap = led.snapshot()
+        assert snap["kernel_rx.bytes_copied"] == 64
+        assert snap["kernel_rx.copies"] == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(CPU_COPY_LAYERS + (LAYER_DMA, LAYER_DMA_DIRECT)),
+                st.booleans(),
+                st.integers(min_value=0, max_value=1 << 20),
+                st.integers(min_value=0, max_value=1 << 20),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_totals_never_negative(self, entries):
+        led = CopyLedger()
+        for layer, is_elide, nbytes, ns in entries:
+            if is_elide:
+                led.elide(layer, nbytes, ns)
+            else:
+                led.charge(layer, nbytes, ns)
+        assert led.bytes_copied() >= 0
+        assert led.ns_copying() >= 0
+        assert led.bytes_elided() >= 0
+        assert led.elision_overhead_ns() >= 0
+        assert all(v >= 0 for v in led.snapshot().values())
+
+
+class TestElisionCostModel:
+    def test_break_even_brackets_fixed_cost(self):
+        be = DEFAULT_COSTS.zc_tx_break_even_bytes
+        fixed = DEFAULT_COSTS.zc_tx_pin_ns + DEFAULT_COSTS.zc_tx_completion_ns
+        assert DEFAULT_COSTS.copy_ns(be) >= fixed
+        # copy_ns rounds to whole ns, so sizes just below break-even may
+        # tie with the fixed cost — but never beat it.
+        assert DEFAULT_COSTS.copy_ns(be - 1) <= fixed
+        assert DEFAULT_COSTS.copy_ns(be // 2) < fixed
+
+    @given(st.integers(min_value=1, max_value=1 << 20))
+    @settings(max_examples=200, deadline=None)
+    def test_crossover_is_exactly_break_even(self, nbytes):
+        """zerocopy TX cost <= copy cost iff the payload reaches break-even."""
+        zc = ZC_COSTS.zc_tx_ns(nbytes)
+        copy = ZC_COSTS.copy_ns(nbytes)
+        if nbytes >= ZC_COSTS.zc_tx_break_even_bytes:
+            assert zc <= copy
+        else:
+            # Whole-ns rounding lets sizes just below break-even tie.
+            assert zc >= copy
+
+    def test_zero_length_ops_cost_nothing(self):
+        assert ZC_COSTS.zc_tx_ns(0) == 0
+        assert ZC_COSTS.zc_rx_ns(0) == 0
+
+
+def _bulk_run(costs, payload_len=32_768, count=16):
+    tb = Testbed(KernelPathDataplane, costs=costs)
+    app = BulkSender(tb, comm="bulk", user="bob", core_id=1,
+                     payload_len=payload_len, count=count)
+    app.start()
+    tb.run_all()
+    return tb, app
+
+
+class TestKernelElision:
+    def test_modes_off_means_zero_elision(self):
+        tb, app = _bulk_run(DEFAULT_COSTS)
+        led = tb.machine.copies
+        assert led.bytes_elided() == 0
+        assert led.elision_overhead_ns() == 0
+        assert led.layer(LAYER_KERNEL_TX).bytes_copied == 32_768 * app.sent
+
+    def test_tx_elision_moves_bytes_to_elided(self):
+        tb, app = _bulk_run(ZC_COSTS)
+        led = tb.machine.copies
+        assert led.layer(LAYER_KERNEL_TX).bytes_copied == 0
+        assert led.layer(LAYER_KERNEL_TX).bytes_elided == 32_768 * app.sent
+        assert led.layer(LAYER_KERNEL_TX).ns_elision_overhead == 850 * app.sent
+
+    def test_same_event_structure_both_modes(self):
+        """Elision changes costs, never the event graph: identical runs
+        fire the same number of events and deliver the same packets."""
+        tb_cp, app_cp = _bulk_run(DEFAULT_COSTS)
+        tb_zc, app_zc = _bulk_run(ZC_COSTS)
+        assert tb_cp.sim.events_fired == tb_zc.sim.events_fired
+        assert len(tb_cp.peer.received) == len(tb_zc.peer.received)
+
+    def test_crossover_on_app_cpu(self):
+        big_cp, _ = _bulk_run(DEFAULT_COSTS, payload_len=32_768)
+        big_zc, _ = _bulk_run(ZC_COSTS, payload_len=32_768)
+        small_cp, _ = _bulk_run(DEFAULT_COSTS, payload_len=64)
+        small_zc, _ = _bulk_run(ZC_COSTS, payload_len=64)
+        # Large messages: eliding the copy wins CPU.
+        assert big_zc.machine.cpus[1].busy_ns < big_cp.machine.cpus[1].busy_ns
+        # Small messages: pinning costs more than the copy it avoided.
+        assert small_zc.machine.cpus[1].busy_ns > small_cp.machine.cpus[1].busy_ns
+
+    def test_per_socket_counters(self):
+        tb, app = _bulk_run(ZC_COSTS, count=8)
+        sock = tb.kernel.sockets.sockets_of(app.proc.pid)[0]
+        assert sock.tx_elided_bytes == 32_768 * app.sent
+        assert sock.tx_copied_bytes == 0
+
+    def test_rx_elision(self):
+        for costs, expect_copied in ((DEFAULT_COSTS, True), (ZC_COSTS, False)):
+            tb = Testbed(KernelPathDataplane, costs=costs)
+            sink = SinkServer(tb, port=9_000, comm="sink", user="bob", core_id=1)
+            sink.start()
+            for i in range(8):
+                tb.sim.at(i * 25_000, tb.peer.send_udp, 7_000, 9_000, 16_384)
+            tb.run_all()
+            led = tb.machine.copies
+            assert sink.messages == 8
+            if expect_copied:
+                assert led.layer(LAYER_KERNEL_RX).bytes_copied == 16_384 * 8
+                assert led.layer(LAYER_KERNEL_RX).bytes_elided == 0
+            else:
+                assert led.layer(LAYER_KERNEL_RX).bytes_copied == 0
+                assert led.layer(LAYER_KERNEL_RX).bytes_elided == 16_384 * 8
+
+
+class TestSidecarUnaffected:
+    def test_coherence_copies_identical_under_elision(self):
+        """The sidecar's movement is physical (coherence lines), not a
+        user/kernel copy — kernel zero-copy flags must not change it."""
+        results = {}
+        for mode, costs in (("copy", DEFAULT_COSTS), ("zerocopy", ZC_COSTS)):
+            tb = Testbed(SidecarDataplane, costs=costs)
+            app = BulkSender(tb, comm="bulk", user="bob", core_id=1,
+                             payload_len=16_384, count=16)
+            app.start()
+            tb.run_all()
+            entry = tb.machine.copies.layer(LAYER_COHERENCE)
+            results[mode] = (
+                entry.bytes_copied, entry.ns_copying,
+                tb.machine.cpus.total_busy_ns(),
+            )
+            assert entry.bytes_copied > 0
+            assert tb.machine.copies.bytes_elided() == 0
+        assert results["copy"] == results["zerocopy"]
