@@ -1,0 +1,72 @@
+"""E14 — policy churn bench: commit latency per plane, stale window, drops.
+
+Replays the E14 sweep and asserts its acceptance shape:
+
+* Kernel and sidecar installs are synchronous — the engine records the
+  modeled ~10 us write and **zero** stale evaluations, at every churn rate.
+* KOPI commits are ~50 us overlay loads; at the fastest churn the engine
+  counts packets that ran under the previous program (stale but atomic).
+* Bitstream-granularity commits take ~2 s with the NIC offline — ingress
+  drops on the floor — while overlay-granularity commits never stop
+  traffic. That contrast is the §4.4 argument in one table.
+
+Writes the JSON artifact next to the E12/E13 ones.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.common import fmt_table
+from repro.experiments.e14_policy_churn import (
+    COLUMNS,
+    UPGRADE_COLUMNS,
+    headline,
+    run_e14,
+    run_e14_upgrade,
+)
+
+ARTIFACT = Path(__file__).parent / "artifacts" / "e14_policy_churn.json"
+
+
+def test_e14_policy_churn(once):
+    rows = once(run_e14, count=200, intervals=(None, 50_000, 10_000))
+    print("\n" + fmt_table(rows, columns=COLUMNS))
+    h = headline(rows)
+
+    # Acceptance: synchronous planes never run a packet on stale policy and
+    # pay the modeled kernel write (~10 us) per commit.
+    assert h["sync_planes_stale_evals"] == 0
+    assert 9.0 <= h["sync_install_us_mean"] <= 11.0
+    # KOPI's enforcing copy is an overlay slot: every commit is an async
+    # ~50 us load, and at the fastest churn some packets run stale.
+    assert h["kopi_install_us_mean"] >= 50.0
+    # Churn is an unrelated rule: goodput barely moves on any plane.
+    assert h["max_goodput_delta_pct"] < 5.0
+
+    churn = [r for r in rows if r["interval_us"]]
+    for row in churn:
+        assert row["commits"] > 0, row
+        if row["plane"] in ("kernel", "sidecar"):
+            assert row["stale_evals"] == 0, row
+
+    upgrade_rows = run_e14_upgrade()
+    print("\n" + fmt_table(upgrade_rows, columns=UPGRADE_COLUMNS))
+    by_mech = {r["mechanism"]: r for r in upgrade_rows}
+    overlay = by_mech["overlay load"]
+    bitstream = by_mech["bitstream upgrade"]
+    # Overlay loads commit in ~50 us without dropping a single arrival.
+    assert overlay["commit_ms"] < 1.0
+    assert overlay["offline_rx_drops"] == 0
+    # A full image replacement is one ~2 s commit with the NIC offline.
+    assert bitstream["commit_ms"] >= 2_000.0
+    assert bitstream["offline_rx_drops"] > 0
+
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(
+        json.dumps(
+            {"headline": h, "churn": rows, "granularity": upgrade_rows},
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {ARTIFACT}")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Policy churn: one engine, versioned commits, per-plane install costs.
+
+Every interposition mechanism on a machine — netfilter chains, qdiscs,
+capture taps, NIC steering, SmartNIC overlay filters — registers with the
+machine's PolicyEngine. A policy change is a versioned commit: synchronous
+where the table is a kernel structure (live when the write returns), a
+~50 us overlay load on KOPI (traffic keeps flowing under the old program
+and is counted as stale), and a ~2 s offline window when the whole FPGA
+image is replaced. This example toggles an iptables rule under a bulk
+stream on three planes and prints what the engine recorded.
+
+Run:  python examples/policy_churn.py         (~10 seconds)
+"""
+
+from repro.experiments.common import fmt_table
+from repro.experiments.e14_policy_churn import (
+    COLUMNS,
+    UPGRADE_COLUMNS,
+    run_e14,
+    run_e14_upgrade,
+)
+from repro.dataplanes import KernelPathDataplane, Testbed
+
+
+def main() -> None:
+    # The registry itself: what can interpose on this machine, and where.
+    tb = Testbed(KernelPathDataplane)
+    print("interposition points on a kernel-path machine:")
+    for point in tb.machine.interpose:
+        print(
+            f"  {point.name:<12} plane={point.plane:<10} "
+            f"mechanism={point.mechanism:<10} "
+            f"install={point.install_latency_ns} ns"
+        )
+
+    rows = run_e14(count=200, intervals=(None, 50_000, 10_000))
+    print("\nchurn sweep (toggling a DROP rule under a bulk stream):")
+    print(fmt_table(rows, columns=COLUMNS))
+
+    print("\ncommit granularity on KOPI (ingress running):")
+    print(fmt_table(run_e14_upgrade(), columns=UPGRADE_COLUMNS))
+    print(
+        "\nKernel and sidecar installs are synchronous — zero stale packets,"
+        "\never. KOPI's enforcing copy lives in overlay slots: each commit is"
+        "\na ~50 us load during which packets run (atomically) on the old"
+        "\nversion. Full sweep: python -m repro e14"
+    )
+
+
+if __name__ == "__main__":
+    main()

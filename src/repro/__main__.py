@@ -5,7 +5,7 @@ Usage::
     python -m repro report [--quick]   # run every experiment, print tables
     python -m repro matrix             # just the E3 capability matrix
     python -m repro costs              # dump the calibrated cost model
-    python -m repro e1 .. e13 | f1     # one experiment's table
+    python -m repro e1 .. e14 | f1     # one experiment's table
 """
 
 from __future__ import annotations
@@ -30,6 +30,7 @@ def _experiment_mains():
         e11_shared_rings,
         e12_batching,
         e13_zero_copy,
+        e14_policy_churn,
         f1_architecture,
         s1_tail_latency,
     )
@@ -48,6 +49,7 @@ def _experiment_mains():
         "e11": e11_shared_rings.main,
         "e12": e12_batching.main,
         "e13": e13_zero_copy.main,
+        "e14": e14_policy_churn.main,
         "f1": f1_architecture.main,
         "s1": s1_tail_latency.main,
     }

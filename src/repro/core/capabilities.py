@@ -55,9 +55,11 @@ def _probe_ports(tb: Testbed) -> bool:
     rogue = tb.spawn("rogue", "charlie", core_id=1)
     ep = tb.dataplane.open_endpoint(rogue, PROTO_UDP, 6000)
     # Policy installation is asynchronous on programmable hardware (an
-    # overlay load takes ~50 us); let it commit before the rogue sends,
-    # as the iptables tool does.
-    tb.run_all()
+    # overlay load takes ~50 us); wait on the engine's commit notification —
+    # step the clock only until every pending policy commit is live.
+    committed = tb.machine.interpose.all_committed()
+    while not committed.triggered and tb.sim.step():
+        pass
     ep.send(64, dst=(PEER_IP, 5432))
     tb.run_all()
     violations = sum(

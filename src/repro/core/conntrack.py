@@ -50,12 +50,14 @@ class ConntrackTable:
         self.sram = sram
         self._entries: Dict[FiveTuple, CtEntry] = {}
         self.metrics = MetricSet("conntrack")
+        self.point = None  # Optional[InterpositionPoint], set at registration
 
     def observe(self, pkt: Packet, now_ns: int) -> Optional[CtEntry]:
         ft = pkt.five_tuple
         if ft is None:
             return None
         entry = self._entries.get(ft)
+        created = False
         if entry is None:
             reverse = self._entries.get(ft.reversed())
             if reverse is not None:
@@ -65,19 +67,30 @@ class ConntrackTable:
                 reverse.bytes += pkt.wire_len
                 reverse.last_seen_ns = now_ns
                 self.metrics.counter("established").inc()
+                if self.point is not None:
+                    self.point.record_eval(hit=True)
                 return reverse
             try:
                 block = self.sram.alloc(CT_ENTRY_BYTES, "conntrack")
             except NicResourceExhausted:
                 self.metrics.counter("untracked").inc()
+                if self.point is not None:
+                    self.point.record_eval(hit=False)
                 return None
             entry = CtEntry(flow=ft, state=STATE_NEW, packets=0, bytes=0,
                             last_seen_ns=now_ns, sram=block)
             self._entries[ft] = entry
             self.metrics.counter("created").inc()
+            created = True
         entry.packets += 1
         entry.bytes += pkt.wire_len
         entry.last_seen_ns = now_ns
+        if self.point is not None:
+            # A new flow writes a table entry (a commit); a known flow is a
+            # lookup hit against the existing table version.
+            self.point.record_eval(hit=not created)
+            if created:
+                self.point.record_update()
         return entry
 
     def lookup(self, flow: FiveTuple) -> Optional[CtEntry]:

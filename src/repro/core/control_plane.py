@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..config import CostModel
 from ..errors import KernelError, NicResourceExhausted
 from ..host.machine import Machine
+from ..interpose import InterpositionPoint
 from ..kernel.kernel import Kernel
 from ..kernel.netfilter import CHAIN_INPUT, CHAIN_OUTPUT, NetfilterRule
 from ..kernel.process import Process
@@ -82,6 +83,23 @@ class ControlPlane:
         nic.notify = self._post_notification
         nic.on_arp = self._observe_arp
         nic.fallback_rx = kernel.netstack.deliver
+
+        # Every overlay slot (filters, classifier, policer, custom programs)
+        # commits through one point: a load is submitted now and live after
+        # the ~50 us overlay window — E14's asynchronous-install case.
+        engine = machine.interpose
+        self.overlay_point = engine.register(InterpositionPoint(
+            name="overlay_filters", plane="nic", mechanism="overlay",
+            install_latency_ns=self.costs.overlay_load_ns, target=nic.fpga,
+        ))
+        nic.filter_point = self.overlay_point
+        # The kernel rule table stays authoritative for iptables; wire the
+        # control plane's recompile/counter-pull hooks onto its point so the
+        # tool can trigger them through the registry.
+        nf_point = kernel.filters.point
+        if nf_point is not None:
+            nf_point.resync = self.sync_filters
+            nf_point.sync_counters = self.sync_rule_counters
 
     # ------------------------------------------------------------------
     # connection lifecycle
@@ -266,7 +284,7 @@ class ControlPlane:
         b = self.nic.fpga.load_overlay(SLOT_FILTER_TX, tx_prog)
         from ..sim import AllOf
 
-        return AllOf([a, b], name="sync_filters")
+        return self.overlay_point.begin_commit(AllOf([a, b], name="sync_filters"))
 
     def sync_rule_counters(self) -> None:
         """Copy overlay hit counters back onto the kernel rule objects so
@@ -299,8 +317,12 @@ class ControlPlane:
                 classid_of_conn[conn.conn_id] = classid
         qdisc = DrrQdisc(weights=weights, quantum_bytes=self._qos.quantum_bytes)
         self.nic.set_scheduler(qdisc, set(weights))
+        if self.nic.scheduler.point is not None:
+            self.nic.scheduler.point.policy = self._qos
         prog = compile_classifier(classid_of_conn, default_classid=0, name="kopi.classifier")
-        return self.nic.fpga.load_overlay(SLOT_CLASSIFIER, prog)
+        return self.overlay_point.begin_commit(
+            self.nic.fpga.load_overlay(SLOT_CLASSIFIER, prog)
+        )
 
     def configure_police(self, cgroup_path: str, rate_bps: int, burst_bytes: int) -> Signal:
         """tc police: cap a cgroup's egress with an overlay token bucket.
@@ -333,7 +355,7 @@ class ControlPlane:
                 machine.configure_meter(idx, rate, burst)
 
         loaded.add_callback(_configure)
-        return loaded
+        return self.overlay_point.begin_commit(loaded)
 
     # ------------------------------------------------------------------
     # offloaded kernel functionality: conntrack and NAT
@@ -344,6 +366,13 @@ class ControlPlane:
         tooling; subject to SRAM exhaustion like everything on the NIC)."""
         if self.nic.conntrack is None:
             self.nic.conntrack = ConntrackTable(self.nic.sram)
+            self.nic.conntrack.point = self.machine.interpose.register(
+                InterpositionPoint(
+                    name="conntrack", plane="nic", mechanism="conntrack",
+                    install_latency_ns=self.costs.table_update_ns,
+                    target=self.nic.conntrack,
+                )
+            )
         return self.nic.conntrack
 
     def enable_masquerade(self, public_ip) -> NatTable:
@@ -394,7 +423,9 @@ class ControlPlane:
             self.machine.sim.after(self.costs.overlay_load_ns + 1, done.succeed, True)
 
         flashed.add_callback(_restore)
-        return done
+        # The whole upgrade is one (long) commit: the stale window spans the
+        # bitstream flash plus the policy reload.
+        return self.overlay_point.begin_commit(done)
 
     def load_custom_rx_program(self, asm_text: str, n_counters: int = 0,
                                n_meters: int = 0) -> Signal:
@@ -411,7 +442,9 @@ class ControlPlane:
         prog = assemble(asm_text, n_counters=n_counters, n_meters=n_meters,
                         name="custom_rx")
         _verify(prog)
-        return self.nic.fpga.load_overlay(SLOT_FILTER_RX, prog)
+        return self.overlay_point.begin_commit(
+            self.nic.fpga.load_overlay(SLOT_FILTER_RX, prog)
+        )
 
     # ------------------------------------------------------------------
     # notifications and blocking (§4.3)

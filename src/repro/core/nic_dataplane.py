@@ -95,6 +95,7 @@ class KopiNic:
         self.notify: Optional[NotifyFn] = None
         self.on_arp: Optional[ArpHook] = None
         self.fallback_rx: Optional[FallbackRx] = None
+        self.filter_point = None  # overlay InterpositionPoint, wired by the control plane
 
         # Optional offloaded kernel functionality (§3: "per-connection
         # state, NAT, and everything else the kernel does today").
@@ -140,6 +141,12 @@ class KopiNic:
             result = machine.execute(pkt, self.sim.now)
             latency += result.cost_ns
             verdict = result.verdict
+            if self.filter_point is not None:
+                # Evaluations during an overlay-load window run on the old
+                # program and are tallied stale by the engine.
+                self.filter_point.record_eval(
+                    hit=(verdict == VERDICT_DROP), dropped=(verdict == VERDICT_DROP)
+                )
         self.sim.after(latency, self._rx_effects, pkt, conn, verdict)
 
     def _resolve_rx(self, pkt: Packet) -> Optional[NormanConnection]:
@@ -239,6 +246,10 @@ class KopiNic:
             result = filt.execute(pkt, self.sim.now)
             cost += result.cost_ns
             verdict = result.verdict
+            if self.filter_point is not None:
+                self.filter_point.record_eval(
+                    hit=(verdict == VERDICT_DROP), dropped=(verdict == VERDICT_DROP)
+                )
         classifier = self.fpga.machine(SLOT_CLASSIFIER)
         if classifier is not None and verdict != VERDICT_DROP:
             cresult = classifier.execute(pkt, self.sim.now)

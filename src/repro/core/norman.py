@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import CostModel
 from ..host.machine import Machine
+from ..interpose import InterpositionPoint
 from ..kernel.kernel import Kernel
 from ..kernel.netfilter import NetfilterRule
 from ..kernel.qdisc import DEFAULT_CLASS
@@ -25,7 +26,13 @@ from ..net.addresses import IPv4Address, MacAddress
 from ..net.link import Link
 from ..net.packet import Packet
 from ..sim import Signal
-from ..dataplanes.base import CaptureSession, Dataplane, PacketFilter, QosConfig
+from ..dataplanes.base import (
+    CaptureSession,
+    Dataplane,
+    PacketFilter,
+    QosConfig,
+    describe_qos,
+)
 from .control_plane import ControlPlane
 from .library import NormanEndpoint
 from .nic_dataplane import KOPI_BITSTREAM, KopiNic
@@ -66,6 +73,27 @@ class NormanOS(Dataplane):
             nic_send=self._slowpath_tx, tx_rate_bps=egress.rate_bps,
         )
         self.control = ControlPlane(self.kernel, self.nic, machine, shared_rings=shared_rings)
+        # KOPI's on-NIC mechanisms, registered with the machine's engine
+        # ("netfilter" comes from Kernel, "overlay_filters" and "conntrack"
+        # from the control plane).
+        engine = machine.interpose
+        self.sniffer.point = engine.register(InterpositionPoint(
+            name="sniffer", plane="nic", mechanism="tap",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.sniffer,
+        ))
+        qdisc_point = engine.register(InterpositionPoint(
+            name="qdisc", plane="nic", mechanism="qdisc",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.nic.scheduler,
+        ))
+        qdisc_point.describe = lambda: describe_qos(qdisc_point.policy)
+        self.nic.scheduler.point = qdisc_point
+        self.nic.steering.point = engine.register(InterpositionPoint(
+            name="steering", plane="nic", mechanism="steering",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.nic.steering,
+        ))
 
     # --- wire plumbing ------------------------------------------------------
 

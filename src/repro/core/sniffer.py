@@ -24,6 +24,11 @@ class Sniffer:
         self.sim = sim
         self._sessions: List[Tuple[Optional[PacketFilter], CaptureSession, PcapWriter]] = []
         self.metrics = MetricSet("sniffer")
+        self.point = None  # Optional[InterpositionPoint], set at registration
+
+    def _session_change(self) -> None:
+        if self.point is not None:
+            self.point.record_update()
 
     def start(self, match: Optional[PacketFilter] = None, name: str = "capture") -> CaptureSession:
         session = CaptureSession(name=name, attributed=True)
@@ -31,18 +36,28 @@ class Sniffer:
         session.pcap = writer
         entry = (match, session, writer)
         self._sessions.append(entry)
-        session._detach = lambda: self._sessions.remove(entry)
+        self._session_change()
+
+        def _detach() -> None:
+            self._sessions.remove(entry)
+            self._session_change()
+
+        session._detach = _detach
         return session
 
     def mirror(self, pkt: Packet) -> None:
         """Called by the NIC pipeline for every packet (both directions)."""
         if not self._sessions:
             return
+        mirrored = False
         for match, session, writer in self._sessions:
             if match is None or match(pkt):
                 session.packets.append(pkt)
                 writer.write(self.sim.now, pkt)
                 self.metrics.counter("mirrored").inc()
+                mirrored = True
+        if self.point is not None:
+            self.point.record_eval(hit=mirrored)
 
     @property
     def active_sessions(self) -> int:

@@ -68,6 +68,20 @@ class QosConfig:
             raise UnsupportedOperation("QoS config needs at least one class")
 
 
+def describe_qos(policy: Optional[QosConfig]) -> str:
+    """Render the committed shaping policy the way ``tc qdisc show`` does.
+
+    Derived from the qdisc interposition point's committed policy object so
+    tool output can never diverge from engine state.
+    """
+    if policy is None:
+        return "pfifo (default)"
+    weights = " ".join(
+        f"{path}:{w}" for path, w in sorted(policy.weights_by_cgroup.items())
+    )
+    return f"wfq {weights}"
+
+
 @dataclass
 class CaptureSession:
     """A running tcpdump-style capture."""

@@ -22,6 +22,7 @@ from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation
 from ..host.copies import LAYER_DMA_DIRECT
 from ..host.machine import Machine
+from ..interpose import InterpositionPoint
 from ..kernel.kernel import Kernel
 from ..net.addresses import IPv4Address, MacAddress
 from ..net.link import Link
@@ -174,6 +175,14 @@ class BypassDataplane(Dataplane):
         )
         # The kernel still runs the machine — it is just not on the datapath.
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
+        # Fixed-function NIC steering is the ONLY interposition mechanism a
+        # bypass deployment has ("netfilter" is registered by Kernel but its
+        # table is off-path) — the engine's registry makes that legible.
+        self.nic.steering.point = machine.interpose.register(InterpositionPoint(
+            name="steering", plane="nic", mechanism="steering",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.nic.steering,
+        ))
         self._endpoints: List[BypassEndpoint] = []
         self._next_conn = 0
 

@@ -16,6 +16,7 @@ from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
 from ..host.copies import LAYER_HV_VRING
 from ..host.machine import Machine
+from ..interpose import InterpositionPoint
 from ..kernel.arp import ArpCache
 from ..kernel.kernel import Kernel
 from ..kernel.netfilter import NetfilterRule
@@ -152,6 +153,26 @@ class HypervisorDataplane(Dataplane):
         self._captures: List[Tuple[Optional[PacketFilter], CaptureSession]] = []
         self._endpoints: List[HypervisorEndpoint] = []
         self._next_conn = 0
+        # The vswitch's interposition mechanisms. Header-only match-action
+        # compiles from netfilter rules, so the mechanism is "netfilter" even
+        # though it runs below the OS ("netfilter" proper is registered by
+        # Kernel; its table is off-path here).
+        engine = machine.interpose
+        self._vswitch_point = engine.register(InterpositionPoint(
+            name="vswitch", plane="hypervisor", mechanism="netfilter",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.vswitch_rules,
+        ))
+        self._sniffer_point = engine.register(InterpositionPoint(
+            name="sniffer", plane="hypervisor", mechanism="tap",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self._captures,
+        ))
+        self.nic.steering.point = engine.register(InterpositionPoint(
+            name="steering", plane="nic", mechanism="steering",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.nic.steering,
+        ))
 
     # --- vswitch pipeline (runs on the NIC, both directions) ---------------------
 
@@ -160,15 +181,25 @@ class HypervisorDataplane(Dataplane):
         consulted — the hypervisor cannot know it."""
         if pkt.is_arp:
             self.arp_observed.observe(pkt, self.machine.sim.now)
-        for match, session in self._captures:
-            if match is None or match(pkt):
-                session.packets.append(pkt)
+        if self._captures:
+            mirrored = False
+            for match, session in self._captures:
+                if match is None or match(pkt):
+                    session.packets.append(pkt)
+                    mirrored = True
+            self._sniffer_point.record_eval(hit=mirrored)
+        matched = False
+        verdict_drop = False
         for rule in self.vswitch_rules:
             if rule.matches(pkt):
-                if rule.action == "drop":
-                    self.metrics.counter("dropped").inc()
-                    return False
+                matched = True
+                verdict_drop = rule.action == "drop"
                 break
+        if self.vswitch_rules:
+            self._vswitch_point.record_eval(hit=matched, dropped=verdict_drop)
+        if verdict_drop:
+            self.metrics.counter("dropped").inc()
+            return False
         return True
 
     def wire_rx(self, pkt: Packet) -> None:
@@ -245,6 +276,7 @@ class HypervisorDataplane(Dataplane):
                 dport=rule.dport,
             )
         )
+        self._vswitch_point.record_update()
 
     def configure_qos(self, config: QosConfig) -> None:
         raise UnsupportedOperation(
@@ -259,7 +291,13 @@ class HypervisorDataplane(Dataplane):
         """Global capture works — but unattributed."""
         session = CaptureSession(name=name, attributed=False)
         self._captures.append((match, session))
-        session._detach = lambda: self._captures.remove((match, session))
+        self._sniffer_point.record_update()
+
+        def _detach() -> None:
+            self._captures.remove((match, session))
+            self._sniffer_point.record_update()
+
+        session._detach = _detach
         return session
 
     def attribution_of(self, pkt: Packet) -> Optional[Tuple[int, int, str]]:

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import CostModel
 from ..errors import UnsupportedOperation
 from ..host.machine import Machine
+from ..interpose import InterpositionPoint
 from ..kernel.kernel import Kernel
 from ..kernel.netfilter import NetfilterRule
 from ..kernel.qdisc import DEFAULT_CLASS, DrrQdisc
@@ -29,6 +30,7 @@ from .base import (
     QosConfig,
     _as_bool,
     _as_first,
+    describe_qos,
 )
 
 
@@ -107,6 +109,26 @@ class KernelPathDataplane(Dataplane):
         )
         for queue in self.nic.queues:
             queue.set_handler(self._nic_rx, burst_handler=self._nic_rx_burst)
+        # Register every interposition mechanism this plane owns with the
+        # machine's PolicyEngine ("netfilter" is registered by Kernel itself).
+        engine = machine.interpose
+        qdisc_point = engine.register(InterpositionPoint(
+            name="qdisc", plane="kernel", mechanism="qdisc",
+            install_latency_ns=self.costs.kernel_update_ns,
+            target=self.kernel.netstack.egress,
+        ))
+        qdisc_point.describe = lambda: describe_qos(qdisc_point.policy)
+        self.kernel.netstack.egress.point = qdisc_point
+        self.kernel.netstack.tap_point = engine.register(InterpositionPoint(
+            name="sniffer", plane="kernel", mechanism="tap",
+            install_latency_ns=self.costs.kernel_update_ns,
+            target=self.kernel.netstack,
+        ))
+        self.nic.steering.point = engine.register(InterpositionPoint(
+            name="steering", plane="nic", mechanism="steering",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.nic.steering,
+        ))
 
     # --- wire plumbing -----------------------------------------------------
 
@@ -150,6 +172,8 @@ class KernelPathDataplane(Dataplane):
         weights = dict(config.weights_by_cgroup)
         weights.setdefault(DEFAULT_CLASS, 1)
         qdisc = DrrQdisc(weights=weights, quantum_bytes=config.quantum_bytes)
+        if self.kernel.netstack.egress.point is not None:
+            self.kernel.netstack.egress.point.policy = config
         self.kernel.netstack.egress.replace_qdisc(qdisc)
         cgroups = self.kernel.cgroups
 

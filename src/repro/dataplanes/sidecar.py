@@ -17,6 +17,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from ..config import CostModel
 from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
 from ..host.machine import Machine
+from ..interpose import InterpositionPoint
 from ..kernel.kernel import Kernel
 from ..kernel.netfilter import CHAIN_INPUT, CHAIN_OUTPUT, DROP, NetfilterRule
 from ..kernel.process import owner_info
@@ -36,6 +37,7 @@ from .base import (
     QosConfig,
     _as_bool,
     _as_first,
+    describe_qos,
 )
 
 Message = Tuple[int, IPv4Address, int]
@@ -144,6 +146,26 @@ class SidecarDataplane(Dataplane):
         self._waiters: Dict[Tuple[int, int], Signal] = {}
         self._taps: List[PacketFilter] = []
         self._captures: List[Tuple[Optional[PacketFilter], CaptureSession]] = []
+        # The sidecar's interposition mechanisms, registered with the engine
+        # ("netfilter" is registered by Kernel itself).
+        engine = machine.interpose
+        self._qdisc_point = engine.register(InterpositionPoint(
+            name="qdisc", plane="sidecar", mechanism="qdisc",
+            install_latency_ns=self.costs.kernel_update_ns,
+            target=self.egress_runner,
+        ))
+        self._qdisc_point.describe = lambda: describe_qos(self._qdisc_point.policy)
+        self.egress_runner.point = self._qdisc_point
+        self._sniffer_point = engine.register(InterpositionPoint(
+            name="sniffer", plane="sidecar", mechanism="tap",
+            install_latency_ns=self.costs.kernel_update_ns,
+            target=self._captures,
+        ))
+        self.nic.steering.point = engine.register(InterpositionPoint(
+            name="steering", plane="nic", mechanism="steering",
+            install_latency_ns=self.costs.table_update_ns,
+            target=self.nic.steering,
+        ))
 
     @property
     def _score(self):
@@ -294,6 +316,7 @@ class SidecarDataplane(Dataplane):
         weights = dict(config.weights_by_cgroup)
         weights.setdefault(DEFAULT_CLASS, 1)
         self._qos_weights = weights
+        self._qdisc_point.policy = config
         self.egress_runner.replace_qdisc(
             DrrQdisc(weights=weights, quantum_bytes=config.quantum_bytes)
         )
@@ -309,13 +332,24 @@ class SidecarDataplane(Dataplane):
     ) -> CaptureSession:
         session = CaptureSession(name=name, attributed=True)
         self._captures.append((match, session))
-        session._detach = lambda: self._captures.remove((match, session))
+        self._sniffer_point.record_update()
+
+        def _detach() -> None:
+            self._captures.remove((match, session))
+            self._sniffer_point.record_update()
+
+        session._detach = _detach
         return session
 
     def _run_captures(self, pkt: Packet) -> None:
+        if not self._captures:
+            return
+        hit = False
         for match, session in self._captures:
             if match is None or match(pkt):
                 session.packets.append(pkt)
+                hit = True
+        self._sniffer_point.record_eval(hit=hit)
 
     def attribution_of(self, pkt: Packet) -> Optional[Tuple[int, int, str]]:
         if pkt.meta.owner_pid is None:

@@ -1,0 +1,252 @@
+"""E14 — policy churn: atomic commits, install latency, and the stale window.
+
+The unified interposition plane gives every mechanism the same commit
+contract: a policy update is submitted, becomes live atomically (in-flight
+packets finish on the old version; no packet ever observes a mixed table),
+and the :class:`~repro.interpose.PolicyEngine` records when it landed and
+how many packets ran under the stale policy meanwhile. What differs per
+plane is *where* the table lives, and therefore what a commit costs:
+
+* **kernel / sidecar** — the table is a kernel data structure; an iptables
+  write is live when the syscall returns (modeled ``kernel_update_ns``,
+  ~10 us). Zero packets ever run stale.
+* **KOPI** — the kernel table updates synchronously, but the *enforcing*
+  copy is an overlay program on the SmartNIC: each commit is an
+  ~``overlay_load_ns`` (50 us) load, during which traffic keeps flowing
+  under the previous program. E14 counts those stale evaluations.
+* **bitstream granularity** — replacing the whole FPGA image is also one
+  commit, but a ~2 s one during which the NIC is offline and ingress
+  drops. That is the §4.4 argument for overlay-granularity policy loads.
+
+The sweep drives a bulk stream while an operator toggles an unrelated
+iptables rule at increasing rates, then reads everything from the engine:
+commit count, install latency (modeled or measured), stale evaluations,
+and the goodput disturbance relative to the no-churn baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from .. import units
+from ..apps import BulkSender
+from ..config import DEFAULT_COSTS, CostModel
+from ..core import NormanOS
+from ..core.nic_dataplane import KOPI_BITSTREAM
+from ..dataplanes import KernelPathDataplane, SidecarDataplane, Testbed
+from ..dataplanes.base import Dataplane
+from ..interpose import PolicyCommit
+from ..net.headers import PROTO_UDP
+from ..tools import Iptables
+from .common import Row, fmt_table
+
+PLANES: "tuple[Type[Dataplane], ...]" = (
+    KernelPathDataplane,
+    SidecarDataplane,
+    NormanOS,
+)
+
+#: Toggle intervals swept per plane; ``None`` is the no-churn baseline.
+INTERVALS_NS: "tuple[Optional[int], ...]" = (None, 200_000, 50_000, 10_000)
+
+DEFAULT_COUNT = 400
+PAYLOAD = 1_458
+
+COLUMNS = [
+    "plane", "point", "interval_us", "commits", "install_us_mean",
+    "install_us_max", "stale_evals", "delivered", "goodput_gbps",
+    "goodput_delta_pct",
+]
+
+UPGRADE_COLUMNS = [
+    "mechanism", "commit_ms", "offline_rx_drops", "stale_evals",
+]
+
+
+def _filter_point(tb: Testbed):
+    """The point that *enforces* filter policy on this plane: the overlay
+    slots on KOPI, the kernel netfilter table elsewhere."""
+    engine = tb.machine.interpose
+    point = engine.find("overlay_filters")
+    return point if point is not None else engine.get("netfilter")
+
+
+def _commit_stats(commits: List[PolicyCommit]) -> "tuple[int, float, float, int]":
+    done = [c for c in commits if c.mode != "failed"]
+    if not done:
+        return 0, 0.0, 0.0, 0
+    lats = [c.latency_ns for c in done]
+    stale = sum(c.stale_evals for c in done)
+    return len(done), sum(lats) / len(lats) / units.US, max(lats) / units.US, stale
+
+
+def run_churn_point(
+    plane_cls: Type[Dataplane],
+    interval_ns: Optional[int],
+    count: int = DEFAULT_COUNT,
+    costs: CostModel = DEFAULT_COSTS,
+) -> Row:
+    """One cell: stream ``count`` packets while toggling an (unrelated)
+    DROP rule every ``interval_ns``; report what the engine recorded."""
+    tb = Testbed(plane_cls, costs=costs)
+    ipt = Iptables(tb.dataplane, tb.kernel)
+    app = BulkSender(
+        tb, comm="bulk", user="bob", core_id=1, payload_len=PAYLOAD, count=count
+    )
+    point = _filter_point(tb)
+    state = {"installed": False}
+
+    def _toggle() -> None:
+        if state["installed"]:
+            ipt("-F OUTPUT")
+        else:
+            ipt("-A OUTPUT -p udp --dport 9999 -j DROP")
+        state["installed"] = not state["installed"]
+        if app.sent < count:
+            tb.sim.after(interval_ns, _toggle)
+
+    app.start()
+    if interval_ns is not None:
+        tb.sim.after(interval_ns, _toggle)
+    tb.run_all()
+
+    commits = tb.machine.interpose.commits_for(point.name)
+    n, mean_us, max_us, stale = _commit_stats(commits)
+    delivered = [
+        p for p in tb.peer.received if p.five_tuple and p.five_tuple.dport == 9000
+    ]
+    return {
+        "plane": plane_cls.name,
+        "point": point.name,
+        "interval_us": interval_ns / units.US if interval_ns is not None else 0.0,
+        "commits": n,
+        "install_us_mean": mean_us,
+        "install_us_max": max_us,
+        "stale_evals": stale,
+        "delivered": len(delivered),
+        "goodput_gbps": app.goodput_bps() / units.GBPS,
+    }
+
+
+def run_e14(
+    count: int = DEFAULT_COUNT,
+    intervals: "tuple[Optional[int], ...]" = INTERVALS_NS,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Row]:
+    rows: List[Row] = []
+    for plane_cls in PLANES:
+        baseline: Optional[float] = None
+        for interval_ns in intervals:
+            row = run_churn_point(plane_cls, interval_ns, count=count, costs=costs)
+            goodput = float(row["goodput_gbps"])
+            if interval_ns is None:
+                baseline = goodput
+                row["goodput_delta_pct"] = 0.0
+            else:
+                row["goodput_delta_pct"] = (
+                    (goodput - baseline) / baseline * 100.0 if baseline else 0.0
+                )
+            rows.append(row)
+    return rows
+
+
+def run_e14_upgrade(
+    inject_count: int = 80,
+    gap_ns: int = 50_000_000,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Row]:
+    """The granularity table: one overlay commit vs one bitstream commit,
+    with ingress running. The bitstream path takes the NIC offline for ~2 s
+    — every arrival in the window drops — while overlay loads commit in
+    ~50 us with traffic still flowing (stale, but flowing)."""
+    tb = Testbed(NormanOS, costs=costs)
+    ipt = Iptables(tb.dataplane, tb.kernel)
+    proc = tb.spawn("sink", "bob", core_id=1)
+    tb.dataplane.open_endpoint(proc, PROTO_UDP, 9_000)
+    ipt("-A INPUT -p udp --dport 9999 -j DROP")  # a policy to restore
+    tb.run_all()
+    engine = tb.machine.interpose
+    history_mark = len(engine.history)
+
+    for i in range(inject_count):
+        tb.sim.at(tb.sim.now + i * gap_ns, tb.peer.send_udp, 555, 9_000, 256)
+    # One overlay-granularity commit mid-stream, then a full image upgrade.
+    tb.sim.at(tb.sim.now + 2 * gap_ns, lambda: ipt("-F INPUT"))
+    tb.sim.at(
+        tb.sim.now + 4 * gap_ns,
+        lambda: tb.dataplane.control.upgrade_bitstream(KOPI_BITSTREAM),
+    )
+    tb.run_all()
+
+    commits = [
+        c for c in engine.history[history_mark:]
+        if c.point == "overlay_filters" and c.mode != "failed"
+    ]
+    if not commits:
+        return []
+    upgrade = max(commits, key=lambda c: c.latency_ns)
+    overlays = [c for c in commits if c is not upgrade]
+    drops = tb.dataplane.nic.metrics.counter("rx_offline_drops").value
+    rows: List[Row] = []
+    if overlays:
+        rows.append({
+            "mechanism": "overlay load",
+            "commit_ms": max(c.latency_ns for c in overlays) / units.MS,
+            "offline_rx_drops": 0,
+            "stale_evals": sum(c.stale_evals for c in overlays),
+        })
+    rows.append({
+        "mechanism": "bitstream upgrade",
+        "commit_ms": upgrade.latency_ns / units.MS,
+        "offline_rx_drops": drops,
+        "stale_evals": upgrade.stale_evals,
+    })
+    return rows
+
+
+def headline(rows: List[Row]) -> Dict[str, object]:
+    churn = [r for r in rows if r["interval_us"]]
+    sync = [r for r in churn if r["plane"] in ("kernel", "sidecar")]
+    kopi = [r for r in churn if r["plane"] == "kopi"]
+    fastest = min(churn, key=lambda r: r["interval_us"])["interval_us"] if churn else 0
+    kopi_fastest = [r for r in kopi if r["interval_us"] == fastest]
+    return {
+        "sync_planes_stale_evals": sum(int(r["stale_evals"]) for r in sync),
+        "sync_install_us_mean": (
+            sum(float(r["install_us_mean"]) for r in sync) / len(sync) if sync else 0.0
+        ),
+        "kopi_install_us_mean": (
+            sum(float(r["install_us_mean"]) for r in kopi) / len(kopi) if kopi else 0.0
+        ),
+        "kopi_stale_at_fastest": (
+            int(kopi_fastest[0]["stale_evals"]) if kopi_fastest else 0
+        ),
+        "max_goodput_delta_pct": (
+            max(abs(float(r["goodput_delta_pct"])) for r in churn) if churn else 0.0
+        ),
+    }
+
+
+def main() -> str:
+    rows = run_e14()
+    upgrade_rows = run_e14_upgrade()
+    h = headline(rows)
+    lines = [fmt_table(rows, columns=COLUMNS), ""]
+    lines.append("commit granularity (KOPI, ingress running):")
+    lines.append(fmt_table(upgrade_rows, columns=UPGRADE_COLUMNS))
+    lines.append("")
+    lines.append(
+        f"headline: kernel/sidecar commits are synchronous "
+        f"({h['sync_install_us_mean']:.0f} us modeled installs, "
+        f"{h['sync_planes_stale_evals']} stale evaluations ever); KOPI pays "
+        f"{h['kopi_install_us_mean']:.0f} us per overlay commit and ran "
+        f"{h['kopi_stale_at_fastest']} packets on stale policy at the "
+        f"fastest churn — atomic either way, and goodput moved at most "
+        f"{h['max_goodput_delta_pct']:.1f}%. Bitstream-granularity commits "
+        "drop traffic for seconds; overlay-granularity ones never stop it."
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -26,6 +26,7 @@ from . import e10_reconfiguration as e10
 from . import e11_shared_rings as e11
 from . import e12_batching as e12
 from . import e13_zero_copy as e13
+from . import e14_policy_churn as e14
 from . import f1_architecture as f1
 from . import s1_tail_latency as s1
 from .common import fmt_table
@@ -44,6 +45,7 @@ SECTIONS = (
     ("E11 — shared-rings ablation (§5)", e11.main),
     ("E12 — batching: what amortizes and what cannot", e12.main),
     ("E13 — zero-copy: where elision pays and where it cannot", e13.main),
+    ("E14 — policy churn: atomic commits and the stale window", e14.main),
     ("F1 — Figure 1 architecture arrows", f1.main),
     ("S1 — supplementary: RPC tail latency", s1.main),
 )

@@ -6,6 +6,7 @@ from typing import Optional
 
 from .. import units
 from ..config import DEFAULT_COSTS, CostModel
+from ..interpose import PolicyEngine
 from ..sim import Simulator
 from .cache import AnalyticDdioModel, WayPartitionedCache
 from .coherence import CoherenceFabric
@@ -42,6 +43,10 @@ class Machine:
         self.copies = CopyLedger()
         self.dma = DmaEngine(self.sim, costs, llc=self.llc, ledger=self.copies)
         self.coherence = CoherenceFabric(costs, ledger=self.copies)
+        # Every interposition mechanism on this host (netfilter, qdiscs,
+        # conntrack, taps, steering, overlays) registers here; see
+        # repro.interpose for the commit/versioning contract.
+        self.interpose = PolicyEngine(self.sim)
 
     @property
     def now(self) -> int:

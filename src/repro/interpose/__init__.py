@@ -1,0 +1,24 @@
+"""The unified interposition plane.
+
+The paper's thesis is that interposition is *one* concern that today lives
+in many places. This package makes that concrete inside the repro: every
+mechanism that stands between an application and the wire — netfilter
+chains, qdisc schedulers, conntrack, sniffer taps, NIC steering, and
+SmartNIC overlay programs — registers an :class:`InterpositionPoint` with
+the :class:`PolicyEngine` owned by its :class:`~repro.host.machine.Machine`.
+
+The engine gives every mechanism the same three things:
+
+* a **versioned policy table** with atomic (epoch/RCU-style) commits — a
+  packet is evaluated against exactly one table version, never a mix;
+* a **modeled install latency** per plane (synchronous kernel write,
+  ~50 µs overlay load, seconds-long bitstream reconfiguration), recorded
+  per commit in :attr:`PolicyEngine.history`;
+* uniform **hit/drop/update counters** surfaced through ``sim.metrics``
+  (E14 sweeps policy-churn rate across planes on top of exactly these).
+"""
+
+from .engine import PolicyEngine
+from .point import InterpositionPoint, PolicyCommit
+
+__all__ = ["InterpositionPoint", "PolicyCommit", "PolicyEngine"]

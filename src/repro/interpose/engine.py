@@ -1,0 +1,99 @@
+"""The per-machine policy engine: one registry over every interposition
+mechanism, one commit history across every plane."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import PolicyError
+from ..sim import AllOf, Signal, Simulator
+from .point import InterpositionPoint, PolicyCommit
+
+
+class PolicyEngine:
+    """Owned by each :class:`~repro.host.machine.Machine`.
+
+    Mechanisms register their :class:`InterpositionPoint` at construction
+    time; from then on every policy mutation — whether issued through a
+    dataplane's admin surface, a tool like iptables/tc, or the KOPI control
+    plane — lands in the same versioned commit stream, and every packet
+    evaluation increments the same per-point counters. The engine is the
+    single place an operator (or E14) can ask "what policy is installed
+    where, when did it land, and what ran under the old version meanwhile".
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._points: Dict[str, InterpositionPoint] = {}
+        self.history: List[PolicyCommit] = []
+
+    # --- registry ----------------------------------------------------------
+
+    def register(self, point: InterpositionPoint) -> InterpositionPoint:
+        """Register a point; duplicate names get a ``#N`` suffix (a machine
+        may run several qdiscs, several tables...)."""
+        base = point.name
+        name, n = base, 1
+        while name in self._points:
+            n += 1
+            name = f"{base}#{n}"
+        point._bind(self, name)
+        self._points[name] = point
+        return point
+
+    def get(self, name: str) -> InterpositionPoint:
+        if name not in self._points:
+            raise PolicyError(
+                f"no interposition point {name!r} (have {sorted(self._points)})"
+            )
+        return self._points[name]
+
+    def find(self, name: str) -> Optional[InterpositionPoint]:
+        return self._points.get(name)
+
+    def find_by_target(self, target: Any) -> Optional[InterpositionPoint]:
+        """The point wrapping a given mechanism object — how tools resolve
+        'the netfilter table I am editing' back to its registry entry."""
+        for point in self._points.values():
+            if point.target is target:
+                return point
+        return None
+
+    def points(self) -> List[InterpositionPoint]:
+        return list(self._points.values())
+
+    def __iter__(self) -> Iterator[InterpositionPoint]:
+        return iter(self._points.values())
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._points
+
+    # --- commit tracking ---------------------------------------------------
+
+    def pending(self) -> List[InterpositionPoint]:
+        """Points with a commit in flight."""
+        return [p for p in self._points.values() if p.pending_commits]
+
+    def all_committed(self) -> Signal:
+        """Fires when no point on this machine has a commit in flight —
+        the engine's commit notification (succeeds immediately when idle)."""
+        return AllOf(
+            [p.committed() for p in self._points.values()],
+            name="interpose.all_committed",
+        )
+
+    def commits_for(self, name: str) -> List[PolicyCommit]:
+        return [c for c in self.history if c.point == name]
+
+    # --- introspection -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat metrics across every point, plus live versions."""
+        out: Dict[str, float] = {}
+        for point in self._points.values():
+            out.update(point.metrics.snapshot())
+            out[f"interpose.{point.name}.version"] = float(point.version)
+        return out

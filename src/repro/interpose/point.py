@@ -1,0 +1,220 @@
+"""One interposition point: a versioned policy table with atomic commits.
+
+An :class:`InterpositionPoint` does not *hold* the policy — the mechanism
+(rule table, qdisc runner, steering table, overlay slot...) keeps its own
+representation, exactly as before. The point wraps that mechanism with the
+engine's uniform contract:
+
+* ``record_update`` / ``begin_commit`` advance the table **version** —
+  synchronously for mechanisms whose install is a kernel write, via a
+  completion signal for hardware whose install is an overlay or bitstream
+  load;
+* ``record_eval`` counts a packet evaluated against the current version,
+  and counts it as *stale* when a newer policy has been submitted but not
+  yet committed (the RCU grace window: in-flight packets finish on the old
+  version, no packet ever observes a mixed table);
+* ``committed()`` returns a signal that fires when no commit is pending —
+  the notification the control plane and tools wait on instead of
+  draining the whole simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..sim import MetricSet, Signal
+
+MODE_SYNC = "sync"
+MODE_ASYNC = "async"
+MODE_FAILED = "failed"
+
+
+@dataclass
+class PolicyCommit:
+    """One policy-table commit, as recorded in the engine history."""
+
+    point: str
+    plane: str
+    mechanism: str
+    version: int
+    submitted_ns: int
+    committed_ns: int
+    latency_ns: int
+    stale_evals: int
+    mode: str
+
+
+class InterpositionPoint:
+    """A registered interposition mechanism.
+
+    ``install_latency_ns`` is the *modeled* cost of one synchronous policy
+    write at this point (kernel table update, NIC MMIO...). Asynchronous
+    mechanisms (overlay/bitstream loads) instead measure the real window
+    between ``begin_commit`` and the completion signal.
+
+    ``target`` is the mechanism object itself (the RuleTable, the
+    PacedQdiscRunner, ...), so tools can list the authoritative state via
+    the registry instead of keeping their own copies. ``describe`` renders
+    the current policy for tool output; ``resync`` and ``sync_counters``
+    are optional plane-specific hooks the control plane wires in (recompile
+    after table surgery; pull hardware hit counters back).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        plane: str,
+        mechanism: str,
+        install_latency_ns: int = 0,
+        target: Any = None,
+        describe: Optional[Callable[[], str]] = None,
+    ):
+        self.name = name
+        self.plane = plane
+        self.mechanism = mechanism
+        self.install_latency_ns = install_latency_ns
+        self.target = target
+        self.describe = describe
+        self.resync: Optional[Callable[[], Any]] = None
+        self.sync_counters: Optional[Callable[[], None]] = None
+        self.policy: Any = None  # last installed config, for describe()
+
+        self.version = 0
+        self.metrics = MetricSet(f"interpose.{name}")
+        self._engine = None  # set by PolicyEngine.register
+        self._inflight: List[PolicyCommit] = []
+        self._idle_waiters: List[Signal] = []
+
+    # --- engine plumbing ---------------------------------------------------
+
+    def _bind(self, engine, name: str) -> None:
+        self.name = name
+        self._engine = engine
+        self.metrics = MetricSet(f"interpose.{name}")
+
+    def _now(self) -> int:
+        return self._engine.sim.now if self._engine is not None else 0
+
+    def _record(self, commit: PolicyCommit) -> None:
+        if self._engine is not None:
+            self._engine.history.append(commit)
+
+    # --- datapath side -----------------------------------------------------
+
+    def record_eval(self, hit: bool = False, dropped: bool = False) -> int:
+        """One packet evaluated against the current table version.
+
+        Pure counters — never schedules simulator events, so registering a
+        point cannot perturb a workload's event trace. Returns the version
+        the packet was evaluated against (the epoch stamp).
+        """
+        self.metrics.counter("evaluated").inc()
+        if hit:
+            self.metrics.counter("hits").inc()
+        if dropped:
+            self.metrics.counter("drops").inc()
+        if self._inflight:
+            # A newer policy is submitted but not yet live: this packet ran
+            # under the old version — the §3 stale-policy window E14 counts.
+            self.metrics.counter("stale_evals").inc()
+            for commit in self._inflight:
+                commit.stale_evals += 1
+        return self.version
+
+    # --- control side ------------------------------------------------------
+
+    def record_update(self, latency_ns: Optional[int] = None) -> int:
+        """A synchronous policy commit: the write is live on the datapath
+        when this call returns (kernel/sidecar semantics). The modeled
+        latency is recorded, not scheduled — installs in these planes were
+        always synchronous in sim time and must stay trace-identical."""
+        lat = self.install_latency_ns if latency_ns is None else latency_ns
+        self.version += 1
+        self.metrics.counter("updates").inc()
+        self.metrics.histogram("install_ns").observe(lat)
+        now = self._now()
+        self._record(
+            PolicyCommit(
+                point=self.name, plane=self.plane, mechanism=self.mechanism,
+                version=self.version, submitted_ns=now, committed_ns=now,
+                latency_ns=lat, stale_evals=0, mode=MODE_SYNC,
+            )
+        )
+        return self.version
+
+    def begin_commit(self, done: Signal) -> Signal:
+        """An asynchronous policy commit: the new table is submitted now and
+        becomes live when ``done`` fires (overlay load, bitstream flash).
+        Packets evaluated in between are counted against the *old* version
+        and tallied as stale. Returns ``done`` for chaining."""
+        commit = PolicyCommit(
+            point=self.name, plane=self.plane, mechanism=self.mechanism,
+            version=-1, submitted_ns=self._now(), committed_ns=-1,
+            latency_ns=0, stale_evals=0, mode=MODE_ASYNC,
+        )
+        self._inflight.append(commit)
+        self.metrics.counter("updates").inc()
+
+        def _finish(sig: Signal) -> None:
+            self._inflight.remove(commit)
+            commit.committed_ns = self._now()
+            commit.latency_ns = commit.committed_ns - commit.submitted_ns
+            if sig.failed:
+                # A rejected load leaves the old table running: no new epoch.
+                commit.mode = MODE_FAILED
+                self.metrics.counter("failed_commits").inc()
+            else:
+                self.version += 1
+                commit.version = self.version
+                self.metrics.histogram("install_ns").observe(commit.latency_ns)
+            self._record(commit)
+            if not self._inflight:
+                waiters, self._idle_waiters = self._idle_waiters, []
+                for waiter in waiters:
+                    waiter.succeed(self.version)
+
+        done.add_callback(_finish)
+        return done
+
+    def committed(self) -> Signal:
+        """A signal that fires when this point has no commit in flight
+        (immediately, if already idle). Value: the live version."""
+        sig = Signal(f"interpose.{self.name}.committed")
+        if not self._inflight:
+            sig.succeed(self.version)
+        else:
+            self._idle_waiters.append(sig)
+        return sig
+
+    @property
+    def pending_commits(self) -> int:
+        return len(self._inflight)
+
+    # --- introspection -----------------------------------------------------
+
+    @property
+    def evaluated(self) -> int:
+        return self.metrics.counter("evaluated").value
+
+    @property
+    def hits(self) -> int:
+        return self.metrics.counter("hits").value
+
+    @property
+    def drops(self) -> int:
+        return self.metrics.counter("drops").value
+
+    @property
+    def updates(self) -> int:
+        return self.metrics.counter("updates").value
+
+    @property
+    def stale_evals(self) -> int:
+        return self.metrics.counter("stale_evals").value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<InterpositionPoint {self.name} plane={self.plane} "
+            f"v{self.version} pending={len(self._inflight)}>"
+        )

@@ -7,6 +7,7 @@ from typing import Callable, Dict, Optional
 from ..config import CostModel
 from ..errors import KernelError
 from ..host.machine import Machine
+from ..interpose import InterpositionPoint
 from ..net.addresses import IPv4Address, MacAddress
 from ..net.packet import Packet
 from .arp import ArpCache
@@ -52,6 +53,20 @@ class Kernel:
         )
         self.sockets = SocketTable()
         self.filters = RuleTable()
+        # The netfilter chains are an interposition point: a kernel table
+        # write is synchronous (live when the call returns), modeled at
+        # kernel_update_ns per commit.
+        self.filters.bind_point(
+            machine.interpose.register(
+                InterpositionPoint(
+                    name="netfilter",
+                    plane="kernel",
+                    mechanism="netfilter",
+                    install_latency_ns=self.costs.kernel_update_ns,
+                    target=self.filters,
+                )
+            )
+        )
         self.arp_cache = ArpCache()
         self._neighbors: Dict[IPv4Address, MacAddress] = {}
 

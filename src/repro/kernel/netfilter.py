@@ -113,7 +113,16 @@ class NetfilterRule:
 
 
 class RuleTable:
-    """Ordered rule chains with ACCEPT default policy and hit counters."""
+    """Ordered rule chains with ACCEPT default policy and hit counters.
+
+    Mutations are copy-on-write: each one builds the new chain list and
+    swaps it in whole, so a packet evaluation that captured the old list
+    runs against exactly one table version — never a half-edited chain
+    (the engine's atomic-commit contract). When bound to an
+    :class:`~repro.interpose.InterpositionPoint`, every mutation advances
+    the point's version, whichever surface issued it (dataplane admin
+    call, iptables, control plane) — tool and engine state cannot diverge.
+    """
 
     def __init__(self, default_verdict: str = ACCEPT):
         if default_verdict not in _VERDICTS:
@@ -122,29 +131,43 @@ class RuleTable:
         self._chains: "dict[str, List[NetfilterRule]]" = {c: [] for c in _CHAINS}
         self.metrics = MetricSet("netfilter")
         self.update_count = 0
+        self.point = None  # Optional[InterpositionPoint], via bind_point
+
+    def bind_point(self, point) -> None:
+        self.point = point
+
+    def _committed(self) -> None:
+        self.update_count += 1
+        if self.point is not None:
+            self.point.record_update()
 
     def append(self, rule: NetfilterRule) -> None:
-        self._chains[rule.chain].append(rule)
-        self.update_count += 1
+        chain = self._chains[rule.chain]
+        self._chains[rule.chain] = chain + [rule]
+        self._committed()
 
     def insert(self, rule: NetfilterRule, index: int = 0) -> None:
-        self._chains[rule.chain].insert(index, rule)
-        self.update_count += 1
+        chain = list(self._chains[rule.chain])
+        chain.insert(index, rule)
+        self._chains[rule.chain] = chain
+        self._committed()
 
     def delete(self, rule: NetfilterRule) -> None:
+        chain = list(self._chains[rule.chain])
         try:
-            self._chains[rule.chain].remove(rule)
+            chain.remove(rule)
         except ValueError as exc:
             raise PolicyError(f"rule not present: {rule.describe()}") from exc
-        self.update_count += 1
+        self._chains[rule.chain] = chain
+        self._committed()
 
     def flush(self, chain: Optional[str] = None) -> None:
         chains = [chain] if chain else list(self._chains)
         for c in chains:
             if c not in self._chains:
                 raise PolicyError(f"unknown chain: {c!r}")
-            self._chains[c].clear()
-        self.update_count += 1
+            self._chains[c] = []
+        self._committed()
 
     def rules(self, chain: str) -> List[NetfilterRule]:
         if chain not in self._chains:
@@ -158,16 +181,30 @@ class RuleTable:
         caller converts rules_examined into CPU or NIC time."""
         if chain not in self._chains:
             raise PolicyError(f"unknown chain: {chain!r}")
+        # Snapshot the chain: copy-on-write mutations swap the whole list,
+        # so this evaluation sees one version even if an update lands
+        # mid-walk (the RCU read side).
+        rules = self._chains[chain]
         examined = 0
-        for rule in self._chains[chain]:
+        verdict = self.default_verdict
+        matched = False
+        for rule in rules:
             examined += 1
             if rule.matches(pkt, owner):
                 rule.packets += 1
                 rule.bytes += pkt.wire_len
                 self.metrics.counter(f"{chain.lower()}_{rule.verdict.lower()}").inc()
-                return rule.verdict, examined
-        self.metrics.counter(f"{chain.lower()}_default").inc()
-        return self.default_verdict, examined
+                verdict = rule.verdict
+                matched = True
+                break
+        if not matched:
+            self.metrics.counter(f"{chain.lower()}_default").inc()
+        if self.point is not None:
+            version = self.point.record_eval(hit=matched, dropped=(verdict == DROP))
+            # Epoch stamp: which table version judged this packet (the
+            # property test checks version -> ruleset is a function).
+            pkt.meta.notes["nf_eval"] = (chain, version, verdict, examined)
+        return verdict, examined
 
     def total_rules(self) -> int:
         return sum(len(rules) for rules in self._chains.values())

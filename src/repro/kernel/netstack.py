@@ -67,18 +67,32 @@ class KernelNetStack:
         )
         self.classify: ClassifyFn = _default_classify
         self._taps: List[TapFn] = []
+        self.tap_point = None  # Optional[InterpositionPoint], set at registration
         self._rx_waiters: "dict[int, tuple[Process, Signal]]" = {}
 
     # --- taps (tcpdump attachment point) ------------------------------------
 
     def add_tap(self, tap: TapFn) -> Callable[[], None]:
-        """Attach a packet tap (both directions); returns a detach callable."""
+        """Attach a packet tap (both directions); returns a detach callable.
+        Attaching/detaching a tap is a capture-policy commit."""
         self._taps.append(tap)
-        return lambda: self._taps.remove(tap)
+        if self.tap_point is not None:
+            self.tap_point.record_update()
+
+        def _detach() -> None:
+            self._taps.remove(tap)
+            if self.tap_point is not None:
+                self.tap_point.record_update()
+
+        return _detach
 
     def _run_taps(self, pkt: Packet) -> None:
+        if not self._taps:
+            return
         for tap in self._taps:
             tap(pkt)
+        if self.tap_point is not None:
+            self.tap_point.record_eval(hit=True)
 
     # --- payload movement (copy or zero-copy) --------------------------------
 

@@ -39,12 +39,15 @@ class PacedQdiscRunner:
         self.drain_rate_bps = drain_rate_bps
         self.emit = emit
         self.metrics = MetricSet(name)
+        self.point = None  # Optional[InterpositionPoint], set at registration
         self._busy_until = 0
         self._armed = False
 
     def submit(self, pkt: Packet, cls: str = DEFAULT_CLASS) -> bool:
         """Enqueue and make sure the drain loop is running."""
         accepted = self.qdisc.enqueue(pkt, cls)
+        if self.point is not None:
+            self.point.record_eval(hit=(cls != DEFAULT_CLASS), dropped=not accepted)
         if accepted:
             pkt.meta.enqueued_ns = self.sim.now
             self.metrics.counter("enqueued").inc()
@@ -55,11 +58,15 @@ class PacedQdiscRunner:
 
     def replace_qdisc(self, qdisc: Qdisc) -> None:
         """Swap the discipline (tc qdisc replace). Packets queued in the old
-        discipline are dropped, as with tc."""
+        discipline are dropped, as with tc. The swap is one reference
+        assignment: atomic by construction — a commit, when the runner is
+        registered as an interposition point."""
         lost = self.qdisc.backlog
         if lost:
             self.metrics.counter("reset_dropped").inc(lost)
         self.qdisc = qdisc
+        if self.point is not None:
+            self.point.record_update()
 
     def _arm(self, at_ns: int) -> None:
         if self._armed:

@@ -23,19 +23,27 @@ class SteeringTable:
         self._exact: Dict[FiveTuple, int] = {}
         self._dport: Dict["tuple[int, int]", int] = {}  # (proto, dport) -> conn
         self.metrics = MetricSet(name)
+        self.point = None  # Optional[InterpositionPoint], set at registration
+
+    def _committed(self) -> None:
+        if self.point is not None:
+            self.point.record_update()
 
     def install(self, flow: FiveTuple, conn_id: int) -> None:
         if flow in self._exact:
             self._exact[flow] = conn_id
+            self._committed()
             return
         if self.capacity is not None and len(self._exact) >= self.capacity:
             raise NicResourceExhausted(
                 f"steering table full ({self.capacity} entries)"
             )
         self._exact[flow] = conn_id
+        self._committed()
 
     def remove(self, flow: FiveTuple) -> None:
-        self._exact.pop(flow, None)
+        if self._exact.pop(flow, None) is not None:
+            self._committed()
 
     def install_dport(self, proto: int, dport: int, conn_id: int) -> None:
         """Wildcard-source steering for listeners: any flow to (proto,
@@ -43,13 +51,16 @@ class SteeringTable:
         key = (proto, dport)
         if key in self._dport:
             self._dport[key] = conn_id
+            self._committed()
             return
         if self.capacity is not None and self.entries >= self.capacity:
             raise NicResourceExhausted(f"steering table full ({self.capacity} entries)")
         self._dport[key] = conn_id
+        self._committed()
 
     def remove_dport(self, proto: int, dport: int) -> None:
-        self._dport.pop((proto, dport), None)
+        if self._dport.pop((proto, dport), None) is not None:
+            self._committed()
 
     def lookup(self, flow: FiveTuple) -> Optional[int]:
         """Exact-match then dport-match connection id, or None (caller
@@ -61,6 +72,8 @@ class SteeringTable:
             self.metrics.counter("exact_hits").inc()
         else:
             self.metrics.counter("misses").inc()
+        if self.point is not None:
+            self.point.record_eval(hit=(conn is not None))
         return conn
 
     def rss_fallback(self, flow: FiveTuple) -> int:

@@ -27,11 +27,38 @@ _PROTOS = {"tcp": PROTO_TCP, "udp": PROTO_UDP}
 
 
 class Iptables:
-    """One instance per host; call it with a command line."""
+    """One instance per host; call it with a command line.
+
+    Listing, deletion, and flushing resolve the rule table through the
+    machine's :class:`~repro.interpose.PolicyEngine` registry (the point
+    whose ``target`` is the kernel netfilter table), so tool output and
+    engine state can never diverge; the point's ``resync``/``sync_counters``
+    hooks trigger plane-specific recompilation and hardware counter pulls
+    where the control plane wired them.
+    """
 
     def __init__(self, dataplane: Dataplane, kernel):
         self.dataplane = dataplane
         self.kernel = kernel
+
+    def _point(self):
+        """The registered interposition point for the netfilter table."""
+        machine = getattr(self.dataplane, "machine", None)
+        engine = getattr(machine, "interpose", None)
+        if engine is None:
+            return None
+        return engine.find_by_target(self.kernel.filters)
+
+    def _table(self):
+        """The authoritative rule table, via the engine registry."""
+        point = self._point()
+        return point.target if point is not None else self.kernel.filters
+
+    def _resync(self) -> None:
+        """Recompile after direct table surgery, where the plane needs it."""
+        point = self._point()
+        if point is not None and point.resync is not None:
+            point.resync()
 
     def __call__(self, cmdline: str) -> str:
         argv = shlex.split(cmdline)
@@ -54,11 +81,9 @@ class Iptables:
         rule = self._parse_rule(argv)
         if insert:
             # install_filter_rule appends; emulate insert via table surgery
-            # on the kernel table, then resync if the dataplane compiles.
-            self.kernel.filters.insert(rule)
-            control = getattr(self.dataplane, "control", None)
-            if control is not None:
-                control.sync_filters()
+            # on the registered table, then resync if the dataplane compiles.
+            self._table().insert(rule)
+            self._resync()
         else:
             self.dataplane.install_filter_rule(rule)
         return f"ok: {rule.describe()}"
@@ -71,26 +96,26 @@ class Iptables:
             index = int(argv[2]) - 1
         except ValueError as exc:
             raise ToolError(f"iptables: bad rule number {argv[2]!r}") from exc
-        rules = self.kernel.filters.rules(chain)
+        table = self._table()
+        rules = table.rules(chain)
         if not 0 <= index < len(rules):
             raise ToolError(f"iptables: no rule {index + 1} in {chain}")
-        self.kernel.filters.delete(rules[index])
-        control = getattr(self.dataplane, "control", None)
-        if control is not None:
-            control.sync_filters()
+        table.delete(rules[index])
+        self._resync()
         return f"ok: deleted {chain} rule {index + 1}"
 
     def _list(self, argv: List[str]) -> str:
         verbose = "-v" in argv
         chains = [a for a in argv[1:] if a != "-v"]
         chains = [self._chain(c) for c in chains] or [CHAIN_INPUT, CHAIN_OUTPUT]
-        control = getattr(self.dataplane, "control", None)
-        if control is not None and verbose:
-            control.sync_rule_counters()
+        point = self._point()
+        if verbose and point is not None and point.sync_counters is not None:
+            point.sync_counters()
+        table = self._table()
         out = []
         for chain in chains:
             out.append(f"Chain {chain} (policy ACCEPT)")
-            for i, rule in enumerate(self.kernel.filters.rules(chain), start=1):
+            for i, rule in enumerate(table.rules(chain), start=1):
                 line = f"{i:4d}  {rule.describe()}"
                 if verbose:
                     line += f"  [pkts={rule.packets} bytes={rule.bytes}]"
@@ -99,10 +124,8 @@ class Iptables:
 
     def _flush(self, argv: List[str]) -> str:
         chain = self._chain(argv[1]) if len(argv) > 1 else None
-        self.kernel.filters.flush(chain)
-        control = getattr(self.dataplane, "control", None)
-        if control is not None:
-            control.sync_filters()
+        self._table().flush(chain)
+        self._resync()
         return f"ok: flushed {chain or 'all chains'}"
 
     # --- parsing ------------------------------------------------------------

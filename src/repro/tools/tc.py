@@ -39,9 +39,22 @@ class Tc:
         self.kernel = kernel
         self._current = "pfifo (default)"
 
+    def _qdisc_point(self):
+        """The registered qdisc interposition point, when the machine's
+        engine has one — ``show`` renders from its committed policy so tool
+        output can never diverge from engine state."""
+        machine = getattr(self.dataplane, "machine", None)
+        engine = getattr(machine, "interpose", None)
+        if engine is None:
+            return None
+        return engine.find("qdisc")
+
     def __call__(self, cmdline: str) -> str:
         argv = shlex.split(cmdline)
         if len(argv) >= 2 and argv[0] == "qdisc" and argv[1] == "show":
+            point = self._qdisc_point()
+            if point is not None and point.describe is not None:
+                return f"qdisc {point.describe()}"
             return f"qdisc {self._current}"
         if (
             len(argv) >= 6

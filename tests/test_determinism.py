@@ -77,6 +77,30 @@ class TestDeterminism:
         assert baseline == run_workload()
         assert baseline["events"] > 0
 
+    def test_engine_installed_and_counting_under_seed_workload(self):
+        """The PolicyEngine is no passive bolt-on: during the fingerprint
+        workload every KOPI mechanism is registered and the datapath points
+        are actually counting evaluations. Together with the fingerprint
+        test below this pins the refactor's core claim — the engine observes
+        everything and perturbs nothing."""
+        tb = Testbed(NormanOS)
+        bulk = BulkSender(tb, comm="bulk", user="bob", core_id=1, count=30)
+        bulk.start()
+        sink = tb.spawn("sink", "bob", core_id=2)
+        tb.dataplane.open_endpoint(sink, PROTO_UDP, 9_000)
+        for i in range(8):
+            tb.sim.at(i * units.US, tb.peer.send_udp, 555, 9_000, 256)
+        tb.run_all()
+        engine = tb.machine.interpose
+        assert {p.mechanism for p in engine} == {
+            "netfilter", "qdisc", "tap", "steering", "overlay"
+        }
+        assert engine.get("steering").evaluated > 0
+        assert engine.get("qdisc").evaluated > 0
+        assert not engine.pending()
+        # Observation is free: counters moved, the event trace did not.
+        assert run_workload() == run_workload()
+
     def test_zerocopy_off_reproduces_seed_fingerprint(self):
         """The copy ledger is observational and the elision modes default
         off: the mixed workload must hash to the exact fingerprint captured
