@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Flow fast path: cache the composed verdict, keep the interposition.
+
+The first packet of a flow walks every interposition point — netfilter
+chains, qdisc classification, vswitch match-action, NIC steering, overlay
+filters, conntrack — and the composed outcome is cached under the
+five-tuple (the OVS megaflow / netfilter-flowtable structure). Later
+packets pay one exact-match lookup. Policy commits stay atomic: every
+commit bumps the PolicyEngine epoch, and stale entries die lazily on
+their next lookup, so a hit can never serve a pre-commit verdict.
+
+Run:  python examples/flow_fastpath.py         (~15 seconds)
+"""
+
+from repro.config import DEFAULT_COSTS
+from repro.dataplanes import KernelPathDataplane, Testbed
+from repro.dataplanes.testbed import PEER_IP
+from repro.net.headers import PROTO_UDP
+from repro.experiments.common import fmt_table
+from repro.experiments.e15_flow_fastpath import (
+    CHURN_COLUMNS,
+    PLANE_COLUMNS,
+    run_e15_churn,
+    run_e15_planes,
+)
+from repro.tools import Iptables
+
+
+def main() -> None:
+    # The cache is strictly opt-in: one CostModel flag per machine.
+    costs = DEFAULT_COSTS.replace(flow_fastpath=True)
+    tb = Testbed(KernelPathDataplane, costs=costs)
+    ipt = Iptables(tb.dataplane, tb.kernel)
+    ipt("-A OUTPUT -p udp --dport 9999 -j DROP")
+    proc = tb.spawn("app", "bob", core_id=1)
+    ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 6_000)
+    for _ in range(16):
+        ep.send(100, dst=(PEER_IP, 9_000))
+        tb.run_all()
+    fp = tb.machine.fastpath
+    print(f"one flow, 16 packets: {fp.misses} slow-path walk(s), "
+          f"{fp.hits} cache hits ({fp.hit_rate:.0%})")
+    ipt("-A OUTPUT -p udp --dport 9998 -j DROP")  # any commit bumps the epoch
+    ep.send(100, dst=(PEER_IP, 9_000))
+    tb.run_all()
+    print(f"after one (unrelated) commit: invalidated={fp.invalidated} — "
+          "the next packet re-walked and re-cached\n")
+
+    print("per-plane: fast path off vs on (16 distractor rules installed):")
+    print(fmt_table(run_e15_planes(count=128), columns=PLANE_COLUMNS))
+
+    print("\nchurn sensitivity (kernel plane, cache on):")
+    print(fmt_table(run_e15_churn(count=128), columns=CHURN_COLUMNS))
+    print(
+        "\nSteady-state traffic hits the cache >99% of the time and the"
+        "\nrule walks collapse to one per flow; policy churn invalidates"
+        "\nthe whole cache per commit, dragging the hit rate down as the"
+        "\ntoggle interval approaches the packet interval. Full sweep:"
+        "\npython -m repro e15"
+    )
+
+
+if __name__ == "__main__":
+    main()

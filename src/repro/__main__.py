@@ -5,7 +5,7 @@ Usage::
     python -m repro report [--quick]   # run every experiment, print tables
     python -m repro matrix             # just the E3 capability matrix
     python -m repro costs              # dump the calibrated cost model
-    python -m repro e1 .. e14 | f1     # one experiment's table
+    python -m repro e1 .. e15 | f1     # one experiment's table
 """
 
 from __future__ import annotations
@@ -31,6 +31,7 @@ def _experiment_mains():
         e12_batching,
         e13_zero_copy,
         e14_policy_churn,
+        e15_flow_fastpath,
         f1_architecture,
         s1_tail_latency,
     )
@@ -50,6 +51,7 @@ def _experiment_mains():
         "e12": e12_batching.main,
         "e13": e13_zero_copy.main,
         "e14": e14_policy_churn.main,
+        "e15": e15_flow_fastpath.main,
         "f1": f1_architecture.main,
         "s1": s1_tail_latency.main,
     }

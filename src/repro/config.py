@@ -127,6 +127,27 @@ class CostModel:
     """Per-recv fixed cost of the registered-buffer RX path: buffer-table
     lookup and handing the application a reference instead of bytes."""
 
+    # --- flow fast path (megaflow-style verdict cache, experiment E15) -------
+    flow_fastpath: bool = False
+    """Cache the composed verdict of a full slow-path walk (netfilter,
+    qdisc class, steering, overlay filter, conntrack) per five-tuple, as
+    OVS megaflows and the Linux flowtable offload do: the first packet of
+    a flow walks every interposition point, later packets hit one lookup.
+    Any :class:`~repro.interpose.PolicyEngine` commit invalidates, so hits
+    are always policy-correct. Off (the default) reproduces the seed
+    byte-identically."""
+
+    flowtable_hit_ns: int = 90
+    """Modeled cost of one flow-table hit: a single hash lookup replacing
+    the per-rule walk (~ exact-match EMC/flowtable lookup, a few cache
+    references)."""
+
+    flow_fastpath_entries: int = 1_024
+    """Flow-table capacity (LRU). Models SRAM/flowtable pressure: beyond
+    this many concurrent flows the cache thrashes and traffic falls back
+    to the slow path — the same >1024-connection collapse §5 reports for
+    DDIO working sets."""
+
     # --- memory hierarchy ---------------------------------------------------
     llc_size_bytes: int = 33 * units.MB
     llc_ways: int = 11
@@ -212,6 +233,10 @@ class CostModel:
                 raise ConfigError(f"CostModel.{name} must be >= 0, got {value}")
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.flow_fastpath_entries < 1:
+            raise ConfigError(
+                f"flow_fastpath_entries must be >= 1, got {self.flow_fastpath_entries}"
+            )
         if self.ddio_ways > self.llc_ways:
             raise ConfigError(
                 f"ddio_ways ({self.ddio_ways}) cannot exceed llc_ways ({self.llc_ways})"

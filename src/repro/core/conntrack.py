@@ -51,6 +51,7 @@ class ConntrackTable:
         self._entries: Dict[FiveTuple, CtEntry] = {}
         self.metrics = MetricSet("conntrack")
         self.point = None  # Optional[InterpositionPoint], set at registration
+        self.fastpath = None  # Optional[FlowFastPath]: expiry evicts flows
 
     def observe(self, pkt: Packet, now_ns: int) -> Optional[CtEntry]:
         ft = pkt.five_tuple
@@ -102,6 +103,10 @@ class ConntrackTable:
         for ft in stale:
             self.sram.free(self._entries[ft].sram)
             del self._entries[ft]
+            if self.fastpath is not None:
+                # An expired flow's cached verdicts hold a dead CtEntry
+                # reference — evict them (both directions) eagerly.
+                self.fastpath.evict_flow(ft)
         if stale:
             self.metrics.counter("expired").inc(len(stale))
         return len(stale)

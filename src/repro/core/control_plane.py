@@ -366,6 +366,7 @@ class ControlPlane:
         tooling; subject to SRAM exhaustion like everything on the NIC)."""
         if self.nic.conntrack is None:
             self.nic.conntrack = ConntrackTable(self.nic.sram)
+            self.nic.conntrack.fastpath = self.machine.fastpath
             self.nic.conntrack.point = self.machine.interpose.register(
                 InterpositionPoint(
                     name="conntrack", plane="nic", mechanism="conntrack",

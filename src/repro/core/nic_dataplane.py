@@ -23,6 +23,7 @@ from ..config import CostModel
 from ..errors import NicError
 from ..host.copies import LAYER_DMA, LAYER_DMA_DIRECT
 from ..host.machine import Machine
+from ..interpose.fastpath import CHAIN_KOPI_RX, CHAIN_KOPI_TX
 from ..kernel.qdisc import DEFAULT_CLASS, DrrQdisc, PfifoQdisc, Qdisc
 from ..kernel.qdisc_runner import PacedQdiscRunner
 from ..net.link import Link
@@ -127,6 +128,28 @@ class KopiNic:
         if self.nat is not None and not pkt.is_arp:
             pkt = self.nat.translate_in(pkt)
 
+        fp = self.machine.fastpath
+        ft = pkt.five_tuple if fp is not None else None
+        if ft is not None:
+            entry = fp.lookup(CHAIN_KOPI_RX, ft)
+            if entry is not None:
+                # Flow-cache hit: steering + overlay filter collapse into
+                # one flowtable lookup; attribution still stamps from the
+                # resolved connection (identity is never cached away).
+                conn = (
+                    self.conn_resolver(entry.conn_id)
+                    if entry.conn_id is not None else None
+                )
+                if conn is not None:
+                    pkt.meta.conn_id = conn.conn_id
+                    pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = (
+                        conn.owner
+                    )
+                latency = self._fixed_latency() + fp.hit_ns
+                self.sim.after(latency, self._rx_effects, pkt, conn, entry.verdict,
+                               entry, True)
+                return
+
         # Resolve + attribute before filtering so owner-compiled rules and
         # the sniffer both see identity.
         conn = self._resolve_rx(pkt)
@@ -147,7 +170,15 @@ class KopiNic:
                 self.filter_point.record_eval(
                     hit=(verdict == VERDICT_DROP), dropped=(verdict == VERDICT_DROP)
                 )
-        self.sim.after(latency, self._rx_effects, pkt, conn, verdict)
+        fp_entry = None
+        if ft is not None:
+            points = ("steering",) + (("overlay_filters",) if machine is not None else ())
+            fp_entry = fp.install(
+                CHAIN_KOPI_RX, ft, verdict=verdict,
+                conn_id=conn.conn_id if conn is not None else None,
+                points=points,
+            )
+        self.sim.after(latency, self._rx_effects, pkt, conn, verdict, fp_entry, False)
 
     def _resolve_rx(self, pkt: Packet) -> Optional[NormanConnection]:
         ft = pkt.five_tuple
@@ -162,7 +193,12 @@ class KopiNic:
         return self.conn_resolver(conn_id)
 
     def _rx_effects(
-        self, pkt: Packet, conn: Optional[NormanConnection], verdict: Optional[str]
+        self,
+        pkt: Packet,
+        conn: Optional[NormanConnection],
+        verdict: Optional[str],
+        fp_entry=None,
+        fp_hit: bool = False,
     ) -> None:
         if pkt.is_arp and self.on_arp is not None:
             self.on_arp(pkt)
@@ -173,7 +209,7 @@ class KopiNic:
         if pkt.is_arp:
             return
         if self.conntrack is not None:
-            self.conntrack.observe(pkt, self.sim.now)
+            self._observe_conntrack(pkt, fp_entry, fp_hit)
         if conn is None or conn.closed:
             if self.fallback_rx is not None:
                 self.metrics.counter("rx_fallback").inc()
@@ -188,6 +224,24 @@ class KopiNic:
                 self.fallback_rx(pkt)
             return
         self._deliver_to_ring(pkt, conn)
+
+    def _observe_conntrack(self, pkt: Packet, fp_entry, fp_hit: bool) -> None:
+        """Conntrack update for one packet. A flow-cache hit updates the
+        cached :class:`~repro.core.conntrack.CtEntry` in place (exact
+        per-flow accounting, no table walk); misses take the full observe
+        path and attach the live entry to the cache."""
+        if fp_hit and fp_entry is not None and fp_entry.ct_entry is not None:
+            cached = fp_entry.ct_entry
+            cached.packets += 1
+            cached.bytes += pkt.wire_len
+            cached.last_seen_ns = self.sim.now
+            fp = self.machine.fastpath
+            if fp is not None:
+                fp.note_skipped("conntrack")
+            return
+        entry = self.conntrack.observe(pkt, self.sim.now)
+        if fp_entry is not None and entry is not None:
+            fp_entry.ct_entry = entry
 
     def _deliver_to_ring(self, pkt: Packet, conn: NormanConnection) -> None:
         lines = self._lines_for(pkt)
@@ -235,9 +289,21 @@ class KopiNic:
         self._draining.add(conn.conn_id)
         self.sim.after(self.costs.pcie_dma_latency_ns, self._drain_tx, conn)
 
-    def _tx_pipeline(self, pkt: Packet) -> "tuple[Optional[str], Optional[int], int]":
+    def _tx_pipeline(self, pkt: Packet):
         """Run the TX overlay pipeline for one packet; returns
-        (verdict, sched_class, overlay_cost_ns)."""
+        (verdict, sched_class, overlay_cost_ns, fastpath entry, hit flag).
+
+        A loaded policer disables caching on this path: its token bucket is
+        stateful, so a per-flow verdict cache would replay decisions that
+        depend on arrival time (megaflows cannot cache meter actions
+        either)."""
+        fp = self.machine.fastpath
+        policer = self.fpga.machine(SLOT_POLICER)
+        ft = pkt.five_tuple if (fp is not None and policer is None) else None
+        if ft is not None:
+            entry = fp.lookup(CHAIN_KOPI_TX, ft)
+            if entry is not None:
+                return entry.verdict, entry.qdisc_class, fp.hit_ns, entry, True
         cost = 0
         verdict: Optional[str] = None
         sched_class: Optional[int] = None
@@ -255,14 +321,23 @@ class KopiNic:
             cresult = classifier.execute(pkt, self.sim.now)
             cost += cresult.cost_ns
             sched_class = cresult.sched_class
-        policer = self.fpga.machine(SLOT_POLICER)
         if policer is not None and verdict != VERDICT_DROP:
             presult = policer.execute(pkt, self.sim.now)
             cost += presult.cost_ns
             if presult.verdict == VERDICT_DROP:
                 verdict = VERDICT_DROP
                 self.metrics.counter("tx_policed").inc()
-        return verdict, sched_class, cost
+        fp_entry = None
+        if ft is not None:
+            points = (
+                ("overlay_filters",)
+                if (filt is not None or classifier is not None) else ()
+            )
+            fp_entry = fp.install(
+                CHAIN_KOPI_TX, ft, verdict=verdict, qdisc_class=sched_class,
+                points=points,
+            )
+        return verdict, sched_class, cost, fp_entry, False
 
     def _drain_tx(self, conn: NormanConnection) -> None:
         if self.costs.batch_size > 1:
@@ -280,9 +355,10 @@ class KopiNic:
             units.transmit_time_ns(pkt.wire_len, self.costs.pcie_bandwidth_bps),
         )
 
-        verdict, sched_class, overlay_cost = self._tx_pipeline(pkt)
+        verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
         latency = self._fixed_latency() + overlay_cost
-        self.sim.after(latency, self._tx_effects, pkt, conn, verdict, sched_class)
+        self.sim.after(latency, self._tx_effects, pkt, conn, verdict, sched_class,
+                       fp_entry, fp_hit)
 
         if not conn.rings.tx.is_empty:
             # Keep draining, paced by PCIe fetch bandwidth — or by the
@@ -317,9 +393,9 @@ class KopiNic:
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = conn.owner
             conn.tx_packets += 1
             total_wire += pkt.wire_len
-            verdict, sched_class, overlay_cost = self._tx_pipeline(pkt)
+            verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
             latency += overlay_cost
-            items.append((pkt, conn, verdict, sched_class))
+            items.append((pkt, conn, verdict, sched_class, fp_entry, fp_hit))
         self.machine.copies.charge(
             LAYER_DMA, total_wire,
             units.transmit_time_ns(total_wire, self.costs.pcie_bandwidth_bps),
@@ -343,8 +419,8 @@ class KopiNic:
                 self.notify(conn, KIND_TX_DRAINED, drained)
 
     def _tx_effects_item(self, item) -> None:
-        pkt, conn, verdict, sched_class = item
-        self._tx_effects(pkt, conn, verdict, sched_class)
+        pkt, conn, verdict, sched_class, fp_entry, fp_hit = item
+        self._tx_effects(pkt, conn, verdict, sched_class, fp_entry, fp_hit)
 
     def _tx_effects(
         self,
@@ -352,6 +428,8 @@ class KopiNic:
         conn: NormanConnection,
         verdict: Optional[str],
         sched_class: Optional[int],
+        fp_entry=None,
+        fp_hit: bool = False,
     ) -> None:
         if pkt.is_arp and self.on_arp is not None:
             self.on_arp(pkt)
@@ -360,7 +438,7 @@ class KopiNic:
             self.metrics.counter("tx_filtered").inc()
             return
         if self.conntrack is not None and not pkt.is_arp:
-            self.conntrack.observe(pkt, self.sim.now)
+            self._observe_conntrack(pkt, fp_entry, fp_hit)
         if self.nat is not None and not pkt.is_arp:
             translated = self.nat.translate_out(pkt)
             if translated is None:

@@ -171,7 +171,8 @@ class BypassDataplane(Dataplane):
         self.host_mac = host_mac
         self.ring_entries = ring_entries
         self.nic = BasicNic(
-            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues
+            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
+            fastpath=machine.fastpath,
         )
         # The kernel still runs the machine — it is just not on the datapath.
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)

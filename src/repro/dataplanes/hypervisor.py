@@ -17,6 +17,7 @@ from ..errors import EndpointClosed, UnsupportedOperation, WouldBlock
 from ..host.copies import LAYER_HV_VRING
 from ..host.machine import Machine
 from ..interpose import InterpositionPoint
+from ..interpose.fastpath import CHAIN_VSWITCH
 from ..kernel.arp import ArpCache
 from ..kernel.kernel import Kernel
 from ..kernel.netfilter import NetfilterRule
@@ -145,7 +146,10 @@ class HypervisorDataplane(Dataplane):
         self.host_ip = host_ip
         self.host_mac = host_mac
         self.ring_entries = ring_entries
-        self.nic = BasicNic(machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues)
+        self.nic = BasicNic(
+            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
+            fastpath=machine.fastpath,
+        )
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
         self.vswitch_rules: List[MatchAction] = []
         self.arp_observed = ArpCache()
@@ -190,13 +194,27 @@ class HypervisorDataplane(Dataplane):
             self._sniffer_point.record_eval(hit=mirrored)
         matched = False
         verdict_drop = False
-        for rule in self.vswitch_rules:
-            if rule.matches(pkt):
-                matched = True
-                verdict_drop = rule.action == "drop"
-                break
         if self.vswitch_rules:
-            self._vswitch_point.record_eval(hit=matched, dropped=verdict_drop)
+            fp = self.machine.fastpath
+            ft = pkt.five_tuple if fp is not None else None
+            entry = fp.lookup(CHAIN_VSWITCH, ft) if ft is not None else None
+            if entry is not None:
+                # Hit: cached header verdict, no match-action walk, no eval
+                # recorded (the hardware flow cache sits before the rules).
+                verdict_drop = entry.verdict == "drop"
+            else:
+                for rule in self.vswitch_rules:
+                    if rule.matches(pkt):
+                        matched = True
+                        verdict_drop = rule.action == "drop"
+                        break
+                if fp is not None and ft is not None:
+                    fp.install(
+                        CHAIN_VSWITCH, ft,
+                        verdict="drop" if verdict_drop else "allow",
+                        points=("vswitch",),
+                    )
+                self._vswitch_point.record_eval(hit=matched, dropped=verdict_drop)
         if verdict_drop:
             self.metrics.counter("dropped").inc()
             return False

@@ -101,7 +101,8 @@ class KernelPathDataplane(Dataplane):
         self.machine = machine
         self.costs: CostModel = machine.costs
         self.nic = BasicNic(
-            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues
+            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
+            fastpath=machine.fastpath,
         )
         self.kernel = Kernel(
             machine, host_ip, host_mac,

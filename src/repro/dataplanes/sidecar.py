@@ -134,7 +134,10 @@ class SidecarDataplane(Dataplane):
         self.sidecar_core_id = (
             sidecar_core if sidecar_core is not None else len(machine.cpus) - 1
         )
-        self.nic = BasicNic(machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues)
+        self.nic = BasicNic(
+            machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
+            fastpath=machine.fastpath,
+        )
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
         for queue in self.nic.queues:
             queue.set_handler(self._sidecar_rx, burst_handler=self._sidecar_rx_burst)
@@ -214,23 +217,48 @@ class SidecarDataplane(Dataplane):
         )
 
         def _on_sidecar(_sig: Signal) -> None:
+            fp = self.machine.fastpath
             work = move_ns
             staged = []
             for pkt in pkts:
-                verdict, examined = self.kernel.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
-                work += (
-                    self.costs.bypass_tx_pkt_ns
-                    + examined * self.costs.netfilter_rule_ns
-                )
-                staged.append((pkt, verdict))
+                fp_entry = None
+                if fp is not None:
+                    ft = pkt.five_tuple
+                    if ft is not None:
+                        fp_entry = fp.lookup(CHAIN_OUTPUT, ft, ep.proc.pid)
+                if fp_entry is not None:
+                    verdict = fp_entry.verdict
+                    work += self.costs.bypass_tx_pkt_ns + fp.hit_ns
+                else:
+                    verdict, examined = self.kernel.filters.evaluate(
+                        CHAIN_OUTPUT, pkt, owner
+                    )
+                    work += (
+                        self.costs.bypass_tx_pkt_ns
+                        + examined * self.costs.netfilter_rule_ns
+                    )
+                staged.append((pkt, verdict, fp_entry))
 
             def _done(_s: Signal) -> None:
                 admitted = 0
-                for pkt, verdict in staged:
+                for pkt, verdict, fp_entry in staged:
                     self._run_captures(pkt)
                     if verdict == DROP:
+                        if fp is not None and fp_entry is None and pkt.five_tuple is not None:
+                            fp.install(
+                                CHAIN_OUTPUT, pkt.five_tuple, ep.proc.pid,
+                                verdict=verdict, points=("netfilter",),
+                            )
                         continue
-                    cls = self._classify(ep.proc.pid)
+                    if fp_entry is not None and fp_entry.qdisc_class is not None:
+                        cls = fp_entry.qdisc_class
+                    else:
+                        cls = self._classify(ep.proc.pid)
+                        if fp is not None and fp_entry is None and pkt.five_tuple is not None:
+                            fp.install(
+                                CHAIN_OUTPUT, pkt.five_tuple, ep.proc.pid,
+                                verdict=verdict, qdisc_class=cls, points=("netfilter",),
+                            )
                     if self.egress_runner.submit(pkt, cls):
                         admitted += 1
                 result.succeed(admitted)
@@ -287,8 +315,20 @@ class SidecarDataplane(Dataplane):
         owner = owner_info(ep.proc) if ep else None
         if owner is not None:
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
-        verdict, examined = self.kernel.filters.evaluate(CHAIN_INPUT, pkt, owner)
-        work = self.costs.bypass_rx_pkt_ns + examined * self.costs.netfilter_rule_ns
+        fp = self.machine.fastpath
+        if fp is not None and ft is not None:
+            scope = owner[0] if owner is not None else None
+            entry = fp.lookup(CHAIN_INPUT, ft, scope)
+            if entry is not None:
+                verdict = entry.verdict
+                work = self.costs.bypass_rx_pkt_ns + fp.hit_ns
+            else:
+                verdict, examined = self.kernel.filters.evaluate(CHAIN_INPUT, pkt, owner)
+                fp.install(CHAIN_INPUT, ft, scope, verdict=verdict, points=("netfilter",))
+                work = self.costs.bypass_rx_pkt_ns + examined * self.costs.netfilter_rule_ns
+        else:
+            verdict, examined = self.kernel.filters.evaluate(CHAIN_INPUT, pkt, owner)
+            work = self.costs.bypass_rx_pkt_ns + examined * self.costs.netfilter_rule_ns
         if ep is not None:
             work += self.machine.coherence.transfer_cost_ns(
                 pkt.wire_len + 64, self.sidecar_core_id, ep.proc.core_id

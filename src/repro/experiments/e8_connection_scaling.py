@@ -41,13 +41,18 @@ def run_point(
     costs: CostModel = DEFAULT_COSTS,
     shared_rings: bool = False,
     structural: bool = True,
+    setup=None,
 ) -> Row:
     """Measure one sweep point. Returns miss rate, per-packet CPU, and the
-    attainable goodput."""
+    attainable goodput. ``setup(tb)`` may install policies before any
+    endpoint opens (E15 measures the sweep under a filter chain)."""
     tb = Testbed(
         NormanOS, costs=costs, n_cores=8,
         structural_cache=structural, shared_rings=shared_rings,
     )
+    if setup is not None:
+        setup(tb)
+        tb.run_all()  # async commits (overlay loads) land before traffic
     if tb.machine.llc is not None:
         # Loaded-server regime: application state owns the CPU ways, so
         # ring data is cache-resident only through the DDIO slice (see
@@ -96,7 +101,7 @@ def run_point(
     )
     miss_rate = tb.machine.llc.cpu_miss_rate() if tb.machine.llc is not None else None
     hot = tb.dataplane.control.active_hot_bytes()
-    return {
+    row: Row = {
         "connections": n_conns,
         "mode": "shared" if shared_rings else "per-conn",
         "hot_set_mib": hot / units.MB,
@@ -107,6 +112,14 @@ def run_point(
         "line_rate_pct": 100 * attainable / costs.nic_line_rate_bps,
         "packets": consumed,
     }
+    fp = tb.machine.fastpath
+    if fp is not None:
+        # Opt-in columns only: the default row shape (and the seed
+        # fingerprint over this table) must stay byte-identical.
+        row["fastpath_hit_rate"] = fp.hit_rate
+        row["fastpath_entries"] = len(fp)
+        row["fastpath_evicted"] = fp.evicted
+    return row
 
 
 def run_e8(

@@ -27,6 +27,7 @@ from . import e11_shared_rings as e11
 from . import e12_batching as e12
 from . import e13_zero_copy as e13
 from . import e14_policy_churn as e14
+from . import e15_flow_fastpath as e15
 from . import f1_architecture as f1
 from . import s1_tail_latency as s1
 from .common import fmt_table
@@ -46,6 +47,7 @@ SECTIONS = (
     ("E12 — batching: what amortizes and what cannot", e12.main),
     ("E13 — zero-copy: where elision pays and where it cannot", e13.main),
     ("E14 — policy churn: atomic commits and the stale window", e14.main),
+    ("E15 — flow fast path: megaflow-style verdict cache", e15.main),
     ("F1 — Figure 1 architecture arrows", f1.main),
     ("S1 — supplementary: RPC tail latency", s1.main),
 )

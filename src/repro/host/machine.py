@@ -6,7 +6,7 @@ from typing import Optional
 
 from .. import units
 from ..config import DEFAULT_COSTS, CostModel
-from ..interpose import PolicyEngine
+from ..interpose import FlowFastPath, PolicyEngine
 from ..sim import Simulator
 from .cache import AnalyticDdioModel, WayPartitionedCache
 from .coherence import CoherenceFabric
@@ -47,6 +47,12 @@ class Machine:
         # conntrack, taps, steering, overlays) registers here; see
         # repro.interpose for the commit/versioning contract.
         self.interpose = PolicyEngine(self.sim)
+        # Megaflow-style verdict cache over the engine's points. None when
+        # the cost-model flag is off: dataplanes guard every touch on that,
+        # which is what keeps default-config traces seed-identical.
+        self.fastpath: Optional[FlowFastPath] = (
+            FlowFastPath(self.interpose, costs) if costs.flow_fastpath else None
+        )
 
     @property
     def now(self) -> int:

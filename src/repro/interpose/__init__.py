@@ -19,6 +19,13 @@ The engine gives every mechanism the same three things:
 """
 
 from .engine import PolicyEngine
+from .fastpath import FlowFastPath, FlowVerdict
 from .point import InterpositionPoint, PolicyCommit
 
-__all__ = ["InterpositionPoint", "PolicyCommit", "PolicyEngine"]
+__all__ = [
+    "FlowFastPath",
+    "FlowVerdict",
+    "InterpositionPoint",
+    "PolicyCommit",
+    "PolicyEngine",
+]

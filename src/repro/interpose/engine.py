@@ -26,6 +26,20 @@ class PolicyEngine:
         self.sim = sim
         self._points: Dict[str, InterpositionPoint] = {}
         self.history: List[PolicyCommit] = []
+        #: Monotonic counter bumped whenever ANY point's version advances —
+        #: the machine-wide policy epoch flow caches compare against.
+        self.epoch = 0
+
+    def _on_commit(self, point: InterpositionPoint) -> None:
+        """Called by a point when its version advances (a commit landed).
+        Failed async commits leave the old table running and do NOT bump
+        the epoch, so caches built over them stay valid."""
+        self.epoch += 1
+
+    def version_vector(self) -> "tuple[tuple[str, int], ...]":
+        """The live (point name, version) pairs, sorted — the composite
+        policy version a cached fast-path entry is stamped with."""
+        return tuple(sorted((n, p.version) for n, p in self._points.items()))
 
     # --- registry ----------------------------------------------------------
 

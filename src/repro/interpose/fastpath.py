@@ -1,0 +1,290 @@
+"""Megaflow-style flow fast path over the interposition plane.
+
+The paper argues interposition should run at the cheapest place on the
+datapath; the classic software realization is a flow cache: the *first*
+packet of a flow walks every interposition point (netfilter chains, qdisc
+classifier, vswitch match-action, NIC steering, overlay filters,
+conntrack), and the composed outcome is cached under the five-tuple so
+later packets pay one exact-match lookup — OVS megaflows, the Linux
+netfilter flowtable offload, and the "policy compiled to fast path"
+structure of the NIC-as-OS line of work.
+
+Correctness leans on PR 3's versioned commits: every policy mutation on
+the machine lands in the :class:`~repro.interpose.PolicyEngine` and bumps
+its ``epoch``. A cached entry is stamped with the epoch it was built
+under; a lookup that finds a stale stamp discards the entry and falls
+back to the slow path (lazy invalidation — nothing walks the cache on
+commit, exactly like megaflow revalidation). Conntrack expiry evicts the
+flow's entries eagerly, and a bounded LRU models flowtable/SRAM pressure:
+more concurrent flows than :attr:`~repro.config.CostModel.flow_fastpath_entries`
+and the cache thrashes back to slow-path cost — the same >1024-connection
+collapse §5 reports for DDIO.
+
+The cache is per-:class:`~repro.host.machine.Machine` and strictly
+opt-in: ``Machine.fastpath`` is ``None`` unless
+:attr:`~repro.config.CostModel.flow_fastpath` is set, and every dataplane
+guards its wiring on that, so default-config runs are byte-identical to
+the seed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Set, Tuple
+
+from ..config import CostModel
+from ..net.flow import FiveTuple
+from ..sim import MetricSet
+
+#: Cache scopes (the ``chain`` key component) used by the dataplanes.
+CHAIN_STEER = "steer"
+CHAIN_VSWITCH = "vswitch"
+CHAIN_KOPI_RX = "kopi_rx"
+CHAIN_KOPI_TX = "kopi_tx"
+
+Key = Tuple[str, FiveTuple, Optional[int]]
+
+
+class FlowVerdict:
+    """One cached slow-path outcome.
+
+    ``verdict`` is whatever the slow path produced (an ACCEPT/DROP string,
+    an overlay verdict, or None for "no filter loaded"); ``qdisc_class``
+    holds the plane's class representation (a tc class string on the
+    kernel/sidecar paths, an integer scheduler class on KOPI);
+    ``queue_id``/``conn_id`` cache steering decisions; ``ct_entry`` is a
+    live reference to the flow's conntrack entry so hits keep per-flow
+    accounting exact without re-walking the table.
+    """
+
+    __slots__ = (
+        "chain", "flow", "scope", "verdict", "qdisc_class", "queue_id",
+        "conn_id", "ct_entry", "points", "epoch", "versions", "hits",
+    )
+
+    def __init__(
+        self,
+        chain: str,
+        flow: FiveTuple,
+        scope: Optional[int],
+        verdict,
+        qdisc_class,
+        queue_id: Optional[int],
+        conn_id: Optional[int],
+        ct_entry,
+        points: Tuple[str, ...],
+        epoch: int,
+        versions: Tuple[Tuple[str, int], ...],
+    ):
+        self.chain = chain
+        self.flow = flow
+        self.scope = scope
+        self.verdict = verdict
+        self.qdisc_class = qdisc_class
+        self.queue_id = queue_id
+        self.conn_id = conn_id
+        self.ct_entry = ct_entry
+        self.points = points
+        self.epoch = epoch
+        self.versions = versions
+        self.hits = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowVerdict {self.chain}:{self.flow} -> {self.verdict!r} "
+            f"epoch={self.epoch} hits={self.hits}>"
+        )
+
+
+class FlowFastPath:
+    """Per-machine LRU verdict cache keyed by (chain, five-tuple, scope).
+
+    ``chain`` names the interposition site (netfilter INPUT/OUTPUT, the
+    hypervisor vswitch, NIC steering, the KOPI RX/TX pipelines); ``scope``
+    carries whatever slow-path input beyond the headers the cached walk
+    consumed — the owning pid on the kernel/sidecar paths, where owner
+    rules and cgroup classification make the verdict a function of
+    (flow, process), ``None`` on header-only planes.
+    """
+
+    def __init__(self, engine, costs: CostModel):
+        self.engine = engine
+        self.hit_ns = costs.flowtable_hit_ns
+        self.capacity = costs.flow_fastpath_entries
+        self._entries: "OrderedDict[Key, FlowVerdict]" = OrderedDict()
+        self._by_flow: Dict[FiveTuple, Set[Key]] = {}
+        self.metrics = MetricSet("fastpath")
+        # The hot-path counters, resolved once: a cache whose bookkeeping
+        # costs more than the rule walk it elides would defeat the point.
+        self._c_hits = self.metrics.counter("hits")
+        self._c_misses = self.metrics.counter("misses")
+        self._c_invalidated = self.metrics.counter("invalidated")
+        self._c_evicted = self.metrics.counter("evicted")
+        self._c_expired = self.metrics.counter("expired")
+        self._c_installs = self.metrics.counter("installs")
+        self._chain_hit = {}  # chain -> (hit counter, miss counter)
+        self._skip_counters: Dict[str, object] = {}
+
+    # --- datapath side -----------------------------------------------------
+
+    def lookup(self, chain: str, flow: FiveTuple, scope: Optional[int] = None):
+        """Return the live cached entry for this walk, or None (miss).
+
+        A stale entry (any policy commit landed since it was built) is
+        discarded here — lazy invalidation, charged to the packet that
+        discovers it."""
+        key = (chain, flow, scope)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._c_misses.inc()
+            self._chain_counters(chain)[1].inc()
+            return None
+        if entry.epoch != self.engine.epoch:
+            self._remove(key, entry)
+            self._c_invalidated.inc()
+            self._c_misses.inc()
+            self._chain_counters(chain)[1].inc()
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self._c_hits.inc()
+        self._chain_counters(chain)[0].inc()
+        for point in entry.points:
+            self._skip_counter(point).inc()
+        return entry
+
+    def install(
+        self,
+        chain: str,
+        flow: FiveTuple,
+        scope: Optional[int] = None,
+        verdict=None,
+        qdisc_class=None,
+        queue_id: Optional[int] = None,
+        conn_id: Optional[int] = None,
+        ct_entry=None,
+        points: Tuple[str, ...] = (),
+    ) -> FlowVerdict:
+        """Cache a freshly-walked outcome, stamped with the current epoch
+        and version vector; evicts LRU entries past capacity."""
+        key = (chain, flow, scope)
+        old = self._entries.pop(key, None)
+        entry = FlowVerdict(
+            chain, flow, scope, verdict, qdisc_class, queue_id, conn_id,
+            ct_entry, points, self.engine.epoch, self.engine.version_vector(),
+        )
+        self._entries[key] = entry
+        if old is None:
+            self._by_flow.setdefault(flow, set()).add(key)
+        self._c_installs.inc()
+        while len(self._entries) > self.capacity:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._unindex(evicted_key)
+            self._c_evicted.inc()
+        return entry
+
+    # --- invalidation / eviction ------------------------------------------
+
+    def evict_flow(self, flow: FiveTuple) -> int:
+        """Drop every entry keyed on this flow or its reverse (conntrack
+        expiry, connection teardown). Returns how many were dropped."""
+        dropped = 0
+        for ft in (flow, flow.reversed()):
+            keys = self._by_flow.pop(ft, None)
+            if not keys:
+                continue
+            for key in keys:
+                if self._entries.pop(key, None) is not None:
+                    dropped += 1
+        if dropped:
+            self._c_expired.inc(dropped)
+        return dropped
+
+    def purge(self) -> int:
+        """Drop everything (table reset); returns how many entries died."""
+        n = len(self._entries)
+        self._entries.clear()
+        self._by_flow.clear()
+        return n
+
+    def _remove(self, key: Key, entry: FlowVerdict) -> None:
+        del self._entries[key]
+        self._unindex(key)
+
+    def _unindex(self, key: Key) -> None:
+        keys = self._by_flow.get(key[1])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_flow[key[1]]
+
+    # --- counters ----------------------------------------------------------
+
+    def _chain_counters(self, chain: str):
+        pair = self._chain_hit.get(chain)
+        if pair is None:
+            pair = (
+                self.metrics.counter(f"hit.{chain}"),
+                self.metrics.counter(f"miss.{chain}"),
+            )
+            self._chain_hit[chain] = pair
+        return pair
+
+    def _skip_counter(self, point: str):
+        c = self._skip_counters.get(point)
+        if c is None:
+            c = self.metrics.counter(f"skipped.{point}")
+            self._skip_counters[point] = c
+        return c
+
+    def note_skipped(self, point: str) -> None:
+        """Count a point whose evaluation a hit elided outside lookup()
+        (e.g. the conntrack update folded into a cached entry)."""
+        self._skip_counter(point).inc()
+
+    # --- introspection -----------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def invalidated(self) -> int:
+        return self._c_invalidated.value
+
+    @property
+    def evicted(self) -> int:
+        return self._c_evicted.value
+
+    @property
+    def expired(self) -> int:
+        return self._c_expired.value
+
+    @property
+    def lookups(self) -> int:
+        return self._c_hits.value + self._c_misses.value
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self._c_hits.value / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        out = self.metrics.snapshot()
+        out["fastpath.entries"] = float(len(self._entries))
+        out["fastpath.hit_rate"] = self.hit_rate
+        out["fastpath.epoch"] = float(self.engine.epoch)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowFastPath entries={len(self._entries)}/{self.capacity} "
+            f"hit_rate={self.hit_rate:.3f} epoch={self.engine.epoch}>"
+        )

@@ -131,6 +131,8 @@ class InterpositionPoint:
         always synchronous in sim time and must stay trace-identical."""
         lat = self.install_latency_ns if latency_ns is None else latency_ns
         self.version += 1
+        if self._engine is not None:
+            self._engine._on_commit(self)
         self.metrics.counter("updates").inc()
         self.metrics.histogram("install_ns").observe(lat)
         now = self._now()
@@ -166,6 +168,8 @@ class InterpositionPoint:
                 self.metrics.counter("failed_commits").inc()
             else:
                 self.version += 1
+                if self._engine is not None:
+                    self._engine._on_commit(self)
                 commit.version = self.version
                 self.metrics.histogram("install_ns").observe(commit.latency_ns)
             self._record(commit)

@@ -83,6 +83,7 @@ class Kernel:
             tx_rate_bps=tx_rate_bps or self.costs.nic_line_rate_bps,
             nic_send=nic_send,
             mac_for=self.mac_for,
+            fastpath=machine.fastpath,
         )
 
     # --- identity & neighbors ------------------------------------------------

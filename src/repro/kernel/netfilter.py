@@ -57,10 +57,13 @@ class NetfilterRule:
             raise PolicyError(f"unknown verdict: {self.verdict!r}")
         if self.chain not in _CHAINS:
             raise PolicyError(f"unknown chain: {self.chain!r}")
-
-    @property
-    def needs_owner(self) -> bool:
-        return any(v is not None for v in (self.uid_owner, self.cmd_owner, self.pid_owner))
+        # Precomputed once: matches() runs per packet per rule, and the
+        # owner fields never change after construction.
+        self.needs_owner: bool = (
+            self.uid_owner is not None
+            or self.cmd_owner is not None
+            or self.pid_owner is not None
+        )
 
     def matches(self, pkt: Packet, owner: Optional[OwnerTriple]) -> bool:
         ft = pkt.five_tuple
@@ -129,6 +132,7 @@ class RuleTable:
             raise PolicyError(f"unknown default verdict: {default_verdict!r}")
         self.default_verdict = default_verdict
         self._chains: "dict[str, List[NetfilterRule]]" = {c: [] for c in _CHAINS}
+        self._chain_needs_owner: "dict[str, bool]" = {c: False for c in _CHAINS}
         self.metrics = MetricSet("netfilter")
         self.update_count = 0
         self.point = None  # Optional[InterpositionPoint], via bind_point
@@ -136,8 +140,20 @@ class RuleTable:
     def bind_point(self, point) -> None:
         self.point = point
 
+    def needs_owner(self, chain: str) -> bool:
+        """True when any rule in ``chain`` matches on the owner triple —
+        only then does evaluation consult the kernel's process view."""
+        if chain not in self._chains:
+            raise PolicyError(f"unknown chain: {chain!r}")
+        return self._chain_needs_owner[chain]
+
     def _committed(self) -> None:
         self.update_count += 1
+        # Tables are small and mutations rare: recompute the per-chain
+        # owner-match flags wholesale on every commit.
+        self._chain_needs_owner = {
+            c: any(r.needs_owner for r in rules) for c, rules in self._chains.items()
+        }
         if self.point is not None:
             self.point.record_update()
 
@@ -185,6 +201,21 @@ class RuleTable:
         # so this evaluation sees one version even if an update lands
         # mid-walk (the RCU read side).
         rules = self._chains[chain]
+        if not rules:
+            # Empty chain: default policy, nothing examined, counters as
+            # the walk below would have produced.
+            self.metrics.counter(f"{chain.lower()}_default").inc()
+            if self.point is not None:
+                version = self.point.record_eval(
+                    hit=False, dropped=(self.default_verdict == DROP)
+                )
+                pkt.meta.notes["nf_eval"] = (chain, version, self.default_verdict, 0)
+            return self.default_verdict, 0
+        if owner is not None and not self._chain_needs_owner[chain]:
+            # No rule in this chain matches on the owner triple: drop it so
+            # rule matching never touches the process view (verdicts are
+            # unchanged — owner-less rules never read it anyway).
+            owner = None
         examined = 0
         verdict = self.default_verdict
         matched = False

@@ -50,9 +50,13 @@ class KernelNetStack:
         tx_rate_bps: int,
         nic_send: Callable[[Packet], None],
         mac_for: Callable[[IPv4Address], MacAddress],
+        fastpath=None,
     ):
         self.sim = sim
         self.costs = costs
+        # Optional FlowFastPath (None unless CostModel.flow_fastpath): a hit
+        # replaces the per-rule netfilter walk with one flowtable lookup.
+        self.fastpath = fastpath
         self.cpus = cpus
         self.scheduler = scheduler
         self.syscalls = syscalls
@@ -115,6 +119,42 @@ class KernelNetStack:
             sock.rx_copied_bytes += payload_len
         return cost
 
+    # --- flow fast path (megaflow-style verdict cache) ------------------------
+
+    def _tx_filter(self, pkt: Packet, proc: Process, owner):
+        """OUTPUT-chain stage: a flow-cache hit returns the cached verdict
+        at flowtable cost; otherwise the full per-rule walk runs. Returns
+        (verdict, modeled filter ns, cache entry or None)."""
+        fp = self.fastpath
+        if fp is not None:
+            ft = pkt.five_tuple
+            if ft is not None:
+                entry = fp.lookup(CHAIN_OUTPUT, ft, proc.pid)
+                if entry is not None:
+                    return entry.verdict, fp.hit_ns, entry
+        verdict, examined = self.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
+        return verdict, examined * self.costs.netfilter_rule_ns, None
+
+    def _tx_class(self, pkt: Packet, proc: Process, verdict: str, fp_entry) -> str:
+        """Qdisc classification, served from the cache on a hit; a miss
+        classifies and installs the composed (verdict, class) entry."""
+        if fp_entry is not None and fp_entry.qdisc_class is not None:
+            return fp_entry.qdisc_class
+        cls = self.classify(pkt, proc.pid)
+        self._tx_install(pkt, proc, verdict, cls, fp_entry)
+        return cls
+
+    def _tx_install(self, pkt: Packet, proc: Process, verdict: str, cls, fp_entry) -> None:
+        fp = self.fastpath
+        if fp is None or fp_entry is not None:
+            return
+        ft = pkt.five_tuple
+        if ft is not None:
+            fp.install(
+                CHAIN_OUTPUT, ft, proc.pid,
+                verdict=verdict, qdisc_class=cls, points=("netfilter",),
+            )
+
     # --- TX -------------------------------------------------------------------
 
     def sendto(
@@ -133,11 +173,11 @@ class KernelNetStack:
         pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
         pkt.meta.created_ns = self.sim.now
 
-        verdict, examined = self.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
+        verdict, filter_ns, fp_entry = self._tx_filter(pkt, proc, owner)
         work = (
             self._tx_payload(proc, sock, payload_len)
             + self.costs.kernel_tx_pkt_ns
-            + examined * self.costs.netfilter_rule_ns
+            + filter_ns
             + self.costs.qdisc_enqueue_ns
         )
         result = Signal("sendto")
@@ -146,10 +186,11 @@ class KernelNetStack:
         def _after_syscall(_sig: Signal) -> None:
             self._run_taps(pkt)
             if verdict == DROP:
+                self._tx_install(pkt, proc, verdict, None, fp_entry)
                 self.metrics.counter("tx_filtered").inc()
                 result.succeed(False)
                 return
-            cls = self.classify(pkt, proc.pid)
+            cls = self._tx_class(pkt, proc, verdict, fp_entry)
             admitted = self.egress.submit(pkt, cls)
             if admitted:
                 sock.tx_bytes += payload_len
@@ -183,19 +224,19 @@ class KernelNetStack:
             return result
         owner = owner_info(proc)
         work = 0
-        staged: "list[tuple[Packet, str]]" = []
+        staged: "list[tuple[Packet, str, object]]" = []
         for payload_len in payload_lens:
             pkt = self._build(sock, dst_ip, dport, payload_len)
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
             pkt.meta.created_ns = self.sim.now
-            verdict, examined = self.filters.evaluate(CHAIN_OUTPUT, pkt, owner)
+            verdict, filter_ns, fp_entry = self._tx_filter(pkt, proc, owner)
             work += (
                 self._tx_payload(proc, sock, payload_len)
                 + self.costs.kernel_tx_pkt_ns
-                + examined * self.costs.netfilter_rule_ns
+                + filter_ns
                 + self.costs.qdisc_enqueue_ns
             )
-            staged.append((pkt, verdict))
+            staged.append((pkt, verdict, fp_entry))
         # The crossing itself amortizes; invoke() charges syscall_ns, so only
         # the batched dispatch surplus is added to the in-kernel work.
         work += self.costs.syscall_burst_ns(n) - self.costs.syscall_ns
@@ -208,12 +249,13 @@ class KernelNetStack:
 
         def _after_syscall(_sig: Signal) -> None:
             admitted_count = 0
-            for pkt, verdict in staged:
+            for pkt, verdict, fp_entry in staged:
                 self._run_taps(pkt)
                 if verdict == DROP:
+                    self._tx_install(pkt, proc, verdict, None, fp_entry)
                     self.metrics.counter("tx_filtered").inc()
                     continue
-                cls = self.classify(pkt, proc.pid)
+                cls = self._tx_class(pkt, proc, verdict, fp_entry)
                 admitted = self.egress.submit(pkt, cls)
                 if admitted:
                     sock.tx_bytes += pkt.payload_len
@@ -367,7 +409,24 @@ class KernelNetStack:
         if owner is not None:
             # The kernel attributes inbound packets at socket demux time.
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
-        verdict, examined = self.filters.evaluate(CHAIN_INPUT, pkt, owner)
+        fp = self.fastpath
+        if fp is not None:
+            # Demux and attribution still ran above (the cache elides the
+            # rule walk, never the kernel's process view); scope on the
+            # owning pid so owner rules stay a function of the key.
+            scope = owner[0] if owner is not None else None
+            entry = fp.lookup(CHAIN_INPUT, ft, scope)
+            if entry is not None:
+                work = (
+                    self.costs.kernel_rx_pkt_ns
+                    + fp.hit_ns
+                    + self.costs.socket_demux_ns
+                )
+                return sock, entry.verdict, work
+            verdict, examined = self.filters.evaluate(CHAIN_INPUT, pkt, owner)
+            fp.install(CHAIN_INPUT, ft, scope, verdict=verdict, points=("netfilter",))
+        else:
+            verdict, examined = self.filters.evaluate(CHAIN_INPUT, pkt, owner)
         work = (
             self.costs.kernel_rx_pkt_ns
             + examined * self.costs.netfilter_rule_ns

@@ -15,6 +15,7 @@ from ..config import CostModel
 from ..errors import NicError
 from ..host.copies import LAYER_DMA, LAYER_DMA_DIRECT
 from ..host.pcie import DmaEngine
+from ..interpose.fastpath import CHAIN_STEER
 from ..net.link import Link
 from ..net.packet import Packet
 from ..sim import MetricSet, Simulator
@@ -64,12 +65,16 @@ class BasicNic:
         egress: Link,
         n_queues: int = 8,
         name: str = "nic0",
+        fastpath=None,
     ):
         self.sim = sim
         self.costs = costs
         self.dma = dma
         self.egress = egress
         self.name = name
+        # Optional FlowFastPath: caches the steering decision per flow so
+        # repeat packets skip the exact-match/RSS classification walk.
+        self.fastpath = fastpath
         self.queues: List[NicQueue] = [NicQueue(i) for i in range(n_queues)]
         self.steering = SteeringTable(n_queues=n_queues, name=f"{name}.steer")
         self.metrics = MetricSet(name)
@@ -145,10 +150,19 @@ class BasicNic:
         ft = pkt.five_tuple
         if ft is None:
             return 0
+        fp = self.fastpath
+        if fp is not None:
+            entry = fp.lookup(CHAIN_STEER, ft)
+            if entry is not None:
+                return entry.queue_id
         conn = self.steering.lookup(ft)
         if conn is not None:
-            return conn % len(self.queues)
-        return self.steering.rss_fallback(ft)
+            queue_id = conn % len(self.queues)
+        else:
+            queue_id = self.steering.rss_fallback(ft)
+        if fp is not None:
+            fp.install(CHAIN_STEER, ft, queue_id=queue_id, points=("steering",))
+        return queue_id
 
     # --- TX ----------------------------------------------------------------
 

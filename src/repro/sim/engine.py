@@ -17,22 +17,35 @@ class EventHandle:
     """Handle to a scheduled callback; allows cancellation.
 
     Cancellation is lazy: the heap entry stays in place and is skipped when
-    popped, which keeps scheduling O(log n).
+    popped, which keeps scheduling O(log n). The owning simulator tracks
+    how many cancelled entries its heap carries and compacts when they
+    dominate (see :meth:`Simulator._compact`).
     """
 
-    __slots__ = ("time", "_fn", "_args", "_cancelled")
+    __slots__ = ("time", "_fn", "_args", "_cancelled", "_sim")
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self._fn = fn
         self._args = args
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running. Safe to call more than once."""
+        if self._cancelled:
+            return
         self._cancelled = True
         self._fn = _cancelled_fn
         self._args = ()
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -59,11 +72,16 @@ def _fire_burst(fn: Callable[..., Any], items: Tuple[Any, ...]) -> None:
 class Simulator:
     """Deterministic discrete-event simulator with integer-ns time."""
 
+    #: Below this heap size, compaction is not worth the rebuild.
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
         self._heap: List[Tuple[int, int, EventHandle]] = []
         self._events_fired = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> int:
@@ -80,13 +98,44 @@ class Simulator:
         """Number of heap entries (including lazily-cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Lazily-cancelled entries still occupying heap slots."""
+        return self._cancelled_pending
+
+    @property
+    def heap_compactions(self) -> int:
+        """How many times the heap has been compacted (observability)."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """Heap hygiene: when cancelled entries exceed 50% of ``pending``,
+        rebuild the heap without them. Lazy cancellation otherwise leaks
+        the slots for the lifetime of a run (timer-heavy workloads cancel
+        far more events than they fire)."""
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        # In-place: run() holds a local alias to the heap list, so the
+        # list object must survive compaction. heapify preserves firing
+        # order because (time, seq) keys are unique and totally ordered.
+        self._heap[:] = [e for e in self._heap if not e[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compactions += 1
+
     def at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
         if time_ns < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time_ns} ns; now is {self._now} ns"
             )
-        handle = EventHandle(time_ns, fn, args)
+        handle = EventHandle(time_ns, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (time_ns, self._seq, handle))
         return handle
@@ -123,6 +172,7 @@ class Simulator:
         """Timestamp of the next non-cancelled event, or None if idle."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_pending -= 1
         if not self._heap:
             return None
         return self._heap[0][0]
@@ -132,6 +182,7 @@ class Simulator:
         while self._heap:
             time_ns, _, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = time_ns
             self._events_fired += 1

@@ -1,0 +1,257 @@
+"""The flow fast path: megaflow-style verdict cache over the plane.
+
+Covers the cache in isolation (LRU bounds, lazy epoch invalidation,
+conntrack-driven eviction), its wiring into the dataplanes (strictly
+opt-in; verdicts never change), and the central correctness property:
+a fast-path hit returns exactly the verdict a slow-path walk would give
+at the packet's stamped policy version.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_COSTS
+from repro.core import NormanOS
+from repro.dataplanes import KernelPathDataplane, SidecarDataplane, Testbed
+from repro.dataplanes.testbed import HOST_IP, HOST_MAC, PEER_IP, PEER_MAC
+from repro.experiments.e15_flow_fastpath import run_plane_point
+from repro.interpose import FlowFastPath, InterpositionPoint, PolicyEngine
+from repro.interpose.fastpath import CHAIN_STEER
+from repro.kernel.netfilter import (
+    CHAIN_OUTPUT,
+    DROP,
+    NetfilterRule,
+    RuleTable,
+)
+from repro.net.headers import PROTO_UDP
+from repro.net.packet import make_udp
+from repro.sim import Simulator
+from repro.tools import Iptables
+
+FASTPATH_COSTS = DEFAULT_COSTS.replace(flow_fastpath=True)
+
+
+def _engine_with_table():
+    """A PolicyEngine with one registered netfilter point, as the kernel
+    control plane wires it."""
+    engine = PolicyEngine(Simulator())
+    table = RuleTable()
+    point = engine.register(
+        InterpositionPoint(
+            name="netfilter", plane="kernel", mechanism="netfilter", target=table
+        )
+    )
+    table.bind_point(point)
+    return engine, table
+
+
+def _flow(sport: int, dport: int = 9_000):
+    return make_udp(HOST_MAC, PEER_MAC, HOST_IP, PEER_IP, sport, dport, 100)
+
+
+class TestFlowFastPathUnit:
+    def test_install_then_hit(self):
+        engine, _table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS)
+        ft = _flow(5_000).five_tuple
+        assert fp.lookup(CHAIN_OUTPUT, ft, 7) is None
+        fp.install(CHAIN_OUTPUT, ft, 7, verdict="ACCEPT", points=("netfilter",))
+        entry = fp.lookup(CHAIN_OUTPUT, ft, 7)
+        assert entry is not None and entry.verdict == "ACCEPT"
+        assert fp.hits == 1 and fp.misses == 1
+        assert fp.metrics.counter("skipped.netfilter").value == 1
+
+    def test_scope_is_part_of_the_key(self):
+        # Owner rules make the verdict a function of (flow, process): a
+        # different pid must not see another process's cached verdict.
+        engine, _table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS)
+        ft = _flow(5_000).five_tuple
+        fp.install(CHAIN_OUTPUT, ft, 7, verdict="DROP")
+        assert fp.lookup(CHAIN_OUTPUT, ft, 8) is None
+        assert fp.lookup(CHAIN_OUTPUT, ft, 7) is not None
+
+    def test_commit_invalidates_lazily(self):
+        engine, table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS)
+        ft = _flow(5_000).five_tuple
+        fp.install(CHAIN_OUTPUT, ft, 7, verdict="ACCEPT")
+        table.append(NetfilterRule(verdict=DROP, chain=CHAIN_OUTPUT, dport=9_000))
+        # The commit walked nothing; the stale entry dies on next lookup.
+        assert len(fp) == 1
+        assert fp.lookup(CHAIN_OUTPUT, ft, 7) is None
+        assert fp.invalidated == 1
+        assert len(fp) == 0
+
+    def test_lru_eviction_bounded(self):
+        engine, _table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS.replace(flow_fastpath_entries=4))
+        for i in range(6):
+            fp.install(CHAIN_OUTPUT, _flow(5_000 + i).five_tuple, None, verdict="ACCEPT")
+        assert len(fp) == 4
+        assert fp.evicted == 2
+        # Oldest two are gone; newest four are hits.
+        assert fp.lookup(CHAIN_OUTPUT, _flow(5_000).five_tuple) is None
+        assert fp.lookup(CHAIN_OUTPUT, _flow(5_005).five_tuple) is not None
+
+    def test_lru_order_refreshed_by_hits(self):
+        engine, _table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS.replace(flow_fastpath_entries=2))
+        a, b, c = (_flow(5_000 + i).five_tuple for i in range(3))
+        fp.install(CHAIN_OUTPUT, a, None, verdict="ACCEPT")
+        fp.install(CHAIN_OUTPUT, b, None, verdict="ACCEPT")
+        fp.lookup(CHAIN_OUTPUT, a)  # a becomes most-recent
+        fp.install(CHAIN_OUTPUT, c, None, verdict="ACCEPT")  # evicts b
+        assert fp.lookup(CHAIN_OUTPUT, a) is not None
+        assert fp.lookup(CHAIN_OUTPUT, b) is None
+
+    def test_evict_flow_drops_both_directions(self):
+        engine, _table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS)
+        ft = _flow(5_000).five_tuple
+        fp.install(CHAIN_OUTPUT, ft, None, verdict="ACCEPT")
+        fp.install("INPUT", ft.reversed(), None, verdict="ACCEPT")
+        assert fp.evict_flow(ft) == 2
+        assert fp.expired == 2
+        assert len(fp) == 0
+
+    def test_purge_clears_everything(self):
+        engine, _table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS)
+        for i in range(3):
+            fp.install(CHAIN_STEER, _flow(5_000 + i).five_tuple, queue_id=i)
+        assert fp.purge() == 3
+        assert len(fp) == 0
+
+
+class TestWiring:
+    def test_default_off_leaves_no_cache(self):
+        tb = Testbed(KernelPathDataplane)
+        assert tb.machine.fastpath is None
+
+    def test_flag_on_builds_cache_per_machine(self):
+        tb = Testbed(KernelPathDataplane, costs=FASTPATH_COSTS)
+        fp = tb.machine.fastpath
+        assert fp is not None
+        assert fp.engine is tb.machine.interpose
+        assert fp.capacity == FASTPATH_COSTS.flow_fastpath_entries
+
+    def test_cached_drop_still_drops(self):
+        # A matching DROP verdict served from the cache must behave
+        # exactly like the slow-path drop: nothing reaches the wire.
+        tb = Testbed(KernelPathDataplane, costs=FASTPATH_COSTS)
+        ipt = Iptables(tb.dataplane, tb.kernel)
+        ipt("-A OUTPUT -p udp --dport 9000 -j DROP")
+        proc = tb.spawn("app", "bob", core_id=1)
+        ep = tb.dataplane.open_endpoint(proc, PROTO_UDP, 6_000)
+        for _ in range(8):
+            ep.send(100, dst=(PEER_IP, 9_000))
+            tb.run_all()
+        assert len(tb.peer.received) == 0
+        assert tb.machine.fastpath.hits > 0
+
+    def test_conntrack_expiry_evicts_cached_flows(self):
+        tb = Testbed(NormanOS, costs=FASTPATH_COSTS)
+        ct = tb.dataplane.control.enable_conntrack()
+        proc = tb.spawn("app", "bob", core_id=1)
+        tb.dataplane.open_endpoint(proc, PROTO_UDP, 6_000)
+        for i in range(4):
+            tb.sim.after(1_000, tb.peer.send_udp, 9_000, 6_000, 100)
+            tb.run_all()
+        fp = tb.machine.fastpath
+        assert fp.hits > 0
+        assert ct.expire_older_than(tb.sim.now + 1) == 1
+        assert fp.expired > 0
+        # The flow's next packet is a clean miss, not a stale hit.
+        hits0 = fp.hits
+        tb.peer.send_udp(9_000, 6_000, 100)
+        tb.run_all()
+        assert fp.metrics.counter("miss.kopi_rx").value > 0
+        assert fp.hits >= hits0  # subsequent reinstall serves hits again
+
+
+class TestEndToEnd:
+    def test_kernel_path_steady_state_hit_rate(self):
+        on = run_plane_point(KernelPathDataplane, True, count=96)
+        off = run_plane_point(KernelPathDataplane, False, count=96)
+        assert on["hit_rate"] > 0.9
+        # Measurably fewer slow-path filter evaluations per packet...
+        assert on["filter_evals"] < off["filter_evals"] / 10
+        # ...and identical delivery (verdicts unchanged).
+        assert on["delivered"] == off["delivered"]
+
+    def test_sidecar_verdicts_unchanged(self):
+        on = run_plane_point(SidecarDataplane, True, count=64)
+        off = run_plane_point(SidecarDataplane, False, count=64)
+        assert on["delivered"] == off["delivered"]
+        assert on["hit_rate"] > 0.9
+
+    def test_fastpath_run_is_deterministic(self):
+        a = run_plane_point(NormanOS, True, count=64)
+        b = run_plane_point(NormanOS, True, count=64)
+        assert a == b
+
+
+# --- the correctness property -------------------------------------------
+
+#: Six flows; owner pid/uid vary so owner rules split them.
+_FLOW_PORTS = [(5_000 + i, 9_000 + (i % 2)) for i in range(6)]
+_OWNERS = [(100 + i, 7 if i % 2 else 3, "app") for i in range(6)]
+
+#: Candidate rules an operator toggles mid-stream: header matches that hit
+#: some flows, plus an owner match (the §2 port-partitioning shape).
+_RULES = [
+    NetfilterRule(verdict=DROP, chain=CHAIN_OUTPUT, dport=9_000),
+    NetfilterRule(verdict=DROP, chain=CHAIN_OUTPUT, sport=5_003),
+    NetfilterRule(verdict=DROP, chain=CHAIN_OUTPUT, uid_owner=7),
+]
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("send"), st.integers(0, len(_FLOW_PORTS) - 1)),
+        st.tuples(st.just("toggle"), st.integers(0, len(_RULES) - 1)),
+        st.tuples(st.just("expire"), st.integers(0, len(_FLOW_PORTS) - 1)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestHitVerdictProperty:
+    @given(ops=_OPS)
+    @settings(max_examples=120, deadline=None)
+    def test_hit_equals_slow_path_walk_at_stamped_version(self, ops):
+        """Randomized interleavings of sends, policy commits, and
+        conntrack-style expiries: whenever the cache serves a hit, the
+        entry is epoch-valid, so the *current* table is the stamped
+        version — and a slow-path walk of it must yield the same verdict.
+        """
+        engine, table = _engine_with_table()
+        fp = FlowFastPath(engine, FASTPATH_COSTS)
+        installed = [False] * len(_RULES)
+        sends = 0
+        for op, i in ops:
+            if op == "send":
+                sends += 1
+                pkt = _flow(*_FLOW_PORTS[i])
+                owner = _OWNERS[i]
+                ft = pkt.five_tuple
+                entry = fp.lookup(CHAIN_OUTPUT, ft, owner[0])
+                expect, _ = table.evaluate(CHAIN_OUTPUT, pkt, owner)
+                if entry is not None:
+                    assert entry.verdict == expect
+                    assert entry.versions == engine.version_vector()
+                else:
+                    fp.install(
+                        CHAIN_OUTPUT, ft, owner[0],
+                        verdict=expect, points=("netfilter",),
+                    )
+            elif op == "toggle":
+                if installed[i]:
+                    table.delete(_RULES[i])
+                else:
+                    table.append(_RULES[i])
+                installed[i] = not installed[i]
+            else:  # expire
+                fp.evict_flow(_flow(*_FLOW_PORTS[i]).five_tuple)
+        assert fp.hits + fp.misses == sends

@@ -117,3 +117,67 @@ class TestRunUntil:
         sim.after(1, rescheduler)
         with pytest.raises(SimulationError):
             sim.run_until_idle(max_events=100)
+
+
+class TestHeapCompaction:
+    def test_compaction_triggers_when_cancelled_dominate(self):
+        sim = Simulator()
+        keep = [sim.after(1_000 + i, lambda: None) for i in range(40)]
+        victims = [sim.after(10_000 + i, lambda: None) for i in range(80)]
+        assert sim.pending == 120
+        for h in victims:
+            h.cancel()
+        # Cancelled entries crossed 50% of the heap, so the simulator
+        # rebuilt it; afterwards the residue is below the threshold again.
+        assert sim.heap_compactions >= 1
+        assert sim.pending < 120
+        assert sim.cancelled_pending * 2 <= sim.pending
+        fired = 0
+        while sim.step():
+            fired += 1
+        assert fired == len(keep)
+
+    def test_no_compaction_below_min_heap_size(self):
+        sim = Simulator()
+        victims = [sim.after(10 + i, lambda: None) for i in range(20)]
+        for h in victims:
+            h.cancel()
+        assert sim.heap_compactions == 0
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        survivors = []
+        victims = []
+        # Interleave survivors and victims across the timeline so the
+        # rebuild has to re-establish heap order over a shuffled residue.
+        for i in range(128):
+            t = 1_000 + i * 7
+            if i % 3 == 0:
+                survivors.append(t)
+                sim.after(t, fired.append, t)
+            else:
+                victims.append(sim.after(t, fired.append, -t))
+        for h in victims:
+            h.cancel()
+        assert sim.heap_compactions >= 1
+        sim.run()
+        assert fired == sorted(survivors)
+
+    def test_compaction_mid_run_keeps_run_loop_alive(self):
+        sim = Simulator()
+        fired = []
+        victims = [sim.after(50_000 + i, lambda: None) for i in range(100)]
+
+        def cancel_all():
+            for h in victims:
+                h.cancel()
+
+        sim.after(10, cancel_all)
+        sim.after(20, fired.append, "after-compaction")
+        sim.run()
+        # run() holds a local alias to the heap; in-place compaction must
+        # not orphan it.
+        assert sim.heap_compactions >= 1
+        assert fired == ["after-compaction"]
+        assert sim.pending == 0
