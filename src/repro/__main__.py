@@ -5,7 +5,8 @@ Usage::
     python -m repro report [--quick]   # run every experiment, print tables
     python -m repro matrix             # just the E3 capability matrix
     python -m repro costs              # dump the calibrated cost model
-    python -m repro e1 .. e15 | f1     # one experiment's table
+    python -m repro e1 .. e16 | f1     # one experiment's table
+    python -m repro trace [plane] [--out FILE]   # traced run -> Chrome JSON
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ def _experiment_mains():
         e13_zero_copy,
         e14_policy_churn,
         e15_flow_fastpath,
+        e16_latency_anatomy,
         f1_architecture,
         s1_tail_latency,
     )
@@ -52,9 +54,54 @@ def _experiment_mains():
         "e13": e13_zero_copy.main,
         "e14": e14_policy_churn.main,
         "e15": e15_flow_fastpath.main,
+        "e16": e16_latency_anatomy.main,
         "f1": f1_architecture.main,
         "s1": s1_tail_latency.main,
     }
+
+
+def _trace_main(argv: "list[str]") -> int:
+    """Run one plane's traced bulk TX and export a Chrome/Perfetto trace.
+
+    ``repro trace [plane] [--out FILE]`` — plane defaults to ``kernel``;
+    without ``--out`` the stage report prints instead of writing JSON.
+    Load the file at ui.perfetto.dev or chrome://tracing.
+    """
+    import json
+    from dataclasses import replace
+
+    from .experiments.common import planes_under_test, run_bulk_tx
+    from .trace import to_trace_events, write_trace
+
+    out = None
+    args = list(argv)
+    if "--out" in args:
+        i = args.index("--out")
+        try:
+            out = args[i + 1]
+        except IndexError:
+            print("trace: --out needs a path", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    plane_name = args[0] if args else "kernel"
+    by_name = {cls.name: cls for cls in planes_under_test()}
+    if plane_name not in by_name:
+        print(f"trace: unknown plane {plane_name!r}; "
+              f"choose from {sorted(by_name)}", file=sys.stderr)
+        return 2
+    traced = replace(DEFAULT_COSTS, trace=True)
+    row = run_bulk_tx(by_name[plane_name], 1_458, 64, costs=traced,
+                      return_tb=True)
+    tracer = row.pop("tb").machine.tracer
+    if out is not None:
+        n = write_trace(tracer, out)
+        print(f"{plane_name}: wrote {n} trace events to {out}")
+    else:
+        report = tracer.report()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        print(f"({len(to_trace_events(tracer))} trace events; "
+              f"re-run with --out FILE for Perfetto JSON)")
+    return 0
 
 
 def main(argv: "list[str]") -> int:
@@ -72,6 +119,8 @@ def main(argv: "list[str]") -> int:
 
         print(e3_main())
         return 0
+    if cmd == "trace":
+        return _trace_main(argv[1:])
     if cmd == "costs":
         for key, value in DEFAULT_COSTS.describe().items():
             print(f"{key} = {value}")

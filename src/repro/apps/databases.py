@@ -6,6 +6,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..dataplanes.testbed import Testbed
+from ..trace import STAGE_APP
 from .base import App
 
 POSTGRES_PORT = 5432
@@ -34,7 +35,12 @@ class DatabaseServer(App):
         core = self.tb.machine.cpus[self.proc.core_id]
         while True:
             _size, src_ip, sport = yield self.ep.recv(blocking=True)
-            yield core.execute(self.query_work_ns, "query")
+            yield core.execute(
+                self.tb.machine.tracer.loose(
+                    STAGE_APP, self.query_work_ns, label="query"
+                ),
+                "query",
+            )
             yield self.ep.send(self.reply_len, dst=(src_ip, sport))
             self.queries += 1
 

@@ -6,6 +6,7 @@ from typing import Generator, Optional, Tuple
 
 from ..net.addresses import IPv4Address
 from ..dataplanes.testbed import PEER_IP, Testbed
+from ..trace import STAGE_SCHED_WAKE
 from .base import App
 
 
@@ -44,7 +45,12 @@ class RpcClient(App):
             try:
                 return (yield self.ep.recv(blocking=False))
             except WouldBlock:
-                yield core.execute(poll_ns, "rpc_poll")
+                yield core.execute(
+                    self.tb.machine.tracer.loose(
+                        STAGE_SCHED_WAKE, poll_ns, label="rpc_poll"
+                    ),
+                    "rpc_poll",
+                )
 
     def run(self) -> Generator:
         yield self.ep.connect(self.dst[0], self.dst[1])

@@ -13,6 +13,7 @@ from typing import Generator
 
 from ..errors import WouldBlock
 from ..dataplanes.testbed import Testbed
+from ..trace import STAGE_APP, STAGE_SCHED_WAKE
 from .base import App
 
 
@@ -27,7 +28,10 @@ class _Worker(App):
         # subtracts the known send schedule to get dispatch latency.
         self.stats.series("service_start").record(self.sim.now, float(self.served))
         core = self.tb.machine.cpus[self.proc.core_id]
-        yield core.execute(self.work_ns, "serve")
+        yield core.execute(
+            self.tb.machine.tracer.loose(STAGE_APP, self.work_ns, label="serve"),
+            "serve",
+        )
         self.served += 1
         self.stats.meter("served").record(self.sim.now, size)
 
@@ -54,6 +58,11 @@ class PollingWorker(_Worker):
             try:
                 size, _src, _sport = yield self.ep.recv(blocking=False)
             except WouldBlock:
-                yield core.execute(poll_cost, "poll")
+                yield core.execute(
+                    self.tb.machine.tracer.loose(
+                        STAGE_SCHED_WAKE, poll_cost, label="poll"
+                    ),
+                    "poll",
+                )
                 continue
             yield from self._serve(size)

@@ -148,6 +148,17 @@ class CostModel:
     to the slow path — the same >1024-connection collapse §5 reports for
     DDIO working sets."""
 
+    # --- latency anatomy (attributed tracing spine, experiment E16) ---------
+    trace: bool = False
+    """Record an attributed span per charged nanosecond (see repro.trace):
+    every charging site routes through the ``charge()`` chokepoint, and with
+    this flag on each packet carries a :class:`~repro.trace.TraceContext`
+    whose spans tile its end-to-end latency exactly ("no lost nanoseconds").
+    Tracing observes the schedule, it never perturbs it — with one audited
+    exception, the sidecar wake-path drain fix described in
+    ``docs/tracing.md``. Off (the default) reproduces the seed
+    byte-identically."""
+
     # --- memory hierarchy ---------------------------------------------------
     llc_size_bytes: int = 33 * units.MB
     llc_ways: int = 11

@@ -38,6 +38,7 @@ from ..nic.notification import (
 from ..nic.rings import DescriptorRing, RingPair
 from ..overlay.compiler import compile_classifier, compile_filter_rules, compile_policer
 from ..sim import MetricSet, Signal
+from ..trace import STAGE_SCHED_WAKE, STAGE_SYSCALL
 from ..dataplanes.base import QosConfig
 from .connection import CONN_MODE_PER_CONN, CONN_MODE_SHARED, NormanConnection
 from .conntrack import ConntrackTable, NatTable
@@ -150,7 +151,10 @@ class ControlPlane:
         if not conn.fallback:
             inbound = FiveTuple(conn.proto, dst_ip, dport, self.kernel.host_ip, conn.port)
             self.nic.steering.install(inbound, conn.conn_id)
-        return self.kernel.syscalls.invoke(conn.proc, "connect", self.costs.table_update_ns)
+        work = self.machine.tracer.loose(
+            STAGE_SYSCALL, self.costs.table_update_ns, label="connect_setup"
+        )
+        return self.kernel.syscalls.invoke(conn.proc, "connect", work)
 
     def close_connection(self, conn: NormanConnection) -> None:
         if conn.closed:
@@ -224,7 +228,11 @@ class ControlPlane:
     def _charge_setup(self, proc: Process) -> None:
         """Connection setup is a kernel operation: syscall + pinning + NIC
         MMIO programming, on the caller's core."""
-        work = self.costs.table_update_ns + self.costs.mmio_write_ns
+        work = self.machine.tracer.loose(
+            STAGE_SYSCALL,
+            self.costs.table_update_ns + self.costs.mmio_write_ns,
+            label="conn_setup",
+        )
         self.kernel.syscalls.invoke(proc, "norman_connect", work)
 
     # ------------------------------------------------------------------
@@ -510,7 +518,13 @@ class ControlPlane:
             monitor_core = self.machine.cpus[self.monitor_core_id]
 
             def _scan() -> None:
-                scan = monitor_core.execute(self.costs.poll_iteration_ns, "notif_scan")
+                scan = monitor_core.execute(
+                    self.machine.tracer.loose(
+                        STAGE_SCHED_WAKE, self.costs.poll_iteration_ns,
+                        label="notif_scan",
+                    ),
+                    "notif_scan",
+                )
                 scan.add_callback(
                     lambda _s: self.kernel.scheduler.wake(
                         proc, value=notif, via_interrupt=False

@@ -16,6 +16,7 @@ from ..net.addresses import IPv4Address
 from ..net.headers import PROTO_TCP
 from ..net.packet import Packet, make_tcp, make_udp
 from ..sim import Signal
+from ..trace import STAGE_COHERENCE, STAGE_DMA, STAGE_RING, charge
 from ..dataplanes.base import Endpoint, _as_bool, _as_first
 from .connection import NormanConnection
 
@@ -78,12 +79,22 @@ class NormanEndpoint(Endpoint):
         if self.conn.fallback:
             raise UnsupportedOperation("fallback connections cannot inject raw frames")
         result = Signal("norman.send_burst")
+        tracer = self._os.machine.tracer
         now = self._os.machine.sim.now
+        lead_ctx = None
+        cost = 0
         for pkt in pkts:
             pkt.meta.created_ns = now
+            ctx = tracer.begin(pkt)
+            if lead_ctx is None:
+                lead_ctx = ctx
+            cost += charge(STAGE_RING, self._costs.bypass_tx_pkt_ns, ctx,
+                           label="tx_desc")
         # mmio_write_cost both prices the doorbell and counts it — once for
-        # the whole burst, which is exactly what batching amortizes.
-        cost = len(pkts) * self._costs.bypass_tx_pkt_ns + self._os.machine.dma.mmio_write_cost()
+        # the whole burst, which is exactly what batching amortizes (the
+        # MMIO nanoseconds land on the lead packet's trace).
+        cost += charge(STAGE_DMA, self._os.machine.dma.mmio_write_cost(),
+                       lead_ctx, label="doorbell")
         state = {"idx": 0, "posted": 0}
 
         def _attempt(_sig: Optional[Signal] = None) -> None:
@@ -101,7 +112,7 @@ class NormanEndpoint(Endpoint):
             woken = self._os.control.block_on_tx(self.conn, self.proc)
             woken.add_callback(_attempt)
 
-        self._core.execute(cost, "norman_tx").add_callback(_attempt)
+        self._core.execute(cost, "norman_tx", ctx=lead_ctx).add_callback(_attempt)
         return result
 
     def _build(self, dst_ip: IPv4Address, dport: int, payload_len: int) -> Packet:
@@ -139,11 +150,23 @@ class NormanEndpoint(Endpoint):
             pkts = self.conn.rings.rx.consume_burst(max_msgs)
             if pkts:
                 cost = sum(
-                    self._costs.bypass_rx_pkt_ns + self._read_cost(p) for p in pkts
+                    charge(STAGE_RING, self._costs.bypass_rx_pkt_ns,
+                           p.meta.trace, label="rx_desc")
+                    + charge(STAGE_COHERENCE, self._read_cost(p),
+                             p.meta.trace, label="mem_read")
+                    for p in pkts
                 )
-                self._core.execute(cost, "norman_rx").add_callback(
-                    lambda _s: result.succeed([_message_of(p) for p in pkts])
-                )
+
+                def _drained(_s: Signal) -> None:
+                    now = self._os.machine.sim.now
+                    for p in pkts:
+                        if p.meta.trace is not None:
+                            # Ring residency + wakeup wait, then done.
+                            p.meta.trace.fill_gap(STAGE_RING, now, label="ring_wait")
+                            p.meta.trace.close(now)
+                    result.succeed([_message_of(p) for p in pkts])
+
+                self._core.execute(cost, "norman_rx").add_callback(_drained)
                 return
             if not blocking:
                 result.fail(WouldBlock(f"ring empty on :{self.port}"))

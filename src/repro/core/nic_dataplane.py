@@ -33,6 +33,13 @@ from ..nic.smartnic.sram import SramAllocator
 from ..nic.steering import SteeringTable
 from ..overlay.isa import VERDICT_DROP
 from ..sim import MetricSet
+from ..trace import (
+    STAGE_DMA,
+    STAGE_FASTPATH,
+    STAGE_NETFILTER,
+    STAGE_NIC_PIPELINE,
+    charge,
+)
 from .connection import NormanConnection
 from .sniffer import Sniffer
 
@@ -145,6 +152,11 @@ class KopiNic:
                     pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = (
                         conn.owner
                     )
+                ctx = self.machine.tracer.begin(pkt)
+                charge(STAGE_NIC_PIPELINE, self._fixed_latency(), ctx,
+                       cpu=False, label="rx_pipeline")
+                charge(STAGE_FASTPATH, fp.hit_ns, ctx, cpu=False,
+                       label="rx_flow_cache")
                 latency = self._fixed_latency() + fp.hit_ns
                 self.sim.after(latency, self._rx_effects, pkt, conn, entry.verdict,
                                entry, True)
@@ -157,12 +169,15 @@ class KopiNic:
             pkt.meta.conn_id = conn.conn_id
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = conn.owner
 
-        latency = self._fixed_latency()
+        ctx = self.machine.tracer.begin(pkt)
+        latency = charge(STAGE_NIC_PIPELINE, self._fixed_latency(), ctx,
+                         cpu=False, label="rx_pipeline")
         verdict = None
         machine = self.fpga.machine(SLOT_FILTER_RX)
         if machine is not None:
             result = machine.execute(pkt, self.sim.now)
-            latency += result.cost_ns
+            latency += charge(STAGE_NETFILTER, result.cost_ns, ctx,
+                              cpu=False, label="overlay_filter")
             verdict = result.verdict
             if self.filter_point is not None:
                 # Evaluations during an overlay-load window run on the old
@@ -205,6 +220,8 @@ class KopiNic:
         self.sniffer.mirror(pkt)
         if verdict == VERDICT_DROP:
             self.metrics.counter("rx_filtered").inc()
+            if pkt.meta.trace is not None:
+                pkt.meta.trace.close(self.sim.now)
             return
         if pkt.is_arp:
             return
@@ -216,6 +233,8 @@ class KopiNic:
                 self.fallback_rx(pkt)
             else:
                 self.metrics.counter("rx_no_conn_drops").inc()
+                if pkt.meta.trace is not None:
+                    pkt.meta.trace.close(self.sim.now)
             return
         if conn.fallback:
             # Connection exists but lives on the software path (E9).
@@ -256,6 +275,8 @@ class KopiNic:
         was_empty = ring.is_empty
         if not ring.try_post(pkt):
             self.metrics.counter("rx_ring_drops").inc()
+            if pkt.meta.trace is not None:
+                pkt.meta.trace.close(self.sim.now)
             return
         # KOPI delivery is DMA-direct: lines land in the app-readable ring
         # (through DDIO when the structural LLC is wired); no CPU copy ever.
@@ -356,6 +377,14 @@ class KopiNic:
         )
 
         verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
+        if pkt.meta.trace is not None:
+            # Doorbell MMIO latency + ring residency since the library post.
+            pkt.meta.trace.fill_gap(STAGE_DMA, self.sim.now, label="desc_fetch")
+            charge(STAGE_FASTPATH if fp_hit else STAGE_NETFILTER, overlay_cost,
+                   pkt.meta.trace, cpu=False,
+                   label="tx_flow_cache" if fp_hit else "overlay_tx")
+            charge(STAGE_NIC_PIPELINE, self._fixed_latency(), pkt.meta.trace,
+                   cpu=False, label="tx_pipeline")
         latency = self._fixed_latency() + overlay_cost
         self.sim.after(latency, self._tx_effects, pkt, conn, verdict, sched_class,
                        fp_entry, fp_hit)
@@ -386,6 +415,10 @@ class KopiNic:
         self.metrics.counter("tx_bursts").inc()
         self._tx_drained[conn.conn_id] = self._tx_drained.get(conn.conn_id, 0) + len(pkts)
         latency = self._fixed_latency()
+        # One pipeline pass covers the burst: the fixed latency lands on the
+        # lead packet's trace; each packet carries its own overlay cost.
+        charge(STAGE_NIC_PIPELINE, self._fixed_latency(), pkts[0].meta.trace,
+               cpu=False, label="tx_pipeline")
         total_wire = 0
         items = []
         for pkt in pkts:
@@ -394,6 +427,11 @@ class KopiNic:
             conn.tx_packets += 1
             total_wire += pkt.wire_len
             verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
+            if pkt.meta.trace is not None:
+                pkt.meta.trace.fill_gap(STAGE_DMA, self.sim.now, label="desc_fetch")
+                charge(STAGE_FASTPATH if fp_hit else STAGE_NETFILTER,
+                       overlay_cost, pkt.meta.trace, cpu=False,
+                       label="tx_flow_cache" if fp_hit else "overlay_tx")
             latency += overlay_cost
             items.append((pkt, conn, verdict, sched_class, fp_entry, fp_hit))
         self.machine.copies.charge(
@@ -433,9 +471,17 @@ class KopiNic:
     ) -> None:
         if pkt.is_arp and self.on_arp is not None:
             self.on_arp(pkt)
+        if pkt.meta.trace is not None:
+            # Absorb the shared pipeline pass a burst sibling rode through
+            # (the lead carries the explicit tx_pipeline span; zero at
+            # batch_size=1, where that span covers the whole window).
+            pkt.meta.trace.fill_gap(STAGE_NIC_PIPELINE, self.sim.now,
+                                    cpu=False, label="pipeline_wait")
         if verdict == VERDICT_DROP:
             self.sniffer.mirror(pkt)
             self.metrics.counter("tx_filtered").inc()
+            if pkt.meta.trace is not None:
+                pkt.meta.trace.close(self.sim.now)
             return
         if self.conntrack is not None and not pkt.is_arp:
             self._observe_conntrack(pkt, fp_entry, fp_hit)
@@ -444,6 +490,8 @@ class KopiNic:
             if translated is None:
                 self.metrics.counter("tx_nat_exhausted").inc()
                 self.sniffer.mirror(pkt)
+                if pkt.meta.trace is not None:
+                    pkt.meta.trace.close(self.sim.now)
                 return
             pkt = translated
         # Mirror post-NAT: captures show what is actually on the wire.
@@ -454,6 +502,8 @@ class KopiNic:
         admitted = self.scheduler.submit(pkt, cls)
         if not admitted:
             self.metrics.counter("tx_sched_drops").inc()
+            if pkt.meta.trace is not None:
+                pkt.meta.trace.close(self.sim.now)
         if self.congestion is not None:
             self.congestion.on_backpressure(
                 conn, backlog=self.scheduler.backlog, dropped=not admitted

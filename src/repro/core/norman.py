@@ -56,6 +56,7 @@ class NormanOS(Dataplane):
     ):
         self.machine = machine
         self.costs: CostModel = machine.costs
+        machine.tracer.plane = self.name
         self.sniffer = Sniffer(machine.sim)
         self.nic = KopiNic(machine, egress, self.sniffer)
         if smartnic_sram_bytes is not None:

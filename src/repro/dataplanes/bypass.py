@@ -31,6 +31,13 @@ from ..net.headers import PROTO_TCP
 from ..nic.base import BasicNic
 from ..nic.rings import DescriptorRing, RingPair
 from ..sim import Signal
+from ..trace import (
+    STAGE_DMA,
+    STAGE_NIC_PIPELINE,
+    STAGE_RING,
+    STAGE_SCHED_WAKE,
+    charge,
+)
 from .base import Dataplane, Endpoint, _as_bool, _as_first
 
 
@@ -92,10 +99,20 @@ class BypassEndpoint(Endpoint):
         """Post a descriptor burst under ONE doorbell: per-packet userspace
         work, a single MMIO write, a single DMA fetch on the NIC side."""
         result = Signal("bypass.send_burst")
+        tracer = self._dp.machine.tracer
         now = self._dp.machine.sim.now
+        lead_ctx = None
+        cost = 0
         for pkt in pkts:
             pkt.meta.created_ns = now
-        cost = len(pkts) * self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
+            ctx = tracer.begin(pkt)
+            if lead_ctx is None:
+                lead_ctx = ctx
+            cost += charge(STAGE_RING, self._dp.costs.bypass_tx_pkt_ns, ctx,
+                           label="tx_desc")
+        # One doorbell covers the burst; the MMIO lands on the lead trace.
+        cost += charge(STAGE_DMA, self._dp.costs.mmio_write_ns, lead_ctx,
+                       label="doorbell")
 
         def _done(_sig: Signal) -> None:
             if self.closed:
@@ -106,7 +123,7 @@ class BypassEndpoint(Endpoint):
                 self._dp.nic_consume_tx(self.rings, posted)
             result.succeed(posted)
 
-        self._core.execute(cost, "bypass_tx").add_callback(_done)
+        self._core.execute(cost, "bypass_tx", ctx=lead_ctx).add_callback(_done)
         return result
 
     def recv(self, blocking: bool = True) -> Signal:
@@ -126,10 +143,22 @@ class BypassEndpoint(Endpoint):
                 return
             pkts = self.rings.rx.consume_burst(max_msgs)
             if pkts:
-                cost = len(pkts) * self._dp.costs.bypass_rx_pkt_ns
-                self._core.execute(cost, "bypass_rx").add_callback(
-                    lambda _s: result.succeed([_message_of(p) for p in pkts])
+                cost = sum(
+                    charge(STAGE_RING, self._dp.costs.bypass_rx_pkt_ns,
+                           p.meta.trace, label="rx_desc")
+                    for p in pkts
                 )
+
+                def _drained(_s: Signal) -> None:
+                    now = self._dp.machine.sim.now
+                    for p in pkts:
+                        if p.meta.trace is not None:
+                            # Ring residency + poll/batch wait, then done.
+                            p.meta.trace.fill_gap(STAGE_RING, now, label="ring_wait")
+                            p.meta.trace.close(now)
+                    result.succeed([_message_of(p) for p in pkts])
+
+                self._core.execute(cost, "bypass_rx").add_callback(_drained)
                 return
             if not blocking:
                 from ..errors import WouldBlock
@@ -137,7 +166,12 @@ class BypassEndpoint(Endpoint):
                 result.fail(WouldBlock(f"ring empty on :{self.port}"))
                 return
             self.polls += 1
-            self._core.execute(self._dp.costs.poll_iteration_ns, "poll").add_callback(_attempt)
+            self._core.execute(
+                self._dp.machine.tracer.loose(
+                    STAGE_SCHED_WAKE, self._dp.costs.poll_iteration_ns, label="poll"
+                ),
+                "poll",
+            ).add_callback(_attempt)
 
         _attempt()
         return result
@@ -170,9 +204,10 @@ class BypassDataplane(Dataplane):
         self.host_ip = host_ip
         self.host_mac = host_mac
         self.ring_entries = ring_entries
+        machine.tracer.plane = self.name
         self.nic = BasicNic(
             machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
-            fastpath=machine.fastpath,
+            fastpath=machine.fastpath, tracer=machine.tracer,
         )
         # The kernel still runs the machine — it is just not on the datapath.
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
@@ -208,7 +243,14 @@ class BypassDataplane(Dataplane):
                     fetch_ns,
                     ops=len(pkts),
                 )
+            now = self.machine.sim.now
             for pkt in pkts:
+                if pkt.meta.trace is not None:
+                    # Known pipeline latency, then whatever else elapsed
+                    # (descriptor fetch, burst siblings) as DMA wait.
+                    charge(STAGE_NIC_PIPELINE, self.costs.nic_pipeline_ns,
+                           pkt.meta.trace, cpu=False, label="tx_pipeline")
+                    pkt.meta.trace.fill_gap(STAGE_DMA, now, label="desc_fetch")
                 self.nic.tx(pkt)
 
         self.machine.sim.after(delay, _fetch)

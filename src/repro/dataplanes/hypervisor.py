@@ -29,6 +29,13 @@ from ..net.switch import MatchAction
 from ..nic.base import BasicNic
 from ..nic.rings import DescriptorRing, RingPair
 from ..sim import MetricSet, Signal
+from ..trace import (
+    STAGE_DMA,
+    STAGE_NIC_PIPELINE,
+    STAGE_RING,
+    STAGE_SCHED_WAKE,
+    charge,
+)
 from .base import (
     CaptureSession,
     Dataplane,
@@ -85,10 +92,19 @@ class HypervisorEndpoint(Endpoint):
 
     def _send_raw_burst(self, pkts: Sequence[Packet]) -> Signal:
         result = Signal("hv.send_burst")
+        tracer = self._dp.machine.tracer
         now = self._dp.machine.sim.now
+        lead_ctx = None
+        cost = 0
         for pkt in pkts:
             pkt.meta.created_ns = now
-        cost = len(pkts) * self._dp.costs.bypass_tx_pkt_ns + self._dp.costs.mmio_write_ns
+            ctx = tracer.begin(pkt)
+            if lead_ctx is None:
+                lead_ctx = ctx
+            cost += charge(STAGE_RING, self._dp.costs.bypass_tx_pkt_ns, ctx,
+                           label="tx_desc")
+        cost += charge(STAGE_DMA, self._dp.costs.mmio_write_ns, lead_ctx,
+                       label="doorbell")
 
         def _done(_sig: Signal) -> None:
             posted = 0 if self.closed else self.rings.tx.post_burst(pkts)
@@ -96,7 +112,7 @@ class HypervisorEndpoint(Endpoint):
                 self._dp.nic_consume_tx(self.rings, posted)
             result.succeed(posted)
 
-        self._core.execute(cost, "hv_tx").add_callback(_done)
+        self._core.execute(cost, "hv_tx", ctx=lead_ctx).add_callback(_done)
         return result
 
     def recv(self, blocking: bool = True) -> Signal:
@@ -111,16 +127,32 @@ class HypervisorEndpoint(Endpoint):
                 return
             pkts = self.rings.rx.consume_burst(max_msgs)
             if pkts:
-                cost = len(pkts) * self._dp.costs.bypass_rx_pkt_ns
-                self._core.execute(cost, "hv_rx").add_callback(
-                    lambda _s: result.succeed([_message_of(p) for p in pkts])
+                cost = sum(
+                    charge(STAGE_RING, self._dp.costs.bypass_rx_pkt_ns,
+                           p.meta.trace, label="rx_desc")
+                    for p in pkts
                 )
+
+                def _drained(_s: Signal) -> None:
+                    now = self._dp.machine.sim.now
+                    for p in pkts:
+                        if p.meta.trace is not None:
+                            p.meta.trace.fill_gap(STAGE_RING, now, label="ring_wait")
+                            p.meta.trace.close(now)
+                    result.succeed([_message_of(p) for p in pkts])
+
+                self._core.execute(cost, "hv_rx").add_callback(_drained)
                 return
             if not blocking:
                 result.fail(WouldBlock(f"ring empty on :{self.port}"))
                 return
             self.polls += 1
-            self._core.execute(self._dp.costs.poll_iteration_ns, "poll").add_callback(_attempt)
+            self._core.execute(
+                self._dp.machine.tracer.loose(
+                    STAGE_SCHED_WAKE, self._dp.costs.poll_iteration_ns, label="poll"
+                ),
+                "poll",
+            ).add_callback(_attempt)
 
         _attempt()
         return result
@@ -146,9 +178,10 @@ class HypervisorDataplane(Dataplane):
         self.host_ip = host_ip
         self.host_mac = host_mac
         self.ring_entries = ring_entries
+        machine.tracer.plane = self.name
         self.nic = BasicNic(
             machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
-            fastpath=machine.fastpath,
+            fastpath=machine.fastpath, tracer=machine.tracer,
         )
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
         self.vswitch_rules: List[MatchAction] = []
@@ -240,9 +273,16 @@ class HypervisorDataplane(Dataplane):
                     fetch_ns,
                     ops=len(pkts),
                 )
+            now = self.machine.sim.now
             for pkt in pkts:
+                if pkt.meta.trace is not None:
+                    charge(STAGE_NIC_PIPELINE, self.costs.nic_pipeline_ns,
+                           pkt.meta.trace, cpu=False, label="tx_pipeline")
+                    pkt.meta.trace.fill_gap(STAGE_DMA, now, label="vring_fetch")
                 if self._vswitch(pkt):
                     self.nic.tx(pkt)
+                elif pkt.meta.trace is not None:
+                    pkt.meta.trace.close(now)  # dropped by the vswitch
 
         self.machine.sim.after(delay, _fetch)
 

@@ -100,9 +100,10 @@ class KernelPathDataplane(Dataplane):
     ):
         self.machine = machine
         self.costs: CostModel = machine.costs
+        machine.tracer.plane = self.name
         self.nic = BasicNic(
             machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
-            fastpath=machine.fastpath,
+            fastpath=machine.fastpath, tracer=machine.tracer,
         )
         self.kernel = Kernel(
             machine, host_ip, host_mac,

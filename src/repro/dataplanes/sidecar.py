@@ -29,6 +29,14 @@ from ..net.link import Link
 from ..net.packet import Packet, make_tcp, make_udp
 from ..nic.base import BasicNic
 from ..sim import Signal
+from ..trace import (
+    STAGE_COHERENCE,
+    STAGE_FASTPATH,
+    STAGE_NETFILTER,
+    STAGE_RING,
+    STAGE_SCHED_WAKE,
+    charge,
+)
 from .base import (
     CaptureSession,
     Dataplane,
@@ -92,9 +100,14 @@ class SidecarEndpoint(Endpoint):
             return result
         if self.rx_queue:
             msgs = [self.rx_queue.popleft() for _ in range(min(max_msgs, len(self.rx_queue)))]
-            self._core.execute(
-                len(msgs) * self._dp.costs.bypass_rx_pkt_ns, "rx"
-            ).add_callback(lambda _s: result.succeed(msgs))
+            drain = self._dp.machine.tracer.loose(
+                STAGE_RING,
+                len(msgs) * self._dp.costs.bypass_rx_pkt_ns,
+                label="rx_drain",
+            )
+            self._core.execute(drain, "rx").add_callback(
+                lambda _s: result.succeed(msgs)
+            )
             return result
         if not blocking:
             self._dp.machine.sim.after(0, result.fail, WouldBlock("queue empty"))
@@ -106,6 +119,21 @@ class SidecarEndpoint(Endpoint):
             msgs = [sig.value]
             while self.rx_queue and len(msgs) < max_msgs:
                 msgs.append(self.rx_queue.popleft())
+            if self._dp.costs.trace:
+                # Bugfix (gated on ``costs.trace`` to keep the seed event
+                # trace byte-identical): the wake path used to hand the
+                # drained messages to the app for free, while the queued
+                # path above charges the per-message descriptor read on the
+                # app core. See docs/tracing.md.
+                drain = self._dp.machine.tracer.loose(
+                    STAGE_RING,
+                    len(msgs) * self._dp.costs.bypass_rx_pkt_ns,
+                    label="rx_drain",
+                )
+                self._core.execute(drain, "rx").add_callback(
+                    lambda _s: result.succeed(msgs)
+                )
+                return
             result.succeed(msgs)
 
         woken.add_callback(_after_wake)
@@ -134,9 +162,10 @@ class SidecarDataplane(Dataplane):
         self.sidecar_core_id = (
             sidecar_core if sidecar_core is not None else len(machine.cpus) - 1
         )
+        machine.tracer.plane = self.name
         self.nic = BasicNic(
             machine.sim, machine.costs, machine.dma, egress, n_queues=n_queues,
-            fastpath=machine.fastpath,
+            fastpath=machine.fastpath, tracer=machine.tracer,
         )
         self.kernel = Kernel(machine, host_ip, host_mac, nic_send=self.nic.tx)
         for queue in self.nic.queues:
@@ -203,24 +232,37 @@ class SidecarDataplane(Dataplane):
         sidecar-core event, per-packet filter/qdisc work and per-byte
         coherence cost in between. Resolves with the number admitted."""
         result = Signal("sidecar.send_burst")
+        tracer = self.machine.tracer
         now = self.machine.sim.now
         owner = owner_info(ep.proc)
+        app_cost = 0
+        lead_ctx = None
         for pkt in pkts:
             pkt.meta.created_ns = now
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+            ctx = tracer.begin(pkt)
+            if lead_ctx is None:
+                lead_ctx = ctx
+            app_cost += charge(STAGE_RING, self.costs.bypass_tx_pkt_ns, ctx,
+                               label="app_tx")
         app_core = self.machine.cpus[ep.proc.core_id]
-        move_ns = sum(
+        # Per-packet coherence cost, kept separate so each packet's trace
+        # carries its own physical-movement nanoseconds.
+        moves = [
             self.machine.coherence.transfer_cost_ns(
                 pkt.wire_len + 64, ep.proc.core_id, self.sidecar_core_id
             )
             for pkt in pkts
-        )
+        ]
+        move_ns = sum(moves)
 
         def _on_sidecar(_sig: Signal) -> None:
             fp = self.machine.fastpath
             work = move_ns
             staged = []
-            for pkt in pkts:
+            for pkt, mv in zip(pkts, moves):
+                ctx = pkt.meta.trace
+                charge(STAGE_COHERENCE, mv, ctx, label="x_core")
                 fp_entry = None
                 if fp is not None:
                     ft = pkt.five_tuple
@@ -228,14 +270,22 @@ class SidecarDataplane(Dataplane):
                         fp_entry = fp.lookup(CHAIN_OUTPUT, ft, ep.proc.pid)
                 if fp_entry is not None:
                     verdict = fp_entry.verdict
-                    work += self.costs.bypass_tx_pkt_ns + fp.hit_ns
+                    work += (
+                        charge(STAGE_RING, self.costs.bypass_tx_pkt_ns, ctx,
+                               label="sidecar_tx")
+                        + charge(STAGE_FASTPATH, fp.hit_ns, ctx,
+                                 label="output_chain")
+                    )
                 else:
                     verdict, examined = self.kernel.filters.evaluate(
                         CHAIN_OUTPUT, pkt, owner
                     )
                     work += (
-                        self.costs.bypass_tx_pkt_ns
-                        + examined * self.costs.netfilter_rule_ns
+                        charge(STAGE_RING, self.costs.bypass_tx_pkt_ns, ctx,
+                               label="sidecar_tx")
+                        + charge(STAGE_NETFILTER,
+                                 examined * self.costs.netfilter_rule_ns, ctx,
+                                 label="output_chain")
                     )
                 staged.append((pkt, verdict, fp_entry))
 
@@ -243,12 +293,22 @@ class SidecarDataplane(Dataplane):
                 admitted = 0
                 for pkt, verdict, fp_entry in staged:
                     self._run_captures(pkt)
+                    if pkt.meta.trace is not None:
+                        # Absorb the wall time both cores spent on the rest
+                        # of the burst (zero at burst=1, where the packet's
+                        # own spans cover the whole hand-off window).
+                        pkt.meta.trace.fill_gap(
+                            STAGE_SCHED_WAKE, self.machine.sim.now,
+                            label="batch_wait",
+                        )
                     if verdict == DROP:
                         if fp is not None and fp_entry is None and pkt.five_tuple is not None:
                             fp.install(
                                 CHAIN_OUTPUT, pkt.five_tuple, ep.proc.pid,
                                 verdict=verdict, points=("netfilter",),
                             )
+                        if pkt.meta.trace is not None:
+                            pkt.meta.trace.close(self.machine.sim.now)
                         continue
                     if fp_entry is not None and fp_entry.qdisc_class is not None:
                         cls = fp_entry.qdisc_class
@@ -261,13 +321,13 @@ class SidecarDataplane(Dataplane):
                             )
                     if self.egress_runner.submit(pkt, cls):
                         admitted += 1
+                    elif pkt.meta.trace is not None:
+                        pkt.meta.trace.close(self.machine.sim.now)
                 result.succeed(admitted)
 
-            self._score.execute(work, "sidecar_tx").add_callback(_done)
+            self._score.execute(work, "sidecar_tx", ctx=lead_ctx).add_callback(_done)
 
-        app_core.execute(
-            len(pkts) * self.costs.bypass_tx_pkt_ns, "app_tx"
-        ).add_callback(_on_sidecar)
+        app_core.execute(app_cost, "app_tx", ctx=lead_ctx).add_callback(_on_sidecar)
         return result
 
     # --- RX: NIC -> sidecar core -> coherence -> app ---------------------------------
@@ -280,6 +340,7 @@ class SidecarDataplane(Dataplane):
         if staged is None:
             return
         ep, verdict, work = staged
+        # trace: stage spans charged in _rx_stage; waits absorbed at _rx_effect.
         self._score.execute(work, "sidecar_rx").add_callback(
             lambda _sig: self._rx_effect(pkt, ep, verdict)
         )
@@ -303,6 +364,7 @@ class SidecarDataplane(Dataplane):
             for pkt, ep, verdict in staged_pkts:
                 self._rx_effect(pkt, ep, verdict)
 
+        # trace: stage spans charged in _rx_stage; waits absorbed at _rx_effect.
         self._score.execute(total_work, "sidecar_rx_burst").add_callback(_done)
 
     def _rx_stage(self, pkt: Packet):
@@ -315,27 +377,56 @@ class SidecarDataplane(Dataplane):
         owner = owner_info(ep.proc) if ep else None
         if owner is not None:
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+        ctx = pkt.meta.trace
         fp = self.machine.fastpath
         if fp is not None and ft is not None:
             scope = owner[0] if owner is not None else None
             entry = fp.lookup(CHAIN_INPUT, ft, scope)
             if entry is not None:
                 verdict = entry.verdict
-                work = self.costs.bypass_rx_pkt_ns + fp.hit_ns
+                work = (
+                    charge(STAGE_RING, self.costs.bypass_rx_pkt_ns, ctx,
+                           label="sidecar_rx")
+                    + charge(STAGE_FASTPATH, fp.hit_ns, ctx, label="input_chain")
+                )
             else:
                 verdict, examined = self.kernel.filters.evaluate(CHAIN_INPUT, pkt, owner)
                 fp.install(CHAIN_INPUT, ft, scope, verdict=verdict, points=("netfilter",))
-                work = self.costs.bypass_rx_pkt_ns + examined * self.costs.netfilter_rule_ns
+                work = (
+                    charge(STAGE_RING, self.costs.bypass_rx_pkt_ns, ctx,
+                           label="sidecar_rx")
+                    + charge(STAGE_NETFILTER,
+                             examined * self.costs.netfilter_rule_ns, ctx,
+                             label="input_chain")
+                )
         else:
             verdict, examined = self.kernel.filters.evaluate(CHAIN_INPUT, pkt, owner)
-            work = self.costs.bypass_rx_pkt_ns + examined * self.costs.netfilter_rule_ns
+            work = (
+                charge(STAGE_RING, self.costs.bypass_rx_pkt_ns, ctx,
+                       label="sidecar_rx")
+                + charge(STAGE_NETFILTER,
+                         examined * self.costs.netfilter_rule_ns, ctx,
+                         label="input_chain")
+            )
         if ep is not None:
-            work += self.machine.coherence.transfer_cost_ns(
-                pkt.wire_len + 64, self.sidecar_core_id, ep.proc.core_id
+            work += charge(
+                STAGE_COHERENCE,
+                self.machine.coherence.transfer_cost_ns(
+                    pkt.wire_len + 64, self.sidecar_core_id, ep.proc.core_id
+                ),
+                ctx,
+                label="x_core",
             )
         return ep, verdict, work
 
     def _rx_effect(self, pkt: Packet, ep: Optional[SidecarEndpoint], verdict: str) -> None:
+        if pkt.meta.trace is not None:
+            # Whatever elapsed beyond the charged spans (steering, burst
+            # siblings' share of the softirq, sidecar-core queueing) is wait.
+            pkt.meta.trace.fill_gap(
+                STAGE_SCHED_WAKE, self.machine.sim.now, label="sidecar_wait"
+            )
+            pkt.meta.trace.close(self.machine.sim.now)
         self._run_captures(pkt)
         if verdict == DROP or ep is None or ep.closed:
             return

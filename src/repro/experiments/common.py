@@ -81,6 +81,7 @@ def run_bulk_tx(
     burst: int = 1,
     latency_hist=None,
     with_copies: bool = False,
+    return_tb: bool = False,
 ) -> Row:
     """Closed-loop TX measurement on one dataplane.
 
@@ -101,6 +102,10 @@ def run_bulk_tx(
     )
     start_busy = tb.machine.cpus.total_busy_ns()
     app_busy0 = tb.machine.cpus[app_core].busy_ns
+    # Align the trace window with the measurement window: setup-phase
+    # charges (policy installs, overlay loads) are not part of the
+    # steady-state anatomy. No-op with tracing off.
+    tb.machine.tracer.reset()
     app.start()
     tb.run_all()
 
@@ -129,6 +134,10 @@ def run_bulk_tx(
         # Opt-in so the default row shape (and every seed experiment's
         # table) stays byte-identical.
         row["copies"] = copy_summary(tb.machine.copies)
+    if return_tb:
+        # Opt-in handle on the testbed itself, for experiments that need
+        # post-run state (E16 reads the tracer's stage attribution).
+        row["tb"] = tb
     return row
 
 

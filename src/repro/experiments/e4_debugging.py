@@ -97,6 +97,37 @@ def run_e4(n_apps_sweep: "tuple[int, ...]" = DEFAULT_APPS, seed: int = 1) -> Lis
     return rows
 
 
+def capture_trace_join(n_apps: int = 4, seed: int = 1) -> Row:
+    """Tracing joins the capture to the latency anatomy: with
+    ``costs.trace`` on, every packet a sniffer session records carries its
+    ``trace_id``, and each id resolves to an attributed
+    :class:`~repro.trace.TraceContext` in the machine's tracer. An operator
+    can go from a tcpdump line to the packet's full stage decomposition —
+    attribution (who) and anatomy (where the time went) share one key."""
+    from dataclasses import replace
+
+    from ..config import DEFAULT_COSTS
+
+    tb = Testbed(NormanOS, costs=replace(DEFAULT_COSTS, trace=True))
+    dump = Tcpdump(tb.dataplane)
+    session = dump.start()
+    _populate(tb, n_apps, seed)
+    tb.run_all()
+    by_id = {c.trace_id: c for c in tb.machine.tracer.contexts}
+    joined = []
+    for pkt in session.packets:
+        ctx = pkt.meta.trace
+        if ctx is None:
+            continue
+        joined.append({
+            "trace_id": ctx.trace_id,
+            "resolved": by_id.get(ctx.trace_id) is ctx,
+            "spans": len(ctx.spans),
+            "owner": tb.dataplane.attribution_of(pkt),
+        })
+    return {"captured": len(session.packets), "joined": joined}
+
+
 def headline(rows: List[Row]) -> dict:
     biggest = max(r["n_apps"] for r in rows)
     at = {r["plane"]: r for r in rows if r["n_apps"] == biggest}

@@ -17,6 +17,7 @@ from typing import List, Optional
 from ..config import CostModel
 from ..errors import SimulationError
 from ..sim import Signal, Simulator
+from ..trace import STAGE_SCHED_WAKE
 
 
 class Core:
@@ -39,16 +40,24 @@ class Core:
     def jobs_run(self) -> int:
         return self._jobs
 
-    def execute(self, cost_ns: int, label: str = "") -> Signal:
+    def execute(self, cost_ns: int, label: str = "", ctx=None) -> Signal:
         """Occupy the core for ``cost_ns``; the signal fires on completion.
 
         Work queues behind anything already submitted, so two processes
         sharing a core serialize — the physical-movement experiments rely on
         this to charge a busy sidecar core honestly.
+
+        ``ctx`` (a :class:`~repro.trace.TraceContext`, tracing only) gets a
+        ``sched_wake`` span for any time the work queued behind a busy core,
+        so traced packets conserve nanoseconds even under contention. The
+        work itself is charged to its proper stage by the caller.
         """
         if cost_ns < 0:
             raise SimulationError(f"negative execute cost: {cost_ns}")
         start = max(self._free_at, self.sim.now)
+        if ctx is not None and start > self.sim.now:
+            ctx.add(STAGE_SCHED_WAKE, start - self.sim.now, cpu=False,
+                    label="cpu_queue")
         end = start + cost_ns
         self._free_at = end
         self.busy_ns += cost_ns

@@ -8,6 +8,7 @@ from .. import units
 from ..config import DEFAULT_COSTS, CostModel
 from ..interpose import FlowFastPath, PolicyEngine
 from ..sim import Simulator
+from ..trace import Tracer
 from .cache import AnalyticDdioModel, WayPartitionedCache
 from .coherence import CoherenceFabric
 from .copies import CopyLedger
@@ -53,6 +54,10 @@ class Machine:
         self.fastpath: Optional[FlowFastPath] = (
             FlowFastPath(self.interpose, costs) if costs.flow_fastpath else None
         )
+        # The tracing spine (repro.trace). Always wired so charging sites
+        # can hold a reference unconditionally; disabled it never creates a
+        # context, which is what keeps default-config traces seed-identical.
+        self.tracer = Tracer(self.sim, enabled=costs.trace)
 
     @property
     def now(self) -> int:

@@ -47,9 +47,12 @@ class Kernel:
         self.users = UserTable()
         self.procs = ProcessTable()
         self.cgroups = CgroupTree()
-        self.scheduler = KernelScheduler(self.sim, machine.cpus, self.costs)
+        self.scheduler = KernelScheduler(
+            self.sim, machine.cpus, self.costs, tracer=machine.tracer
+        )
         self.syscalls = SyscallLayer(
-            self.sim, machine.cpus, self.costs, ledger=machine.copies
+            self.sim, machine.cpus, self.costs, ledger=machine.copies,
+            tracer=machine.tracer,
         )
         self.sockets = SocketTable()
         self.filters = RuleTable()
@@ -84,6 +87,7 @@ class Kernel:
             nic_send=nic_send,
             mac_for=self.mac_for,
             fastpath=machine.fastpath,
+            tracer=machine.tracer,
         )
 
     # --- identity & neighbors ------------------------------------------------

@@ -17,6 +17,15 @@ from ..net.addresses import IPv4Address, MacAddress
 from ..net.headers import PROTO_TCP, PROTO_UDP
 from ..net.packet import Packet, make_tcp, make_udp
 from ..sim import MetricSet, Signal, Simulator
+from ..trace import (
+    STAGE_FASTPATH,
+    STAGE_NETFILTER,
+    STAGE_PROTO,
+    STAGE_QDISC,
+    STAGE_SCHED_WAKE,
+    STAGE_SYSCALL,
+    charge,
+)
 from .netfilter import CHAIN_INPUT, CHAIN_OUTPUT, DROP, RuleTable
 from .process import Process, owner_info
 from .qdisc import DEFAULT_CLASS, PfifoQdisc
@@ -51,12 +60,15 @@ class KernelNetStack:
         nic_send: Callable[[Packet], None],
         mac_for: Callable[[IPv4Address], MacAddress],
         fastpath=None,
+        tracer=None,
     ):
         self.sim = sim
         self.costs = costs
         # Optional FlowFastPath (None unless CostModel.flow_fastpath): a hit
         # replaces the per-rule netfilter walk with one flowtable lookup.
         self.fastpath = fastpath
+        # Tracing spine (repro.trace); disabled tracers never open contexts.
+        self.tracer = tracer
         self.cpus = cpus
         self.scheduler = scheduler
         self.syscalls = syscalls
@@ -100,24 +112,32 @@ class KernelNetStack:
 
     # --- payload movement (copy or zero-copy) --------------------------------
 
-    def _tx_payload(self, proc: Process, sock: KernelSocket, payload_len: int) -> int:
+    def _tx_payload(self, proc: Process, sock: KernelSocket, payload_len: int,
+                    ctx=None) -> int:
         """Charge moving TX payload across the boundary; track per-socket
         copied vs elided bytes (`ss`-style observability for E13)."""
-        cost = self.syscalls.tx_payload_cost(proc, payload_len)
+        cost = self.syscalls.tx_payload_cost(proc, payload_len, ctx=ctx)
         if self.costs.tx_zerocopy:
             sock.tx_elided_bytes += payload_len
         else:
             sock.tx_copied_bytes += payload_len
         return cost
 
-    def _rx_payload(self, proc: Process, sock: KernelSocket, payload_len: int) -> int:
+    def _rx_payload(self, proc: Process, sock: KernelSocket, payload_len: int,
+                    ctx=None) -> int:
         """RX counterpart of :meth:`_tx_payload`."""
-        cost = self.syscalls.rx_payload_cost(proc, payload_len)
+        cost = self.syscalls.rx_payload_cost(proc, payload_len, ctx=ctx)
         if self.costs.rx_zerocopy:
             sock.rx_elided_bytes += payload_len
         else:
             sock.rx_copied_bytes += payload_len
         return cost
+
+    def _loose(self, stage: str, ns: int, label: str = "") -> int:
+        """Loose (message-level) attribution for work with no packet context."""
+        if self.tracer is not None:
+            self.tracer.loose(stage, ns, label=label)
+        return ns
 
     # --- flow fast path (megaflow-style verdict cache) ------------------------
 
@@ -172,22 +192,26 @@ class KernelNetStack:
         owner = owner_info(proc)
         pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
         pkt.meta.created_ns = self.sim.now
+        ctx = self.tracer.begin(pkt) if self.tracer is not None else None
 
         verdict, filter_ns, fp_entry = self._tx_filter(pkt, proc, owner)
         work = (
-            self._tx_payload(proc, sock, payload_len)
-            + self.costs.kernel_tx_pkt_ns
-            + filter_ns
-            + self.costs.qdisc_enqueue_ns
+            self._tx_payload(proc, sock, payload_len, ctx=ctx)
+            + charge(STAGE_PROTO, self.costs.kernel_tx_pkt_ns, ctx, label="tx_proto")
+            + charge(STAGE_FASTPATH if fp_entry is not None else STAGE_NETFILTER,
+                     filter_ns, ctx, label="output_chain")
+            + charge(STAGE_QDISC, self.costs.qdisc_enqueue_ns, ctx, label="enqueue")
         )
         result = Signal("sendto")
-        syscall_done = self.syscalls.invoke(proc, "sendto", work)
+        syscall_done = self.syscalls.invoke(proc, "sendto", work, ctx=ctx)
 
         def _after_syscall(_sig: Signal) -> None:
             self._run_taps(pkt)
             if verdict == DROP:
                 self._tx_install(pkt, proc, verdict, None, fp_entry)
                 self.metrics.counter("tx_filtered").inc()
+                if ctx is not None:
+                    ctx.close(self.sim.now)  # dropped: life ends at the filter
                 result.succeed(False)
                 return
             cls = self._tx_class(pkt, proc, verdict, fp_entry)
@@ -197,6 +221,8 @@ class KernelNetStack:
                 self.metrics.counter("tx_pkts").inc()
             else:
                 self.metrics.counter("tx_qdisc_drops").inc()
+                if ctx is not None:
+                    ctx.close(self.sim.now)  # tail-dropped at the qdisc
             result.succeed(admitted)
 
         syscall_done.add_callback(_after_syscall)
@@ -224,36 +250,53 @@ class KernelNetStack:
             return result
         owner = owner_info(proc)
         work = 0
+        lead_ctx = None  # burst-shared costs land on the first packet's trace
         staged: "list[tuple[Packet, str, object]]" = []
         for payload_len in payload_lens:
             pkt = self._build(sock, dst_ip, dport, payload_len)
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
             pkt.meta.created_ns = self.sim.now
+            ctx = self.tracer.begin(pkt) if self.tracer is not None else None
+            if lead_ctx is None:
+                lead_ctx = ctx
             verdict, filter_ns, fp_entry = self._tx_filter(pkt, proc, owner)
             work += (
-                self._tx_payload(proc, sock, payload_len)
-                + self.costs.kernel_tx_pkt_ns
-                + filter_ns
-                + self.costs.qdisc_enqueue_ns
+                self._tx_payload(proc, sock, payload_len, ctx=ctx)
+                + charge(STAGE_PROTO, self.costs.kernel_tx_pkt_ns, ctx,
+                         label="tx_proto")
+                + charge(STAGE_FASTPATH if fp_entry is not None else STAGE_NETFILTER,
+                         filter_ns, ctx, label="output_chain")
+                + charge(STAGE_QDISC, self.costs.qdisc_enqueue_ns, ctx,
+                         label="enqueue")
             )
             staged.append((pkt, verdict, fp_entry))
         # The crossing itself amortizes; invoke() charges syscall_ns, so only
         # the batched dispatch surplus is added to the in-kernel work.
-        work += self.costs.syscall_burst_ns(n) - self.costs.syscall_ns
+        work += charge(STAGE_SYSCALL,
+                       self.costs.syscall_burst_ns(n) - self.costs.syscall_ns,
+                       lead_ctx, label="batch_surplus")
         result = Signal("sendmmsg")
         if n > 1:
             self.syscalls.record_batched(n)
         syscall_done = self.syscalls.invoke(
-            proc, "sendto" if n == 1 else "sendmmsg", work
+            proc, "sendto" if n == 1 else "sendmmsg", work, ctx=lead_ctx
         )
 
         def _after_syscall(_sig: Signal) -> None:
             admitted_count = 0
             for pkt, verdict, fp_entry in staged:
                 self._run_taps(pkt)
+                if pkt.meta.trace is not None:
+                    # Absorb the wall time the core spent on the rest of the
+                    # burst (zero at n=1, where a packet's own spans cover
+                    # the whole syscall window).
+                    pkt.meta.trace.fill_gap(STAGE_SCHED_WAKE, self.sim.now,
+                                            label="batch_wait")
                 if verdict == DROP:
                     self._tx_install(pkt, proc, verdict, None, fp_entry)
                     self.metrics.counter("tx_filtered").inc()
+                    if pkt.meta.trace is not None:
+                        pkt.meta.trace.close(self.sim.now)
                     continue
                 cls = self._tx_class(pkt, proc, verdict, fp_entry)
                 admitted = self.egress.submit(pkt, cls)
@@ -263,6 +306,8 @@ class KernelNetStack:
                     admitted_count += 1
                 else:
                     self.metrics.counter("tx_qdisc_drops").inc()
+                    if pkt.meta.trace is not None:
+                        pkt.meta.trace.close(self.sim.now)
             result.succeed(admitted_count)
 
         syscall_done.add_callback(_after_syscall)
@@ -330,7 +375,11 @@ class KernelNetStack:
             msgs = [sock.rx_queue.popleft() for _ in range(min(max_msgs, len(sock.rx_queue)))]
             n = len(msgs)
             work = sum(self._rx_payload(proc, sock, m[0]) for m in msgs)
-            work += self.costs.syscall_burst_ns(n) - self.costs.syscall_ns
+            work += self._loose(
+                STAGE_SYSCALL,
+                self.costs.syscall_burst_ns(n) - self.costs.syscall_ns,
+                label="batch_surplus",
+            )
             if n > 1:
                 self.syscalls.record_batched(n)
             done = self.syscalls.invoke(proc, "recvfrom" if n == 1 else "recvmmsg", work)
@@ -351,7 +400,11 @@ class KernelNetStack:
                 msgs.append(sock.rx_queue.popleft())
             work = sum(self._rx_payload(proc, sock, m[0]) for m in msgs)
             if len(msgs) > 1:
-                work += self.costs.syscall_burst_ns(len(msgs)) - self.costs.syscall_ns
+                work += self._loose(
+                    STAGE_SYSCALL,
+                    self.costs.syscall_burst_ns(len(msgs)) - self.costs.syscall_ns,
+                    label="batch_surplus",
+                )
             self.cpus[proc.core_id].execute(work, "rx_copy").add_callback(
                 lambda _s: result.succeed(msgs)
             )
@@ -367,6 +420,7 @@ class KernelNetStack:
             return
         sock, verdict, work = staged
         core = self.cpus[sock.owner.core_id if sock else 0]
+        # trace: stage spans charged in _rx_stage; waits absorbed at _rx_effect.
         done = core.execute(work, "rx")
         done.add_callback(lambda _sig: self._rx_effect(pkt, sock, verdict))
 
@@ -394,6 +448,7 @@ class KernelNetStack:
                 for pkt, sock, verdict in staged_pkts:
                     self._rx_effect(pkt, sock, verdict)
 
+            # trace: stage spans charged in _rx_stage; waits absorbed at _rx_effect.
             self.cpus[core_id].execute(core_work[core_id], "rx_burst").add_callback(_after_rx)
 
     def _rx_stage(self, pkt: Packet):
@@ -409,6 +464,7 @@ class KernelNetStack:
         if owner is not None:
             # The kernel attributes inbound packets at socket demux time.
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+        ctx = pkt.meta.trace
         fp = self.fastpath
         if fp is not None:
             # Demux and attribution still ran above (the cache elides the
@@ -418,9 +474,11 @@ class KernelNetStack:
             entry = fp.lookup(CHAIN_INPUT, ft, scope)
             if entry is not None:
                 work = (
-                    self.costs.kernel_rx_pkt_ns
-                    + fp.hit_ns
-                    + self.costs.socket_demux_ns
+                    charge(STAGE_PROTO, self.costs.kernel_rx_pkt_ns, ctx,
+                           label="rx_proto")
+                    + charge(STAGE_FASTPATH, fp.hit_ns, ctx, label="input_chain")
+                    + charge(STAGE_PROTO, self.costs.socket_demux_ns, ctx,
+                             label="demux")
                 )
                 return sock, entry.verdict, work
             verdict, examined = self.filters.evaluate(CHAIN_INPUT, pkt, owner)
@@ -428,13 +486,19 @@ class KernelNetStack:
         else:
             verdict, examined = self.filters.evaluate(CHAIN_INPUT, pkt, owner)
         work = (
-            self.costs.kernel_rx_pkt_ns
-            + examined * self.costs.netfilter_rule_ns
-            + self.costs.socket_demux_ns
+            charge(STAGE_PROTO, self.costs.kernel_rx_pkt_ns, ctx, label="rx_proto")
+            + charge(STAGE_NETFILTER, examined * self.costs.netfilter_rule_ns,
+                     ctx, label="input_chain")
+            + charge(STAGE_PROTO, self.costs.socket_demux_ns, ctx, label="demux")
         )
         return sock, verdict, work
 
     def _rx_effect(self, pkt: Packet, sock: Optional[KernelSocket], verdict: str) -> None:
+        if pkt.meta.trace is not None:
+            # Whatever elapsed beyond the charged NIC/softirq spans is time
+            # spent queued behind the core or burst siblings.
+            pkt.meta.trace.fill_gap(STAGE_SCHED_WAKE, self.sim.now, label="softirq_wait")
+            pkt.meta.trace.close(self.sim.now)
         self._run_taps(pkt)
         if verdict == DROP:
             self.metrics.counter("rx_filtered").inc()

@@ -16,6 +16,7 @@ from .. import units
 from ..errors import PolicyError
 from ..sim import MetricSet, Simulator
 from ..net.packet import Packet
+from ..trace import STAGE_QDISC, charge
 from .qdisc import DEFAULT_CLASS, Qdisc
 
 EmitFn = Callable[[Packet], None]
@@ -81,6 +82,10 @@ class PacedQdiscRunner:
         if pkt is not None:
             self.metrics.counter("emitted").inc()
             self.metrics.histogram("queue_ns").observe(now - pkt.meta.enqueued_ns)
+            # Queue residency: elapsed wall time in the discipline, charged
+            # as non-CPU qdisc time on the packet's trace (if any).
+            charge(STAGE_QDISC, now - pkt.meta.enqueued_ns, pkt.meta.trace,
+                   cpu=False, label="queue_wait")
             self.emit(pkt)
             ser = units.transmit_time_ns(pkt.wire_len, self.drain_rate_bps)
             self._busy_until = now + ser

@@ -15,17 +15,19 @@ from ..config import CostModel
 from ..errors import KernelError
 from ..host.cpu import CpuSet
 from ..sim import MetricSet, Signal, Simulator
+from ..trace import STAGE_SCHED_WAKE
 from .process import PROC_BLOCKED, PROC_RUNNING, Process
 
 
 class KernelScheduler:
     """Block/wake machinery over a :class:`~repro.host.cpu.CpuSet`."""
 
-    def __init__(self, sim: Simulator, cpus: CpuSet, costs: CostModel):
+    def __init__(self, sim: Simulator, cpus: CpuSet, costs: CostModel, tracer=None):
         self.sim = sim
         self.cpus = cpus
         self.costs = costs
         self.metrics = MetricSet("sched")
+        self.tracer = tracer
         self._waiters: Dict[int, "tuple[Signal, int]"] = {}
 
     def block(self, proc: Process, reason: str = "") -> Signal:
@@ -56,6 +58,11 @@ class KernelScheduler:
         cost = self.costs.wakeup_schedule_ns + self.costs.context_switch_ns
         if via_interrupt:
             cost += self.costs.interrupt_ns
+        if self.tracer is not None:
+            # Wakes happen after the packet's context closes (delivery to the
+            # socket queue), so this is loose per-message work, not a span.
+            self.tracer.loose(STAGE_SCHED_WAKE, cost,
+                              label="irq_wake" if via_interrupt else "wake")
         core = self.cpus[proc.core_id]
         resume = core.execute(cost, label=f"wake-pid{proc.pid}")
 

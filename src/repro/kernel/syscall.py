@@ -19,6 +19,7 @@ from ..errors import InvalidSyscall
 from ..host.copies import LAYER_KERNEL_RX, LAYER_KERNEL_TX, CopyLedger
 from ..host.cpu import CpuSet
 from ..sim import MetricSet, Signal, Simulator
+from ..trace import STAGE_COPY, STAGE_SYSCALL, charge
 from .process import Process
 
 
@@ -31,22 +32,38 @@ class SyscallLayer:
         cpus: CpuSet,
         costs: CostModel,
         ledger: Optional[CopyLedger] = None,
+        tracer=None,
     ):
         self.sim = sim
         self.cpus = cpus
         self.costs = costs
         self.metrics = MetricSet("syscall")
         self.ledger = ledger if ledger is not None else CopyLedger()
+        self.tracer = tracer
 
-    def invoke(self, proc: Process, name: str, work_ns: int = 0) -> Signal:
+    def _attr(self, stage: str, ns: int, ctx, label: str = "") -> int:
+        """Attribute ``ns`` to ``stage``: on the packet's context when there
+        is one, else as loose (message-level) work on the tracer."""
+        if ctx is not None:
+            charge(stage, ns, ctx, label=label)
+        elif self.tracer is not None:
+            self.tracer.loose(stage, ns, label=label)
+        return ns
+
+    def invoke(self, proc: Process, name: str, work_ns: int = 0, ctx=None) -> Signal:
         """Run syscall ``name`` for ``proc``: entry/exit cost + ``work_ns``
-        of kernel work, serialized on the process's core."""
+        of kernel work, serialized on the process's core.
+
+        The crossing cost itself is attributed here (``syscall`` stage);
+        ``work_ns`` is attributed by the caller, stage by stage, before it
+        is summed into this one core-execute event."""
         if work_ns < 0:
             raise InvalidSyscall(f"negative syscall work: {work_ns}")
         self.metrics.counter("total").inc()
         self.metrics.counter(name).inc()
+        self._attr(STAGE_SYSCALL, self.costs.syscall_ns, ctx, label=name)
         core = self.cpus[proc.core_id]
-        return core.execute(self.costs.syscall_ns + work_ns, label=f"sys_{name}")
+        return core.execute(self.costs.syscall_ns + work_ns, label=f"sys_{name}", ctx=ctx)
 
     def record_batched(self, n_msgs: int) -> None:
         """Account messages moved by one batched crossing (sendmmsg/
@@ -54,45 +71,45 @@ class SyscallLayer:
         exactly the §1 virtual-movement cost that batching amortized."""
         self.metrics.counter("batched_msgs").inc(n_msgs)
 
-    def copy_to_kernel(self, proc: Process, nbytes: int) -> int:
+    def copy_to_kernel(self, proc: Process, nbytes: int, ctx=None) -> int:
         """Cost of copying a user buffer into the kernel (charged by caller)."""
         self.metrics.counter("copy_in_bytes").inc(max(0, nbytes))
         cost = self.costs.copy_ns(nbytes)
         self.ledger.charge(LAYER_KERNEL_TX, max(0, nbytes), cost)
-        return cost
+        return self._attr(STAGE_COPY, cost, ctx, label="copy_in")
 
-    def copy_to_user(self, proc: Process, nbytes: int) -> int:
+    def copy_to_user(self, proc: Process, nbytes: int, ctx=None) -> int:
         """Cost of copying kernel data out to userspace."""
         self.metrics.counter("copy_out_bytes").inc(max(0, nbytes))
         cost = self.costs.copy_ns(nbytes)
         self.ledger.charge(LAYER_KERNEL_RX, max(0, nbytes), cost)
-        return cost
+        return self._attr(STAGE_COPY, cost, ctx, label="copy_out")
 
     # --- payload movement with optional copy elision --------------------------
 
-    def tx_payload_cost(self, proc: Process, nbytes: int) -> int:
+    def tx_payload_cost(self, proc: Process, nbytes: int, ctx=None) -> int:
         """Cost of making ``nbytes`` of user payload visible to the stack on
         the TX path: a user->kernel copy, or — with ``tx_zerocopy`` on — a
         page pin + completion notification (MSG_ZEROCOPY)."""
         if not self.costs.tx_zerocopy:
-            return self.copy_to_kernel(proc, nbytes)
+            return self.copy_to_kernel(proc, nbytes, ctx=ctx)
         cost = self.costs.zc_tx_ns(nbytes)
         self.metrics.counter("tx_zc_ops").inc()
         self.metrics.counter("tx_zc_elided_bytes").inc(max(0, nbytes))
         self.ledger.elide(LAYER_KERNEL_TX, max(0, nbytes), cost)
-        return cost
+        return self._attr(STAGE_COPY, cost, ctx, label="zc_tx")
 
-    def rx_payload_cost(self, proc: Process, nbytes: int) -> int:
+    def rx_payload_cost(self, proc: Process, nbytes: int, ctx=None) -> int:
         """Cost of landing ``nbytes`` of received payload in userspace: a
         kernel->user copy, or — with ``rx_zerocopy`` on — a registered-buffer
         handoff (io_uring-style)."""
         if not self.costs.rx_zerocopy:
-            return self.copy_to_user(proc, nbytes)
+            return self.copy_to_user(proc, nbytes, ctx=ctx)
         cost = self.costs.zc_rx_ns(nbytes)
         self.metrics.counter("rx_zc_ops").inc()
         self.metrics.counter("rx_zc_elided_bytes").inc(max(0, nbytes))
         self.ledger.elide(LAYER_KERNEL_RX, max(0, nbytes), cost)
-        return cost
+        return self._attr(STAGE_COPY, cost, ctx, label="zc_rx")
 
     @property
     def total_syscalls(self) -> int:

@@ -243,3 +243,6 @@ class PacketMeta:
     owner_uid: Optional[int] = None
     owner_comm: Optional[str] = None
     notes: dict = field(default_factory=dict)
+    # The packet's TraceContext when tracing is on (repro.trace), else None.
+    # Typed as object to keep the wire-format layer free of tracing imports.
+    trace: Optional[object] = None

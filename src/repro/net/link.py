@@ -7,6 +7,7 @@ from typing import Callable, Optional
 from .. import units
 from ..errors import SimulationError
 from ..sim import MetricSet, Simulator
+from ..trace import STAGE_WIRE, charge
 from .packet import Packet
 
 RxHandler = Callable[[Packet], None]
@@ -61,12 +62,19 @@ class Link:
         self.metrics.counter("sent").inc()
         self.metrics.meter("bytes").record(self.sim.now, pkt.wire_len)
         deliver_at = self._tx_free_at + self.propagation_ns
+        # Wire time as the packet experiences it: any backlog behind earlier
+        # packets, serialization, and propagation.
+        charge(STAGE_WIRE, deliver_at - self.sim.now, pkt.meta.trace,
+               cpu=False, label=self.name)
         self.sim.at(deliver_at, self._deliver, pkt)
         return True
 
     def _deliver(self, pkt: Packet) -> None:
         self._queued -= 1
         pkt.meta.delivered_ns = self.sim.now
+        tr = pkt.meta.trace
+        if tr is not None and not tr.closed:
+            tr.close(self.sim.now)  # TX trace ends at the far end of the wire
         assert self._rx is not None
         self._rx(pkt)
 

@@ -19,6 +19,7 @@ from ..interpose.fastpath import CHAIN_STEER
 from ..net.link import Link
 from ..net.packet import Packet
 from ..sim import MetricSet, Simulator
+from ..trace import STAGE_DMA, STAGE_NIC_PIPELINE, charge
 from .rings import DescriptorRing
 from .steering import SteeringTable
 
@@ -66,6 +67,7 @@ class BasicNic:
         n_queues: int = 8,
         name: str = "nic0",
         fastpath=None,
+        tracer=None,
     ):
         self.sim = sim
         self.costs = costs
@@ -75,6 +77,9 @@ class BasicNic:
         # Optional FlowFastPath: caches the steering decision per flow so
         # repeat packets skip the exact-match/RSS classification walk.
         self.fastpath = fastpath
+        # Tracing spine: RX contexts open here, where the host first sees
+        # the frame (repro.trace). A disabled tracer opens nothing.
+        self.tracer = tracer
         self.queues: List[NicQueue] = [NicQueue(i) for i in range(n_queues)]
         self.steering = SteeringTable(n_queues=n_queues, name=f"{name}.steer")
         self.metrics = MetricSet(name)
@@ -89,6 +94,10 @@ class BasicNic:
             return
         self.metrics.counter("rx_pkts").inc()
         self.metrics.meter("rx_bytes").record(self.sim.now, pkt.wire_len)
+        if self.tracer is not None:
+            ctx = self.tracer.begin(pkt)
+            charge(STAGE_NIC_PIPELINE, self.costs.nic_pipeline_ns, ctx,
+                   cpu=False, label="rx_pipeline")
         self.sim.after(self.costs.nic_pipeline_ns, self._rx_steer, pkt)
 
     def _rx_steer(self, pkt: Packet) -> None:
@@ -103,6 +112,8 @@ class BasicNic:
                 self.dma.account_placement(
                     LAYER_DMA, pkt.wire_len, self.costs.pcie_dma_latency_ns
                 )
+                charge(STAGE_DMA, self.costs.pcie_dma_latency_ns,
+                       pkt.meta.trace, cpu=False, label="rx_dma")
                 self.sim.after(self.costs.pcie_dma_latency_ns, queue.handler, pkt)
         elif queue.ring is not None:
             if queue.ring.try_post(pkt):
@@ -143,6 +154,10 @@ class BasicNic:
         self.dma.account_placement(
             LAYER_DMA, sum(p.wire_len for p in burst), burst_ns, ops=len(burst)
         )
+        # One DMA covers the burst: the shared latency lands on the lead
+        # packet's trace; siblings absorb it as softirq wait at close time.
+        charge(STAGE_DMA, burst_ns, burst[0].meta.trace, cpu=False,
+               label="rx_dma_burst")
         self.sim.after(burst_ns, queue.burst_handler, burst)
 
     def classify_rx(self, pkt: Packet) -> int:

@@ -131,8 +131,35 @@ class Histogram:
         return self.percentile(50)
 
     @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
     def p99(self) -> float:
         return self.percentile(99)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram in place.
+
+        Count, total, min, and max merge exactly. Retained samples are
+        concatenated and re-decimated if the result overflows
+        ``max_samples``, so percentiles carry the same caveat as
+        :meth:`observe` under decimation: approximate, over the combined
+        reservoir. Returns ``self`` for chaining."""
+        self._count += other._count
+        self._total += other._total
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+        self._samples.extend(other._samples)
+        self._sorted = False
+        if self.max_samples is not None:
+            while len(self._samples) >= self.max_samples:
+                del self._samples[1::2]
+                self._stride *= 2
+                self._skip = self._stride - 1
+        return self
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -140,6 +167,7 @@ class Histogram:
             "mean": self.mean,
             "min": self.minimum,
             "p50": self.p50,
+            "p90": self.p90,
             "p99": self.p99,
             "max": self.maximum,
         }

@@ -1,0 +1,56 @@
+"""repro.trace — the attributed tracing spine over every cost-charging site.
+
+See ``docs/tracing.md`` for the stage taxonomy, the conservation invariant,
+and the export format. The short version:
+
+* :func:`charge` is the one chokepoint every charging site routes through;
+  with tracing off it returns its cost untouched and records nothing.
+* :class:`Tracer` (one per :class:`~repro.host.machine.Machine`) opens a
+  :class:`TraceContext` per packet and collects "loose" work that belongs to
+  no single packet.
+* :mod:`repro.trace.export` turns a tracer into Chrome trace-event /
+  Perfetto JSON (``python -m repro trace``).
+"""
+
+from .stages import (
+    STAGES,
+    STAGE_APP,
+    STAGE_COHERENCE,
+    STAGE_COPY,
+    STAGE_DMA,
+    STAGE_FASTPATH,
+    STAGE_NETFILTER,
+    STAGE_NIC_PIPELINE,
+    STAGE_PROTO,
+    STAGE_QDISC,
+    STAGE_RING,
+    STAGE_SCHED_WAKE,
+    STAGE_SYSCALL,
+    STAGE_WIRE,
+)
+from .tracer import Span, TraceContext, Tracer, charge
+from .export import to_trace_events, to_json, write_trace
+
+__all__ = [
+    "STAGES",
+    "STAGE_APP",
+    "STAGE_SYSCALL",
+    "STAGE_COPY",
+    "STAGE_PROTO",
+    "STAGE_NETFILTER",
+    "STAGE_QDISC",
+    "STAGE_FASTPATH",
+    "STAGE_DMA",
+    "STAGE_RING",
+    "STAGE_NIC_PIPELINE",
+    "STAGE_COHERENCE",
+    "STAGE_WIRE",
+    "STAGE_SCHED_WAKE",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "charge",
+    "to_trace_events",
+    "to_json",
+    "write_trace",
+]

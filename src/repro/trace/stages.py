@@ -1,0 +1,47 @@
+"""The stage taxonomy: every nanosecond charged anywhere in the simulator
+belongs to exactly one of these stages.
+
+The set mirrors the paper's anatomy of a packet's life (§1–§2): the
+application's own work, the user/kernel crossing, payload copies, protocol
+processing, interposition (rule walks and the verdict cache), queueing
+disciplines, PCIe/DMA, descriptor rings, on-NIC pipelines, core-to-core
+coherence traffic, scheduler wakeups/polling, and finally the wire itself.
+
+``proto`` is the one stage beyond the headline taxonomy: kernel protocol
+processing (``kernel_tx_pkt_ns`` / ``kernel_rx_pkt_ns`` / socket demux) is
+neither a copy nor a filter walk, so it gets its own bucket rather than
+polluting either.
+"""
+
+from __future__ import annotations
+
+STAGE_APP = "app"                   # application-level work (serve loops, RPC think time)
+STAGE_SYSCALL = "syscall"           # user/kernel crossing cost
+STAGE_COPY = "copy"                 # payload copies (or their zero-copy pin/unpin residue)
+STAGE_PROTO = "proto"               # kernel protocol processing + socket demux
+STAGE_NETFILTER = "netfilter"       # interposition: rule walks, overlay filters, vswitch
+STAGE_QDISC = "qdisc"               # qdisc enqueue bookkeeping + queue residency
+STAGE_FASTPATH = "fastpath"         # megaflow-style verdict-cache hits
+STAGE_DMA = "dma"                   # MMIO doorbells, PCIe DMA latency and descriptor fetches
+STAGE_RING = "ring"                 # descriptor-ring produce/consume work and ring residency
+STAGE_NIC_PIPELINE = "nic_pipeline" # on-NIC processing (parse/steer, SmartNIC stages)
+STAGE_COHERENCE = "coherence"       # core-to-core cache-line movement, LLC/DRAM reads
+STAGE_WIRE = "wire"                 # serialization + propagation (+ link backlog)
+STAGE_SCHED_WAKE = "sched_wake"     # wakeups, context switches, interrupts, poll spins
+
+#: Every stage, in pipeline-ish order (used by reports and exports).
+STAGES = (
+    STAGE_APP,
+    STAGE_SYSCALL,
+    STAGE_COPY,
+    STAGE_PROTO,
+    STAGE_NETFILTER,
+    STAGE_QDISC,
+    STAGE_FASTPATH,
+    STAGE_DMA,
+    STAGE_RING,
+    STAGE_NIC_PIPELINE,
+    STAGE_COHERENCE,
+    STAGE_WIRE,
+    STAGE_SCHED_WAKE,
+)

@@ -1,0 +1,231 @@
+"""The tracing spine: spans, per-packet contexts, and the ``charge`` chokepoint.
+
+Every cost-charging site in the tree routes its nanoseconds through
+:func:`charge` (per-packet, attributed to a :class:`TraceContext`) or
+:meth:`Tracer.loose` (work that cannot be pinned to one packet: wakeups,
+poll spins, app serve loops). Both return the cost unchanged, so call sites
+compose with the existing ``work = a + b + c`` arithmetic — tracing observes
+the schedule, it never perturbs it.
+
+Two invariants make the data trustworthy:
+
+* **Default-off is free.** With ``CostModel.trace`` off no context is ever
+  created, ``charge(..., ctx=None)`` is a returns-its-argument no-op, and the
+  seed event trace stays byte-identical.
+* **No lost nanoseconds.** For every closed context, the span sum equals the
+  end-to-end latency (``closed_ns - t0_ns``). Deterministic delays are
+  charged where they are scheduled; variable waits (ring residency, qdisc
+  backlog, a busy core) are closed out with :meth:`TraceContext.fill_gap`
+  at the hand-off points where the elapsed time becomes known.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.metrics import Histogram
+from .stages import STAGES
+
+
+class Span:
+    """One attributed slice of a packet's life: ``ns`` in ``stage``.
+
+    ``cpu`` distinguishes nanoseconds that occupy a core (and therefore show
+    up in ``Core.busy_ns``) from hardware/wire time that elapses without
+    burning cycles — E16 compares the CPU subset against measured core busy
+    deltas.
+    """
+
+    __slots__ = ("stage", "ns", "cpu", "label")
+
+    def __init__(self, stage: str, ns: int, cpu: bool = True, label: str = ""):
+        self.stage = stage
+        self.ns = ns
+        self.cpu = cpu
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "cpu" if self.cpu else "hw"
+        tag = f" {self.label}" if self.label else ""
+        return f"<Span {self.stage}{tag} {self.ns}ns {kind}>"
+
+
+class TraceContext:
+    """The span tree of one packet, from first charge to delivery."""
+
+    __slots__ = ("trace_id", "plane", "t0_ns", "closed_ns", "spans")
+
+    def __init__(self, trace_id: int, plane: str, t0_ns: int):
+        self.trace_id = trace_id
+        self.plane = plane
+        self.t0_ns = t0_ns
+        self.closed_ns: Optional[int] = None
+        self.spans: List[Span] = []
+
+    def add(self, stage: str, ns: int, cpu: bool = True, label: str = "") -> None:
+        self.spans.append(Span(stage, ns, cpu, label))
+
+    def span_sum(self) -> int:
+        return sum(s.ns for s in self.spans)
+
+    def cpu_ns(self) -> int:
+        return sum(s.ns for s in self.spans if s.cpu)
+
+    def by_stage(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for s in self.spans:
+            out[s.stage] = out.get(s.stage, 0) + s.ns
+        return out
+
+    def fill_gap(self, stage: str, now_ns: int, cpu: bool = False,
+                 label: str = "wait") -> int:
+        """Charge whatever elapsed time the spans recorded so far do not
+        cover, attributing it to ``stage``. Used at hand-off points (ring
+        consume, descriptor fetch) where residency only becomes known when
+        the next hop picks the packet up. Returns the gap charged."""
+        gap = (now_ns - self.t0_ns) - self.span_sum()
+        if gap > 0:
+            self.add(stage, gap, cpu=cpu, label=label)
+            return gap
+        return 0
+
+    @property
+    def closed(self) -> bool:
+        return self.closed_ns is not None
+
+    def close(self, now_ns: int) -> None:
+        if self.closed_ns is None:
+            self.closed_ns = now_ns
+
+    def latency_ns(self) -> int:
+        if self.closed_ns is None:
+            raise ValueError(f"trace #{self.trace_id} is still open")
+        return self.closed_ns - self.t0_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"closed@{self.closed_ns}" if self.closed else "open"
+        return (f"<TraceContext #{self.trace_id} {self.plane} "
+                f"t0={self.t0_ns} {len(self.spans)} spans {state}>")
+
+
+def charge(stage: str, cost_ns: int, ctx: Optional[TraceContext],
+           cpu: bool = True, label: str = "") -> int:
+    """The chokepoint: attribute ``cost_ns`` to ``stage`` on ``ctx`` and
+    return it unchanged. With tracing off every ``ctx`` is ``None`` and this
+    is a no-op, so charging sites can wrap their arithmetic unconditionally."""
+    if ctx is not None and cost_ns > 0:
+        ctx.add(stage, cost_ns, cpu=cpu, label=label)
+    return cost_ns
+
+
+class Tracer:
+    """Per-machine span collector.
+
+    Lives on :class:`~repro.host.machine.Machine` (like the flow fast path,
+    it is wired whether or not it is enabled; disabled it creates nothing).
+    The active dataplane stamps :attr:`plane` at construction so every
+    context carries its plane tag for per-plane per-stage histograms.
+    """
+
+    def __init__(self, sim, enabled: bool = False, plane: str = "host"):
+        self.sim = sim
+        self.enabled = enabled
+        self.plane = plane
+        self.contexts: List[TraceContext] = []
+        self._next_id = 1
+        # (plane, stage) -> [total_ns, cpu_ns, ops] for work with no packet.
+        self._loose: Dict[Tuple[str, str], List[int]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(self, pkt, plane: Optional[str] = None) -> Optional[TraceContext]:
+        """Open a context for ``pkt`` (stamped onto ``pkt.meta.trace``) at
+        ``sim.now``. Returns ``None`` when tracing is disabled. A packet that
+        already carries a *closed* context (a TX trace arriving at the far
+        host's NIC) gets a fresh one; the old context stays retained."""
+        if not self.enabled:
+            return None
+        ctx = TraceContext(self._next_id, plane or self.plane, self.sim.now)
+        self._next_id += 1
+        self.contexts.append(ctx)
+        pkt.meta.trace = ctx
+        return ctx
+
+    def loose(self, stage: str, ns: int, cpu: bool = True, label: str = "") -> int:
+        """Attribute work that belongs to the plane but not to any single
+        packet (wakeups after delivery, poll spins, app serve loops).
+        Returns ``ns`` unchanged so call sites wrap their arithmetic."""
+        if self.enabled and ns > 0:
+            key = (self.plane, stage)
+            bucket = self._loose.setdefault(key, [0, 0, 0])
+            bucket[0] += ns
+            if cpu:
+                bucket[1] += ns
+            bucket[2] += 1
+        return ns
+
+    def reset(self) -> None:
+        """Drop every recorded context and loose bucket (the enabled flag
+        and plane tag survive). Measurement drivers call this after their
+        setup phase so the trace window matches the measurement window —
+        resetting observes nothing and perturbs nothing."""
+        self.contexts = []
+        self._loose = {}
+
+    # -- analysis ----------------------------------------------------------
+
+    def closed_contexts(self, plane: Optional[str] = None) -> List[TraceContext]:
+        return [c for c in self.contexts
+                if c.closed and (plane is None or c.plane == plane)]
+
+    def loose_totals(self, plane: Optional[str] = None) -> Dict[str, Dict[str, int]]:
+        """``{stage: {"ns": total, "cpu_ns": cpu subset, "ops": n}}``."""
+        out: Dict[str, Dict[str, int]] = {}
+        for (pl, stage), (ns, cpu_ns, ops) in sorted(self._loose.items()):
+            if plane is not None and pl != plane:
+                continue
+            slot = out.setdefault(stage, {"ns": 0, "cpu_ns": 0, "ops": 0})
+            slot["ns"] += ns
+            slot["cpu_ns"] += cpu_ns
+            slot["ops"] += ops
+        return out
+
+    def stage_histograms(self, plane: Optional[str] = None) -> Dict[str, Histogram]:
+        """Per-stage histograms of *per-packet* nanoseconds over every
+        closed context (optionally one plane's)."""
+        hists = {stage: Histogram(f"trace.{stage}") for stage in STAGES}
+        for ctx in self.closed_contexts(plane):
+            for stage, ns in ctx.by_stage().items():
+                hists.setdefault(stage, Histogram(f"trace.{stage}")).observe(ns)
+        return {stage: h for stage, h in hists.items() if h.count}
+
+    def report(self, plane: Optional[str] = None) -> Dict[str, object]:
+        """Everything E16 and the CLI need: per-stage per-packet summaries,
+        loose totals, attributed CPU time, and mean end-to-end latency."""
+        closed = self.closed_contexts(plane)
+        loose = self.loose_totals(plane)
+        ctx_cpu = sum(c.cpu_ns() for c in closed)
+        loose_cpu = sum(v["cpu_ns"] for v in loose.values())
+        lat = Histogram("trace.latency")
+        lat.extend(float(c.latency_ns()) for c in closed)
+        return {
+            "plane": plane or self.plane,
+            "packets": len(closed),
+            "stages": {s: h.summary() for s, h in
+                       self.stage_histograms(plane).items()},
+            "loose": loose,
+            "cpu_ns_total": ctx_cpu + loose_cpu,
+            "cpu_ns_attributed": ctx_cpu,
+            "latency": lat.summary(),
+        }
+
+    def merged_stage_histogram(self, stages: Iterable[str],
+                               plane: Optional[str] = None) -> Histogram:
+        """One histogram merging several stages' per-packet samples —
+        exercises :meth:`Histogram.merge` for grouped reporting."""
+        hists = self.stage_histograms(plane)
+        merged = Histogram("trace.merged")
+        for stage in stages:
+            if stage in hists:
+                merged.merge(hists[stage])
+        return merged

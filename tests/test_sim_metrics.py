@@ -53,6 +53,69 @@ class TestHistogram:
             Histogram().percentile(101)
 
 
+class TestHistogramSummary:
+    def test_summary_has_p90_between_p50_and_p99(self):
+        h = Histogram("lat")
+        h.extend(range(1, 101))
+        s = h.summary()
+        assert s["p90"] == 90
+        assert s["p50"] <= s["p90"] <= s["p99"] <= s["max"]
+        assert set(s) == {"count", "mean", "min", "p50", "p90", "p99", "max"}
+
+    def test_summary_of_empty_histogram(self):
+        s = Histogram().summary()
+        assert s["count"] == 0.0
+        assert s["mean"] == s["p50"] == s["p90"] == s["p99"] == 0.0
+
+    def test_summary_of_single_sample(self):
+        h = Histogram()
+        h.observe(42)
+        s = h.summary()
+        # Every percentile of a one-sample distribution is that sample.
+        assert s["min"] == s["p50"] == s["p90"] == s["p99"] == s["max"] == 42
+        assert s["count"] == 1.0
+
+
+class TestHistogramMerge:
+    def test_merge_equals_combined_observation(self):
+        a, b, both = Histogram(), Histogram(), Histogram()
+        a.extend([1, 2, 3])
+        b.extend([4, 5, 6])
+        both.extend([1, 2, 3, 4, 5, 6])
+        a.merge(b)
+        assert a.summary() == both.summary()
+
+    def test_merge_into_empty_and_merge_of_empty(self):
+        a, b = Histogram(), Histogram()
+        b.extend([7, 9])
+        assert a.merge(b).summary() == b.summary()  # empty <- populated
+        before = b.summary()
+        assert b.merge(Histogram()).summary() == before  # populated <- empty
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b, c = Histogram(), Histogram(), Histogram()
+        b.observe(1)
+        c.observe(2)
+        assert a.merge(b).merge(c) is a
+        assert a.count == 2
+
+    def test_merge_reservoir_capped_keeps_exact_aggregates(self):
+        a = Histogram(max_samples=16)
+        b = Histogram(max_samples=16)
+        a.extend(range(100))
+        b.extend(range(100, 200))
+        a.merge(b)
+        # Decimation never touches count/total/min/max...
+        assert a.count == 200
+        assert a.total == sum(range(200))
+        assert a.minimum == 0 and a.maximum == 199
+        # ...the reservoir stays within its cap, and percentiles stay
+        # monotone over the combined (approximate) sample.
+        assert len(a._samples) < 16
+        assert a.p50 <= a.p90 <= a.p99
+        assert 0 <= a.p50 <= 199
+
+
 class TestTimeSeries:
     def test_records_and_window_mean(self):
         ts = TimeSeries("depth")

@@ -1,0 +1,212 @@
+"""The tracing spine (repro.trace): default-off invisibility, the
+no-lost-nanoseconds conservation invariant across every dataplane, stage
+attribution, loose work, the capture join, and the Chrome-trace export."""
+
+import json
+from dataclasses import replace
+
+from repro import units
+from repro.config import DEFAULT_COSTS
+from repro.core import NormanOS
+from repro.dataplanes import (
+    BypassDataplane,
+    HypervisorDataplane,
+    KernelPathDataplane,
+    SidecarDataplane,
+    Testbed,
+)
+from repro.apps import BlockingWorker
+from repro.experiments.common import planes_under_test, run_bulk_tx
+from repro.experiments.e4_debugging import capture_trace_join
+from repro.trace import (
+    STAGE_APP,
+    STAGE_COPY,
+    STAGE_PROTO,
+    STAGE_QDISC,
+    STAGE_RING,
+    STAGE_SYSCALL,
+    STAGE_WIRE,
+    TraceContext,
+    Tracer,
+    charge,
+    to_trace_events,
+    write_trace,
+)
+
+TRACED = replace(DEFAULT_COSTS, trace=True)
+
+
+def _traced_run(plane_cls, count=30, burst=1):
+    row = run_bulk_tx(plane_cls, 1_000, count, costs=TRACED, burst=burst,
+                      return_tb=True)
+    return row, row.pop("tb").machine.tracer
+
+
+class TestDefaultOff:
+    def test_disabled_tracer_records_nothing(self):
+        row = run_bulk_tx(KernelPathDataplane, 1_000, 10, return_tb=True)
+        tracer = row.pop("tb").machine.tracer
+        assert not tracer.enabled
+        assert tracer.contexts == []
+        assert tracer.loose_totals() == {}
+        assert tracer.begin(object()) is None
+        assert tracer.loose(STAGE_APP, 123) == 123  # returns ns, records nothing
+        assert tracer.loose_totals() == {}
+
+    def test_charge_without_context_is_identity(self):
+        assert charge(STAGE_SYSCALL, 500, None) == 500
+        assert charge(STAGE_SYSCALL, 0, None) == 0
+
+    def test_tracing_on_does_not_perturb_tx_measurements(self):
+        """Tracing observes the schedule; it must not change it. Every
+        measured column of a bulk-TX run is identical with tracing on."""
+        for plane_cls in planes_under_test():
+            base = run_bulk_tx(plane_cls, 1_000, 20)
+            traced = run_bulk_tx(plane_cls, 1_000, 20, costs=TRACED)
+            assert base == traced, plane_cls.name
+
+
+class TestConservation:
+    def test_no_lost_nanoseconds_every_plane(self):
+        """The tentpole invariant: for every closed context on every
+        dataplane, the span sum equals the end-to-end latency exactly."""
+        for plane_cls in planes_under_test():
+            row, tracer = _traced_run(plane_cls)
+            closed = tracer.closed_contexts()
+            assert len(closed) == row["delivered"] > 0, plane_cls.name
+            for ctx in closed:
+                assert ctx.span_sum() == ctx.latency_ns(), (
+                    plane_cls.name, ctx.trace_id, ctx.by_stage(),
+                    ctx.latency_ns(),
+                )
+
+    def test_cpu_spans_reproduce_measured_busy(self):
+        """The cpu=True subset plus loose CPU work equals the measured
+        host-CPU delta, per plane."""
+        for plane_cls in planes_under_test():
+            row, tracer = _traced_run(plane_cls)
+            rep = tracer.report()
+            measured = round(row["host_cpu_ns_per_pkt"] * row["delivered"])
+            assert rep["cpu_ns_total"] == measured, plane_cls.name
+
+    def test_fill_gap_charges_uncovered_time_only(self):
+        ctx = TraceContext(1, "test", t0_ns=100)
+        ctx.add(STAGE_SYSCALL, 40)
+        assert ctx.fill_gap(STAGE_RING, 200) == 60
+        assert ctx.fill_gap(STAGE_RING, 200) == 0  # nothing left to absorb
+        ctx.close(200)
+        assert ctx.span_sum() == ctx.latency_ns() == 100
+
+
+class TestStageAttribution:
+    def test_kernel_anatomy_has_the_expected_stages(self):
+        _row, tracer = _traced_run(KernelPathDataplane)
+        stages = tracer.report()["stages"]
+        for stage in (STAGE_SYSCALL, STAGE_COPY, STAGE_PROTO, STAGE_QDISC,
+                      STAGE_WIRE):
+            assert stage in stages, stage
+        # Every kernel TX packet pays exactly one syscall span.
+        assert stages[STAGE_SYSCALL]["p50"] == DEFAULT_COSTS.syscall_ns
+
+    def test_bypass_anatomy_has_no_syscalls_or_copies(self):
+        _row, tracer = _traced_run(BypassDataplane)
+        stages = tracer.report()["stages"]
+        assert STAGE_SYSCALL not in stages
+        assert STAGE_COPY not in stages
+        assert STAGE_RING in stages and STAGE_WIRE in stages
+
+    def test_plane_tags_follow_the_dataplane(self):
+        for plane_cls in (KernelPathDataplane, SidecarDataplane, NormanOS,
+                          HypervisorDataplane, BypassDataplane):
+            _row, tracer = _traced_run(plane_cls, count=5)
+            assert tracer.plane == plane_cls.name
+            assert {c.plane for c in tracer.closed_contexts()} == {plane_cls.name}
+
+    def test_burst_amortization_conserves_at_the_lead(self):
+        """Shared burst costs land on the lead packet; siblings absorb the
+        elapsed time as waits — the invariant still holds for every packet."""
+        costs = replace(TRACED, batch_size=8)
+        for plane_cls in planes_under_test():
+            row = run_bulk_tx(plane_cls, 1_000, 32, costs=costs,
+                              burst=8, return_tb=True)
+            tracer = row.pop("tb").machine.tracer
+            closed = tracer.closed_contexts()
+            assert len(closed) == row["delivered"], plane_cls.name
+            for ctx in closed:
+                assert ctx.span_sum() == ctx.latency_ns(), (
+                    plane_cls.name, ctx.trace_id, ctx.by_stage(),
+                    ctx.latency_ns(),
+                )
+
+
+class TestSidecarWakeDrainFix:
+    def _wake_drain_busy(self, costs):
+        tb = Testbed(SidecarDataplane, costs=costs)
+        worker = BlockingWorker(tb, port=7_000, work_ns=2_000, comm="blk",
+                                user="bob", core_id=1)
+        worker.start()
+        tb.sim.at(5 * units.US, tb.peer.send_udp, 555, 7_000, 256)
+        tb.run_all()
+        assert worker.served == 1
+        return tb.machine.cpus[1].busy_ns
+
+    def test_wake_path_drain_charged_only_under_trace(self):
+        """Bugfix, gated on costs.trace: the sidecar wake path used to hand
+        drained messages to the app for free while the queued path charges
+        per-message descriptor reads. With tracing on the wake path now
+        charges the same per-message cost; off reproduces the seed."""
+        off = self._wake_drain_busy(DEFAULT_COSTS)
+        on = self._wake_drain_busy(TRACED)
+        assert on - off == DEFAULT_COSTS.bypass_rx_pkt_ns
+
+
+class TestCaptureJoin:
+    def test_capture_rows_resolve_to_contexts(self):
+        result = capture_trace_join(n_apps=4)
+        assert result["captured"] > 0
+        assert len(result["joined"]) > 0
+        assert all(r["resolved"] for r in result["joined"])
+        assert all(r["spans"] > 0 for r in result["joined"])
+
+
+class TestExport:
+    def test_chrome_trace_events_shape(self):
+        _row, tracer = _traced_run(KernelPathDataplane, count=5)
+        doc = to_trace_events(tracer)
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert metas and spans
+        for ev in spans:
+            assert ev["dur"] > 0 and ev["ts"] >= 0
+            assert "," in ev["cat"]  # stage,cpu|hw
+
+    def test_write_trace_round_trips_json(self, tmp_path):
+        _row, tracer = _traced_run(KernelPathDataplane, count=5)
+        path = tmp_path / "trace.json"
+        n = write_trace(tracer, str(path))
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == n > 0
+
+    def test_reset_clears_recorded_state(self):
+        tracer = Tracer(sim=None, enabled=True, plane="p")
+        tracer.loose(STAGE_APP, 10)
+        tracer._loose and tracer.reset()
+        assert tracer.loose_totals() == {}
+        assert tracer.enabled and tracer.plane == "p"
+
+
+class TestCli:
+    def test_trace_subcommand_writes_perfetto_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "kernel.json"
+        assert main(["trace", "kernel", "--out", str(out)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_trace_subcommand_rejects_unknown_plane(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "nope"]) == 2
+        assert "unknown plane" in capsys.readouterr().err
