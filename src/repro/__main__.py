@@ -5,7 +5,7 @@ Usage::
     python -m repro report [--quick]   # run every experiment, print tables
     python -m repro matrix             # just the E3 capability matrix
     python -m repro costs              # dump the calibrated cost model
-    python -m repro e1 .. e16 | f1     # one experiment's table
+    python -m repro e1 .. e16 | e21 | f1   # one experiment's table
     python -m repro trace [plane] [--out FILE]   # traced run -> Chrome JSON
 """
 
@@ -34,6 +34,7 @@ def _experiment_mains():
         e14_policy_churn,
         e15_flow_fastpath,
         e16_latency_anatomy,
+        e21_fidelity_crossover,
         f1_architecture,
         s1_tail_latency,
     )
@@ -55,6 +56,7 @@ def _experiment_mains():
         "e14": e14_policy_churn.main,
         "e15": e15_flow_fastpath.main,
         "e16": e16_latency_anatomy.main,
+        "e21": e21_fidelity_crossover.main,
         "f1": f1_architecture.main,
         "s1": s1_tail_latency.main,
     }

@@ -148,6 +148,36 @@ class CostModel:
     to the slow path — the same >1024-connection collapse §5 reports for
     DDIO working sets."""
 
+    # --- hybrid fidelity (flow-level fast-forward, experiment E21) ----------
+    fast_forward: bool = False
+    """Fluid-approximate steady-state flows: once a flow has hit the verdict
+    cache :attr:`ff_promote_after` packets in a row, later packets are
+    absorbed into bulk ``FlowEpoch`` charges (N × the cached per-packet cost,
+    per stage) instead of N per-packet events. The flow demotes back to
+    packet-exact simulation at every fidelity boundary — policy commit,
+    fastpath miss/invalidation/eviction, conntrack expiry, qdisc backlog
+    threshold, DDIO/SRAM pressure crossing, packet-shape change (see
+    ``docs/hybrid_fidelity.md``). Requires :attr:`flow_fastpath`. Off (the
+    default) reproduces the seed byte-identically."""
+
+    ff_promote_after: int = 8
+    """Consecutive verdict-cache hits before a flow may go fluid."""
+
+    ff_epoch_packets: int = 4_096
+    """Absorbed packets that force an epoch flush (bulk charge)."""
+
+    ff_horizon_ns: int = 1_000_000
+    """Maximum simulated time an absorbed packet may wait unflushed: a
+    pending epoch is charged at this horizon even if it never fills."""
+
+    ff_qdisc_backlog: int = 256
+    """Qdisc backlog (packets) at which queueing becomes load-dependent and
+    every fluid flow is demoted (the ``qdisc_pressure`` boundary)."""
+
+    ff_tolerance: float = 0.02
+    """Pinned relative tolerance for E21's fidelity contract: fast-forwarded
+    latency/attribution totals must match packet-level runs within this."""
+
     # --- latency anatomy (attributed tracing spine, experiment E16) ---------
     trace: bool = False
     """Record an attributed span per charged nanosecond (see repro.trace):
@@ -247,6 +277,21 @@ class CostModel:
         if self.flow_fastpath_entries < 1:
             raise ConfigError(
                 f"flow_fastpath_entries must be >= 1, got {self.flow_fastpath_entries}"
+            )
+        if self.fast_forward and not self.flow_fastpath:
+            raise ConfigError(
+                "fast_forward requires flow_fastpath: fluid epochs replay "
+                "cached verdicts, so there must be a verdict cache"
+            )
+        for knob in ("ff_promote_after", "ff_epoch_packets", "ff_horizon_ns",
+                     "ff_qdisc_backlog"):
+            if getattr(self, knob) < 1:
+                raise ConfigError(
+                    f"{knob} must be >= 1, got {getattr(self, knob)}"
+                )
+        if not 0 < self.ff_tolerance < 1:
+            raise ConfigError(
+                f"ff_tolerance must be in (0, 1), got {self.ff_tolerance}"
             )
         if self.ddio_ways > self.llc_ways:
             raise ConfigError(

@@ -39,6 +39,12 @@ class NormanConnection:
     rx_packets: int = field(default=0)
     tx_packets: int = field(default=0)
 
+    fluid_rx: list = field(default_factory=list)
+    """Fast-forward receive credit: ``[n, payload_len, src_ip, sport]``
+    chunks appended by fluid epoch delivery (no per-packet ring entries
+    exist for absorbed packets). The library consumes these after the ring
+    drains; their stage costs were already charged at epoch flush."""
+
     rate_bps: Optional[int] = None
     """NIC-enforced pacing rate for this connection's TX ring drain; None =
     unpaced. Set by the on-NIC congestion manager (§4.2 lists congestion

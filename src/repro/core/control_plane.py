@@ -74,6 +74,12 @@ class ControlPlane:
         self._rx_waiters: Dict[int, Process] = {}  # conn_id -> blocked proc
         self._tx_waiters: Dict[int, Process] = {}
         self._shared_pairs: Dict[int, RingPair] = {}  # pid -> shared ring pair
+        # Incremental hot-set accounting: active_hot_bytes() is consulted on
+        # every memory read (E8's DDIO pressure), so it must not rescan the
+        # connection table. _hot_pairs maps id(pair) -> [pair, fast-conn
+        # refcount]; holding the pair reference keeps the id stable.
+        self._hot_fast_conns = 0
+        self._hot_pairs: Dict[int, "list"] = {}
         self._qos: Optional[QosConfig] = None
         self._police: Dict[str, "tuple[int, int]"] = {}  # cgroup -> (rate, burst)
         self._monitor_mode: Dict[int, "tuple[str, int]"] = {}  # pid -> (mode, interval)
@@ -134,7 +140,15 @@ class ControlPlane:
         except NicResourceExhausted:
             conn.fallback = True
             self.metrics.counter("fallback_conns").inc()
+            if self.machine.ff is not None:
+                # SRAM exhaustion is a pressure cliff: the NIC's resource
+                # state just changed regime, so no frozen profile survives.
+                from ..sim.fastforward import REASON_PRESSURE
+
+                self.machine.ff.demote_all(REASON_PRESSURE)
         self._conns[conn_id] = conn
+        if not conn.fallback:
+            self._hot_track(conn)
 
         if not conn.fallback:
             self._install_steering(conn)
@@ -142,6 +156,7 @@ class ControlPlane:
         self._charge_setup(proc)
         self.metrics.counter("connections").inc()
         self._resync_policies()
+        self._note_working_set()
         return conn
 
     def connect_peer(self, conn: NormanConnection, dst_ip: IPv4Address, dport: int) -> Signal:
@@ -159,6 +174,13 @@ class ControlPlane:
     def close_connection(self, conn: NormanConnection) -> None:
         if conn.closed:
             raise KernelError(f"connection {conn.conn_id} already closed")
+        if self.machine.ff is not None:
+            # Teardown is a shape boundary: flush pending epochs (charged
+            # under the profile that was valid while they ran) and return
+            # the connection's flows to exact simulation.
+            from ..sim.fastforward import REASON_SHAPE
+
+            self.machine.ff.demote_conn(conn.conn_id, REASON_SHAPE)
         conn.closed = True
         if conn.sram is not None:
             self.nic.sram.free(conn.sram)
@@ -171,7 +193,20 @@ class ControlPlane:
             )
         self.kernel.sockets.close(conn.sock)
         del self._conns[conn.conn_id]
+        if not conn.fallback:
+            self._hot_untrack(conn)
         self._resync_policies()
+        self._note_working_set()
+
+    def _note_working_set(self) -> None:
+        """Feed the DDIO pressure boundary: captured profiles bake in a
+        memory-read cost that is a function of the hot working set, so the
+        fast-forward controller demotes everything whenever the set crosses
+        a capacity quartile (the E8 cliff must always be simulated exactly)."""
+        if self.machine.ff is not None:
+            self.machine.ff.note_working_set(
+                self.active_hot_bytes(), self.costs.ddio_capacity_bytes
+            )
 
     def _allocate_rings(self, proc: Process, conn_id: int) -> "tuple[RingPair, str]":
         """Per-connection rings by default; one shared pair per process in
@@ -245,14 +280,30 @@ class ControlPlane:
     def conn_count(self) -> int:
         return len(self._conns)
 
+    def _hot_track(self, conn: NormanConnection) -> None:
+        self._hot_fast_conns += 1
+        ref = self._hot_pairs.get(id(conn.rings))
+        if ref is None:
+            self._hot_pairs[id(conn.rings)] = [conn.rings, 1]
+        else:
+            ref[1] += 1
+
+    def _hot_untrack(self, conn: NormanConnection) -> None:
+        self._hot_fast_conns -= 1
+        key = id(conn.rings)
+        ref = self._hot_pairs[key]
+        ref[1] -= 1
+        if ref[1] == 0:
+            del self._hot_pairs[key]
+
     def active_hot_bytes(self) -> int:
         """Aggregate hot ring footprint of NIC-resident connections — the
-        working set competing for DDIO (E8)."""
-        fast = [c for c in self._conns.values() if not c.fallback]
+        working set competing for DDIO (E8). Maintained incrementally at
+        open/close (``_hot_track``/``_hot_untrack``): this is consulted per
+        memory read, so it must stay O(distinct ring pairs), not O(conns)."""
         if self.shared_rings:
-            pairs = {id(c.rings): c.rings for c in fast}
-            return sum(p.pinned_bytes for p in pairs.values())
-        return len(fast) * self.costs.conn_footprint_bytes
+            return sum(pair.pinned_bytes for pair, _refs in self._hot_pairs.values())
+        return self._hot_fast_conns * self.costs.conn_footprint_bytes
 
     def resolve_owner_rule(self, rule: NetfilterRule) -> Sequence[int]:
         """Owner rule -> connection ids, the §4.4 lowering step."""

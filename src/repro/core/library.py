@@ -149,6 +149,13 @@ class NormanEndpoint(Endpoint):
                 return
             pkts = self.conn.rings.rx.consume_burst(max_msgs)
             if pkts:
+                # A flow can straddle fidelity modes mid-burst (exact
+                # packets in the ring, absorbed ones as credit): serve
+                # both under the one call, ring first.
+                fluid = (
+                    self._consume_fluid(max_msgs - len(pkts))
+                    if len(pkts) < max_msgs else []
+                )
                 cost = sum(
                     charge(STAGE_RING, self._costs.bypass_rx_pkt_ns,
                            p.meta.trace, label="rx_desc")
@@ -164,9 +171,16 @@ class NormanEndpoint(Endpoint):
                             # Ring residency + wakeup wait, then done.
                             p.meta.trace.fill_gap(STAGE_RING, now, label="ring_wait")
                             p.meta.trace.close(now)
-                    result.succeed([_message_of(p) for p in pkts])
+                    result.succeed([_message_of(p) for p in pkts] + fluid)
 
                 self._core.execute(cost, "norman_rx").add_callback(_drained)
+                return
+            # Ring empty: fast-forwarded packets never occupied ring slots —
+            # their delivery is fluid credit on the connection, charged (CPU,
+            # ring, memory-read stages) at epoch flush, not here.
+            fluid = self._consume_fluid(max_msgs)
+            if fluid:
+                result.succeed(fluid)
                 return
             if not blocking:
                 result.fail(WouldBlock(f"ring empty on :{self.port}"))
@@ -176,6 +190,25 @@ class NormanEndpoint(Endpoint):
 
         _attempt()
         return result
+
+    def _consume_fluid(self, max_msgs: int) -> List[Message]:
+        """Take up to ``max_msgs`` messages of fast-forward receive credit.
+        Flushes the connection's pending epochs first so every message
+        handed out has had its costs charged before the data is read."""
+        ff = self._os.machine.ff
+        if ff is None:
+            return []
+        ff.flush_conn(self.conn.conn_id)
+        chunks = self.conn.fluid_rx
+        msgs: List[Message] = []
+        while chunks and len(msgs) < max_msgs:
+            chunk = chunks[0]
+            take = min(chunk[0], max_msgs - len(msgs))
+            msgs.extend([(chunk[1], chunk[2], chunk[3])] * take)
+            chunk[0] -= take
+            if chunk[0] == 0:
+                chunks.pop(0)
+        return msgs
 
     def _read_cost(self, pkt: Packet) -> int:
         lines = pkt.meta.notes.get("lines")

@@ -104,6 +104,7 @@ class KopiNic:
         self.on_arp: Optional[ArpHook] = None
         self.fallback_rx: Optional[FallbackRx] = None
         self.filter_point = None  # overlay InterpositionPoint, wired by the control plane
+        self.ff_plane = None  # the owning NormanOS, wired when fast_forward is on
 
         # Optional offloaded kernel functionality (§3: "per-connection
         # state, NAT, and everything else the kernel does today").
@@ -129,6 +130,16 @@ class KopiNic:
         if self.offline:
             self.metrics.counter("rx_offline_drops").inc()
             return
+        ff = self.machine.ff
+        if ff is not None and not pkt.is_arp:
+            # Hybrid fidelity: a promoted (fluid) flow absorbs the packet —
+            # counted into the pending epoch, not simulated. Every counter
+            # and cost this exact path would have moved is replayed by the
+            # profile's deliver closure at flush. A shape mismatch inside
+            # absorb_packet demotes and falls through to exact simulation.
+            aft = pkt.five_tuple
+            if aft is not None and ff.absorb_packet(aft, pkt.wire_len):
+                return
         self.metrics.counter("rx_pkts").inc()
         self.metrics.meter("rx_bytes").record(self.sim.now, pkt.wire_len)
 
@@ -160,6 +171,10 @@ class KopiNic:
                 latency = self._fixed_latency() + fp.hit_ns
                 self.sim.after(latency, self._rx_effects, pkt, conn, entry.verdict,
                                entry, True)
+                if ff is not None and self.ff_plane is not None:
+                    # One more consecutive steady-state packet; promotion
+                    # happens here once the streak and eligibility line up.
+                    ff.note_exact(self.ff_plane, pkt.five_tuple, pkt)
                 return
 
         # Resolve + attribute before filtering so owner-compiled rules and
@@ -275,6 +290,13 @@ class KopiNic:
         was_empty = ring.is_empty
         if not ring.try_post(pkt):
             self.metrics.counter("rx_ring_drops").inc()
+            ff = self.machine.ff
+            if ff is not None and pkt.five_tuple is not None:
+                # A full RX ring means delivery is now load-dependent
+                # (packets are being lost) — a queue-occupancy boundary.
+                from ..sim.fastforward import REASON_QDISC
+
+                ff.demote(pkt.five_tuple, REASON_QDISC)
             if pkt.meta.trace is not None:
                 pkt.meta.trace.close(self.sim.now)
             return

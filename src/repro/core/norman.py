@@ -95,6 +95,14 @@ class NormanOS(Dataplane):
             install_latency_ns=self.costs.table_update_ns,
             target=self.nic.steering,
         ))
+        # Hybrid fidelity: the NIC promotes flows through us and the egress
+        # scheduler's backlog is a demotion boundary. (Policy commits and
+        # verdict-cache events are wired machine-wide by Machine itself.)
+        if machine.ff is not None:
+            self.nic.ff_plane = self
+            self.nic.scheduler.backlog_demote_threshold = (
+                self.costs.ff_qdisc_backlog)
+            self.nic.scheduler.on_backlog_pressure = machine.ff.on_qdisc_pressure
 
     # --- wire plumbing ------------------------------------------------------
 
@@ -143,3 +151,111 @@ class NormanOS(Dataplane):
             "physical": 0,
             "control_plane_syscalls": self.kernel.syscalls.total_syscalls,
         }
+
+    # --- hybrid fidelity -----------------------------------------------------
+
+    def _ff_conn(self, flow):
+        """The live, NIC-resident connection a cached RX verdict delivers
+        to, or None if any part of the chain is not steady-state."""
+        fp = self.machine.fastpath
+        if fp is None:
+            return None, None
+        from ..interpose.fastpath import CHAIN_KOPI_RX
+
+        entry = fp.peek(CHAIN_KOPI_RX, flow)
+        if entry is None or entry.conn_id is None:
+            return None, None
+        from ..overlay.isa import VERDICT_DROP
+
+        if entry.verdict == VERDICT_DROP:
+            return None, None
+        conn = self.nic.conn_resolver(entry.conn_id)
+        if conn is None or conn.closed or conn.fallback:
+            return None, None
+        return entry, conn
+
+    def ff_eligible(self, flow) -> bool:
+        """Steady state on KOPI means: the composed RX verdict (steering +
+        overlay filter + conntrack attach) is live in the flow cache, it
+        delivers to a healthy NIC-resident connection, and nothing that
+        inspects or rewrites individual packets is attached — no capture
+        session (the sniffer must see real packets), no NAT (per-packet
+        rewrites), no structural LLC (per-line cache state would make the
+        frozen read cost wrong)."""
+        entry, conn = self._ff_conn(flow)
+        if conn is None:
+            return False
+        if self.sniffer.active_sessions:
+            return False
+        if self.nic.nat is not None:
+            return False
+        if self.machine.llc is not None:
+            return False
+        return True
+
+    def ff_profile(self, flow, pkt):
+        """Freeze the steady-state per-packet shape: the fixed NIC pipeline
+        and flow-cache hit (hardware time), then the library's descriptor
+        consume and analytic memory read (CPU time on the owner's core).
+        The deliver closure replays every counter the exact path moves —
+        NIC meters, cache hit/skip counters, the cached conntrack entry,
+        the DMA-direct copy ledger, and receive credit + notification."""
+        from ..host.copies import LAYER_DMA_DIRECT
+        from ..interpose.fastpath import CHAIN_KOPI_RX
+        from ..sim.fastforward import FlowProfile
+        from ..trace import (
+            STAGE_COHERENCE,
+            STAGE_FASTPATH,
+            STAGE_NIC_PIPELINE,
+            STAGE_RING,
+        )
+
+        entry, conn = self._ff_conn(flow)
+        if conn is None:
+            return None
+        machine = self.machine
+        fp = machine.fastpath
+        costs = self.costs
+        wire_len = pkt.wire_len
+        payload_len = pkt.payload_len
+        # Same line count the delivery path will stamp on the packet
+        # (pkt.meta.notes["lines"] is not attached yet on the RX hot path).
+        n_lines = min(
+            self.nic._lines_for(pkt), len(conn.rings.rx.region.line_addrs()))
+        read_ns = machine.ddio_model.read_cost_ns(
+            self.control.active_hot_bytes(), n_lines)
+        spans = (
+            (STAGE_NIC_PIPELINE, self.nic._fixed_latency(), False, "rx_pipeline"),
+            (STAGE_FASTPATH, fp.hit_ns, False, "rx_flow_cache"),
+            (STAGE_RING, costs.bypass_rx_pkt_ns, True, "rx_desc"),
+            (STAGE_COHERENCE, read_ns, True, "mem_read"),
+        )
+        points = entry.points
+        ct_entry = entry.ct_entry
+        ft = flow
+        nic = self.nic
+        src_ip, sport = ft.src_ip, ft.sport
+
+        def deliver(n: int) -> None:
+            now = machine.sim.now
+            nic.metrics.counter("rx_pkts").inc(n)
+            nic.metrics.meter("rx_bytes").record(now, n * wire_len)
+            fp.bulk_hit(CHAIN_KOPI_RX, ft, None, n, points=points)
+            if nic.conntrack is not None and ct_entry is not None:
+                ct_entry.packets += n
+                ct_entry.bytes += n * wire_len
+                ct_entry.last_seen_ns = now
+                fp.note_skipped("conntrack", n)
+            machine.copies.charge(LAYER_DMA_DIRECT, n * wire_len, 0, ops=n)
+            conn.rx_packets += n
+            conn.fluid_rx.append([n, payload_len, src_ip, sport])
+            if conn.notify_rx and nic.notify is not None:
+                from ..nic.notification import KIND_RX_READY
+
+                nic.notify(conn, KIND_RX_READY, n)
+
+        return FlowProfile(
+            spans, core_id=conn.proc.core_id, wire_len=wire_len,
+            payload_len=payload_len, src_ip=src_ip, sport=sport,
+            deliver=deliver, conn_id=conn.conn_id,
+        )

@@ -223,6 +223,40 @@ class Dataplane:
         cache); empty when no layer observes ARP globally."""
         return []
 
+    # --- hybrid fidelity (flow-level fast-forward, experiment E21) ---------
+
+    def ff_eligible(self, flow) -> bool:
+        """Whether ``flow`` is in a steady state this plane can fluid-
+        approximate: its composed RX verdict sits live in the flow fast
+        path under the current policy epoch and nothing per-packet-
+        interesting (a capture, a NAT rewrite, a fallback path) is
+        attached. The default is an honest ``False`` — a plane must opt in
+        by overriding, and must then also implement :meth:`ff_profile`."""
+        return False
+
+    def ff_profile(self, flow, pkt):
+        """Capture the frozen per-packet cost shape of ``flow``'s steady
+        state as a :class:`~repro.sim.fastforward.FlowProfile` (or ``None``
+        to refuse promotion after all). ``pkt`` is the packet whose exact
+        simulation just completed — the template the profile freezes."""
+        raise UnsupportedOperation(f"{self.name}: no fast-forward profile")
+
+    def ff_bulk_charge(self, flow, n: int, profile) -> None:
+        """Charge one ``FlowEpoch``: ``n`` packets of ``flow`` at the
+        frozen per-packet ``profile``, as one event. The trace spine gets
+        a count-weighted epoch (so the E16 taxonomy still sums exactly),
+        the profile's core absorbs ``n ×`` its per-packet CPU share, and
+        the plane-supplied ``deliver`` closure replays every remaining
+        side effect N exact packets would have had. Planes needing more
+        than this shared shape override and extend."""
+        machine = self.machine  # every concrete plane holds its Machine
+        machine.tracer.epoch(n, profile.spans, plane=self.name)
+        if profile.cpu_ns:
+            machine.cpus[profile.core_id].execute(
+                n * profile.cpu_ns, "ff_epoch")
+        if profile.deliver is not None:
+            profile.deliver(n)
+
     # --- accounting -----------------------------------------------------------
 
     def data_movements(self) -> Dict[str, int]:

@@ -8,6 +8,7 @@ from .. import units
 from ..config import DEFAULT_COSTS, CostModel
 from ..interpose import FlowFastPath, PolicyEngine
 from ..sim import Simulator
+from ..sim.fastforward import FastForwardController
 from ..trace import Tracer
 from .cache import AnalyticDdioModel, WayPartitionedCache
 from .coherence import CoherenceFabric
@@ -58,6 +59,17 @@ class Machine:
         # can hold a reference unconditionally; disabled it never creates a
         # context, which is what keeps default-config traces seed-identical.
         self.tracer = Tracer(self.sim, enabled=costs.trace)
+        # Hybrid-fidelity controller (repro.sim.fastforward). None unless
+        # ``fast_forward`` is on; when wired, the policy engine's commit
+        # stream and the verdict cache's miss/eviction stream become its
+        # demotion boundaries, so fluid flows drop back to packet-exact
+        # simulation wherever interposition state changes.
+        self.ff: Optional[FastForwardController] = None
+        if costs.fast_forward:
+            self.ff = FastForwardController(self.sim, costs)
+            self.interpose.on_commit.append(self.ff.on_policy_commit)
+            assert self.fastpath is not None  # enforced by CostModel
+            self.fastpath.demotion_hook = self.ff.on_fastpath_event
 
     @property
     def now(self) -> int:

@@ -3,7 +3,7 @@ mechanism, one commit history across every plane."""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..errors import PolicyError
 from ..sim import AllOf, Signal, Simulator
@@ -29,12 +29,19 @@ class PolicyEngine:
         #: Monotonic counter bumped whenever ANY point's version advances —
         #: the machine-wide policy epoch flow caches compare against.
         self.epoch = 0
+        #: Commit observers, called (no args) after each epoch bump. The
+        #: hybrid-fidelity controller registers here: a policy commit is a
+        #: fidelity boundary, so every fluid flow demotes to packet-exact
+        #: simulation before any packet runs under the new policy.
+        self.on_commit: List[Callable[[], None]] = []
 
     def _on_commit(self, point: InterpositionPoint) -> None:
         """Called by a point when its version advances (a commit landed).
         Failed async commits leave the old table running and do NOT bump
         the epoch, so caches built over them stay valid."""
         self.epoch += 1
+        for hook in self.on_commit:
+            hook()
 
     def version_vector(self) -> "tuple[tuple[str, int], ...]":
         """The live (point name, version) pairs, sorted — the composite

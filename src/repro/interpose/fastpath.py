@@ -30,11 +30,12 @@ the seed.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..config import CostModel
 from ..net.flow import FiveTuple
 from ..sim import MetricSet
+from ..sim.fastforward import REASON_CONNTRACK, REASON_FASTPATH
 
 #: Cache scopes (the ``chain`` key component) used by the dataplanes.
 CHAIN_STEER = "steer"
@@ -124,6 +125,12 @@ class FlowFastPath:
         self._c_installs = self.metrics.counter("installs")
         self._chain_hit = {}  # chain -> (hit counter, miss counter)
         self._skip_counters: Dict[str, object] = {}
+        #: Hybrid-fidelity demotion hook, ``hook(flow, reason)``. Wired by
+        #: Machine when ``fast_forward`` is on; fired at every event that
+        #: means "this flow's cached verdict is no longer a safe basis for
+        #: fluid approximation": a lookup miss, a stale-entry invalidation,
+        #: an LRU eviction, and conntrack expiry.
+        self.demotion_hook: Optional[Callable[[FiveTuple, str], None]] = None
 
     # --- datapath side -----------------------------------------------------
 
@@ -138,12 +145,16 @@ class FlowFastPath:
         if entry is None:
             self._c_misses.inc()
             self._chain_counters(chain)[1].inc()
+            if self.demotion_hook is not None:
+                self.demotion_hook(flow, REASON_FASTPATH)
             return None
         if entry.epoch != self.engine.epoch:
             self._remove(key, entry)
             self._c_invalidated.inc()
             self._c_misses.inc()
             self._chain_counters(chain)[1].inc()
+            if self.demotion_hook is not None:
+                self.demotion_hook(flow, REASON_FASTPATH)
             return None
         self._entries.move_to_end(key)
         entry.hits += 1
@@ -152,6 +163,39 @@ class FlowFastPath:
         for point in entry.points:
             self._skip_counter(point).inc()
         return entry
+
+    def peek(self, chain: str, flow: FiveTuple, scope: Optional[int] = None):
+        """Non-counting lookup for fidelity predicates: return the cached
+        entry iff it exists and is live under the current policy epoch.
+        Moves no counters, touches no LRU order, discards nothing — a pure
+        observation, so exact-mode behaviour cannot depend on it."""
+        entry = self._entries.get((chain, flow, scope))
+        if entry is None or entry.epoch != self.engine.epoch:
+            return None
+        return entry
+
+    def bulk_hit(self, chain: str, flow: FiveTuple,
+                 scope: Optional[int] = None, n: int = 1,
+                 points: Optional[Tuple[str, ...]] = None) -> None:
+        """Account ``n`` cache hits at once — a fluid epoch replaying the
+        cached verdict N times. Moves exactly the counters ``n`` exact
+        :meth:`lookup` hits would move (global + per-chain hit counters,
+        per-point skip counters, the entry's own hit count and LRU slot).
+        The packets being accounted ran *before* whatever boundary is now
+        flushing them, so a missing/stale entry still counts as hits —
+        ``points`` lets the caller supply the skip set the live entry
+        carried at promotion time."""
+        key = (chain, flow, scope)
+        entry = self._entries.get(key)
+        if entry is not None and entry.epoch == self.engine.epoch:
+            self._entries.move_to_end(key)
+            entry.hits += n
+            if points is None:
+                points = entry.points
+        self._c_hits.inc(n)
+        self._chain_counters(chain)[0].inc(n)
+        for point in points or ():
+            self._skip_counter(point).inc(n)
 
     def install(
         self,
@@ -181,6 +225,8 @@ class FlowFastPath:
             evicted_key, evicted = self._entries.popitem(last=False)
             self._unindex(evicted_key)
             self._c_evicted.inc()
+            if self.demotion_hook is not None:
+                self.demotion_hook(evicted.flow, REASON_FASTPATH)
         return entry
 
     # --- invalidation / eviction ------------------------------------------
@@ -198,6 +244,9 @@ class FlowFastPath:
                     dropped += 1
         if dropped:
             self._c_expired.inc(dropped)
+            if self.demotion_hook is not None:
+                self.demotion_hook(flow, REASON_CONNTRACK)
+                self.demotion_hook(flow.reversed(), REASON_CONNTRACK)
         return dropped
 
     def purge(self) -> int:
@@ -237,10 +286,11 @@ class FlowFastPath:
             self._skip_counters[point] = c
         return c
 
-    def note_skipped(self, point: str) -> None:
+    def note_skipped(self, point: str, n: int = 1) -> None:
         """Count a point whose evaluation a hit elided outside lookup()
-        (e.g. the conntrack update folded into a cached entry)."""
-        self._skip_counter(point).inc()
+        (e.g. the conntrack update folded into a cached entry); ``n`` lets
+        a fluid epoch account N elisions at once."""
+        self._skip_counter(point).inc(n)
 
     # --- introspection -----------------------------------------------------
 

@@ -43,6 +43,13 @@ class PacedQdiscRunner:
         self.point = None  # Optional[InterpositionPoint], set at registration
         self._busy_until = 0
         self._armed = False
+        #: Hybrid-fidelity boundary: when the backlog crosses this many
+        #: packets, ``on_backlog_pressure`` fires once (re-armed after the
+        #: queue drains below half the threshold). Wired by dataplanes when
+        #: fast-forward is on; None otherwise.
+        self.backlog_demote_threshold: Optional[int] = None
+        self.on_backlog_pressure: Optional[Callable[[], None]] = None
+        self._pressure_flagged = False
 
     def submit(self, pkt: Packet, cls: str = DEFAULT_CLASS) -> bool:
         """Enqueue and make sure the drain loop is running."""
@@ -53,6 +60,15 @@ class PacedQdiscRunner:
             pkt.meta.enqueued_ns = self.sim.now
             self.metrics.counter("enqueued").inc()
             self._arm(self.sim.now)
+            if (
+                self.backlog_demote_threshold is not None
+                and not self._pressure_flagged
+                and self.qdisc.backlog >= self.backlog_demote_threshold
+            ):
+                self._pressure_flagged = True
+                self.metrics.counter("pressure_events").inc()
+                if self.on_backlog_pressure is not None:
+                    self.on_backlog_pressure()
         else:
             self.metrics.counter("dropped").inc()
         return accepted
@@ -87,6 +103,12 @@ class PacedQdiscRunner:
             charge(STAGE_QDISC, now - pkt.meta.enqueued_ns, pkt.meta.trace,
                    cpu=False, label="queue_wait")
             self.emit(pkt)
+            if (
+                self._pressure_flagged
+                and self.backlog_demote_threshold is not None
+                and self.qdisc.backlog <= self.backlog_demote_threshold // 2
+            ):
+                self._pressure_flagged = False
             ser = units.transmit_time_ns(pkt.wire_len, self.drain_rate_bps)
             self._busy_until = now + ser
             self._arm(self._busy_until)

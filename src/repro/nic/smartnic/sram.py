@@ -33,6 +33,7 @@ class SramAllocator:
         self.capacity_bytes = capacity_bytes
         self._blocks: Dict[int, SramBlock] = {}
         self._next_id = 1
+        self._used = 0  # running total; alloc/free keep it exact
         self.metrics = MetricSet(name)
 
     def alloc(self, size: int, purpose: str) -> SramBlock:
@@ -48,16 +49,21 @@ class SramAllocator:
         block = SramBlock(block_id=self._next_id, size=size, purpose=purpose)
         self._next_id += 1
         self._blocks[block.block_id] = block
+        self._used += size
         return block
 
     def free(self, block: SramBlock) -> None:
         if block.block_id not in self._blocks:
             raise NicResourceExhausted(f"double free of SRAM block {block.block_id}")
         del self._blocks[block.block_id]
+        self._used -= block.size
 
     @property
     def used_bytes(self) -> int:
-        return sum(b.size for b in self._blocks.values())
+        # Allocation is consulted per connection open; a scan over every
+        # live block would make opening N connections O(N^2) (E21 runs
+        # 100k+), so the total is maintained incrementally.
+        return self._used
 
     @property
     def free_bytes(self) -> int:

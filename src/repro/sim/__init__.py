@@ -10,6 +10,7 @@ NIC engines are written.
 
 from .engine import EventHandle, Simulator
 from .events import AllOf, AnyOf, Signal
+from .fastforward import FastForwardController, FlowProfile
 from .metrics import Counter, Histogram, MetricSet, RateMeter, TimeSeries
 from .process import SimProcess
 from .rand import make_rng
@@ -19,6 +20,8 @@ __all__ = [
     "AnyOf",
     "Counter",
     "EventHandle",
+    "FastForwardController",
+    "FlowProfile",
     "Histogram",
     "MetricSet",
     "RateMeter",

@@ -222,14 +222,17 @@ class Simulator:
             fired += 1
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
-        """Drain the event heap completely; guard against runaway loops."""
-        fired = 0
-        while self.step():
-            fired += 1
-            if fired > max_events:
-                raise SimulationError(
-                    f"run_until_idle exceeded {max_events} events; likely a livelock"
-                )
+        """Drain the event heap completely; guard against runaway loops.
+
+        Delegates to :meth:`run`, which pops via ``peek()`` — one heap
+        traversal per event. Fires at most ``max_events`` callbacks; if
+        non-cancelled work remains after that, raises.
+        """
+        self.run(max_events=max_events)
+        if self.peek() is not None:
+            raise SimulationError(
+                f"run_until_idle exceeded {max_events} events; likely a livelock"
+            )
         return self._now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,341 @@
+"""Hybrid-fidelity fast-forward: fluid epochs for steady-state flows.
+
+The simulator's default mode is packet-exact: every packet is its own chain
+of heap events. That fidelity is the whole point at interposition
+boundaries — a policy commit, a verdict-cache miss, a queue filling up —
+but in steady state a flow whose packets all hit the verdict cache pays the
+same per-stage costs packet after packet, and simulating each one buys
+nothing except wall-clock time.
+
+:class:`FastForwardController` lets a dataplane *promote* such a flow to
+fluid approximation: the plane captures a :class:`FlowProfile` (the exact
+per-packet span list the steady-state path would charge) and subsequent
+packets are *absorbed* — counted, not simulated. One ``FlowEpoch`` flush
+event then charges ``N ×`` the per-packet cost per stage, so the trace
+taxonomy, the copy ledger, CPU busy time, and fastpath counters all move
+exactly as N packet-level events would have moved them.
+
+The safety contract is the *demotion* half: at every fidelity boundary the
+flow drops back to exact packet-level simulation **before** the boundary's
+effect is simulated. Boundaries, and who wires them (see
+``docs/hybrid_fidelity.md``):
+
+* ``policy_commit`` — PolicyEngine epoch bump (``PolicyEngine.on_commit``)
+* ``fastpath`` — verdict-cache miss / stale invalidation / LRU eviction
+  (``FlowFastPath.demotion_hook``)
+* ``conntrack_expiry`` — conntrack GC evicting the flow's cache entries
+* ``qdisc_pressure`` — qdisc backlog crossing the configured threshold
+* ``cache_pressure`` — DDIO/SRAM working set crossing a capacity quartile
+* ``shape_change`` — the flow's packets stop matching the captured profile
+
+Everything here is default-off: with ``CostModel.fast_forward`` unset no
+controller is constructed and the event trace is byte-identical to seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+# Demotion reasons — the full set of fidelity boundaries.
+REASON_POLICY = "policy_commit"
+REASON_FASTPATH = "fastpath"
+REASON_CONNTRACK = "conntrack_expiry"
+REASON_QDISC = "qdisc_pressure"
+REASON_PRESSURE = "cache_pressure"
+REASON_SHAPE = "shape_change"
+
+REASONS = (
+    REASON_POLICY,
+    REASON_FASTPATH,
+    REASON_CONNTRACK,
+    REASON_QDISC,
+    REASON_PRESSURE,
+    REASON_SHAPE,
+)
+
+
+class FlowProfile:
+    """The frozen per-packet cost shape of a promoted flow.
+
+    ``spans`` is the exact per-stage span list one steady-state packet
+    charges: ``(stage, ns, cpu, label)`` tuples (plain tuples, not trace
+    Spans — this module must not import the trace package). Latency is the
+    span sum *by construction*, so conservation (span sums == end-to-end
+    latency) holds for fluid epochs exactly as it does for packet contexts.
+
+    ``deliver`` is a plane-supplied closure ``deliver(n)`` that replicates
+    every side effect N exact packets would have had beyond time itself:
+    NIC counters, verdict-cache hit counters, conntrack byte counts, copy
+    ledger charges, receive-queue credit. ``wire_len`` pins the profile's
+    shape: a packet of any other size is a ``shape_change`` boundary.
+    """
+
+    __slots__ = ("spans", "core_id", "wire_len", "payload_len",
+                 "src_ip", "sport", "deliver", "conn_id",
+                 "latency_ns", "cpu_ns")
+
+    def __init__(self, spans: Tuple[Tuple[str, int, bool, str], ...],
+                 core_id: int, wire_len: int, payload_len: int = 0,
+                 src_ip: str = "", sport: int = 0,
+                 deliver: Optional[Callable[[int], None]] = None,
+                 conn_id: Optional[int] = None):
+        self.spans = tuple(spans)
+        self.core_id = core_id
+        self.wire_len = wire_len
+        self.payload_len = payload_len
+        self.src_ip = src_ip
+        self.sport = sport
+        self.deliver = deliver
+        self.conn_id = conn_id
+        self.latency_ns = sum(ns for _stage, ns, _cpu, _label in self.spans)
+        self.cpu_ns = sum(ns for _stage, ns, cpu, _label in self.spans if cpu)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlowProfile {len(self.spans)} spans "
+                f"{self.latency_ns}ns core={self.core_id}>")
+
+
+class FlowState:
+    """Per-flow fast-forward bookkeeping."""
+
+    __slots__ = ("key", "plane", "streak", "promoted", "profile",
+                 "pending", "flush_handle")
+
+    def __init__(self, key, plane):
+        self.key = key
+        self.plane = plane
+        self.streak = 0          # consecutive steady-state exact packets
+        self.promoted = False
+        self.profile: Optional[FlowProfile] = None
+        self.pending = 0         # absorbed packets awaiting an epoch flush
+        self.flush_handle = None # horizon event for the pending epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "fluid" if self.promoted else f"exact(streak={self.streak})"
+        return f"<FlowState {self.key} {mode} pending={self.pending}>"
+
+
+class FastForwardController:
+    """Tracks flow fidelity and turns absorbed packets into epoch charges.
+
+    The controller never charges costs itself: flushing calls back into the
+    owning plane's ``ff_bulk_charge(key, n, profile)`` so each dataplane
+    stays the authority on what N of its packets cost. The controller owns
+    *when* — promotion streaks, epoch sizing, the flush horizon, and the
+    demote-on-boundary contract (flush first, so packets absorbed before a
+    boundary are charged under the profile that was valid when they ran).
+    """
+
+    def __init__(self, sim, costs):
+        self.sim = sim
+        self.costs = costs
+        self._flows: Dict[object, FlowState] = {}
+        self._by_conn: Dict[int, List[FlowState]] = {}
+        self._ws_bucket: Optional[int] = None
+        # Metrics.
+        self.promotions = 0
+        self.epochs = 0
+        self.fluid_packets = 0
+        self.demotions: Dict[str, int] = {reason: 0 for reason in REASONS}
+
+    # -- promotion ---------------------------------------------------------
+
+    def note_exact(self, plane, key, pkt) -> None:
+        """Record one steady-state exact packet (a verdict-cache hit on a
+        plane that supports fast-forward). After ``ff_promote_after``
+        consecutive such packets on an eligible flow, the plane is asked for
+        a profile and the flow goes fluid."""
+        state = self._flows.get(key)
+        if state is None:
+            state = self._flows[key] = FlowState(key, plane)
+        if state.promoted:
+            return
+        state.streak += 1
+        if state.streak < self.costs.ff_promote_after:
+            return
+        if not plane.ff_eligible(key):
+            state.streak = 0
+            return
+        profile = plane.ff_profile(key, pkt)
+        if profile is None:
+            state.streak = 0
+            return
+        state.profile = profile
+        state.promoted = True
+        self.promotions += 1
+        if profile.conn_id is not None:
+            self._by_conn.setdefault(profile.conn_id, []).append(state)
+
+    def promoted(self, key) -> bool:
+        state = self._flows.get(key)
+        return state is not None and state.promoted
+
+    # -- absorption --------------------------------------------------------
+
+    def absorb_packet(self, key, wire_len: int) -> bool:
+        """Absorb one packet of a promoted flow into the pending epoch.
+        Returns False (caller must simulate exactly) when the flow is not
+        fluid; a wire-length mismatch is a shape boundary and demotes."""
+        state = self._flows.get(key)
+        if state is None or not state.promoted:
+            return False
+        assert state.profile is not None
+        if wire_len != state.profile.wire_len:
+            self.demote(key, REASON_SHAPE)
+            return False
+        self._absorb(state, 1)
+        return True
+
+    def absorb(self, key, n: int) -> bool:
+        """Bulk form for drivers that know N same-shape packets are coming
+        (an E21 round). Same contract as :meth:`absorb_packet`."""
+        if n < 1:
+            raise SimulationError(f"absorb needs n >= 1, got {n}")
+        state = self._flows.get(key)
+        if state is None or not state.promoted:
+            return False
+        self._absorb(state, n)
+        return True
+
+    def _absorb(self, state: FlowState, n: int) -> None:
+        state.pending += n
+        if state.pending >= self.costs.ff_epoch_packets:
+            self._flush_state(state)
+        elif state.flush_handle is None:
+            state.flush_handle = self.sim.after(
+                self.costs.ff_horizon_ns, self._horizon_flush, state.key)
+
+    # -- flushing ----------------------------------------------------------
+
+    def _horizon_flush(self, key) -> None:
+        state = self._flows.get(key)
+        if state is not None:
+            state.flush_handle = None
+            self._flush_state(state)
+
+    def _flush_state(self, state: FlowState) -> None:
+        if state.flush_handle is not None:
+            state.flush_handle.cancel()
+            state.flush_handle = None
+        n = state.pending
+        if n == 0:
+            return
+        state.pending = 0
+        self.epochs += 1
+        self.fluid_packets += n
+        state.plane.ff_bulk_charge(state.key, n, state.profile)
+
+    def flush(self, key) -> None:
+        """Charge the flow's pending epoch now (no fidelity change)."""
+        state = self._flows.get(key)
+        if state is not None:
+            self._flush_state(state)
+
+    def flush_conn(self, conn_id: int) -> None:
+        """Flush every promoted flow delivering to ``conn_id`` — the
+        receive path calls this before consuming fluid credit so charges
+        land before the data they cover is read."""
+        for state in self._by_conn.get(conn_id, ()):
+            self._flush_state(state)
+
+    def flush_all(self) -> None:
+        for state in list(self._flows.values()):
+            self._flush_state(state)
+
+    # -- demotion (the fidelity boundaries) --------------------------------
+
+    def demote(self, key, reason: str) -> bool:
+        """Drop ``key`` back to exact packet-level simulation. Pending
+        absorbed packets are flushed first — they ran while the old profile
+        was valid, so they are charged under it; everything after this call
+        is simulated packet-exact. Returns True if the flow was fluid."""
+        if reason not in self.demotions:
+            raise SimulationError(f"unknown demotion reason {reason!r}")
+        state = self._flows.pop(key, None)
+        if state is None:
+            return False
+        was_fluid = state.promoted
+        if was_fluid:
+            self._flush_state(state)
+            self.demotions[reason] += 1
+            profile = state.profile
+            if profile is not None and profile.conn_id is not None:
+                peers = self._by_conn.get(profile.conn_id)
+                if peers is not None:
+                    peers.remove(state)
+                    if not peers:
+                        del self._by_conn[profile.conn_id]
+        elif state.flush_handle is not None:  # pragma: no cover - invariant
+            state.flush_handle.cancel()
+        return was_fluid
+
+    def demote_conn(self, conn_id: int, reason: str) -> int:
+        """Demote every fluid flow delivering to ``conn_id`` (connection
+        teardown). Returns how many were fluid."""
+        demoted = 0
+        for state in list(self._by_conn.get(conn_id, ())):
+            if self.demote(state.key, reason):
+                demoted += 1
+        return demoted
+
+    def demote_all(self, reason: str) -> int:
+        """A global boundary (policy commit, pressure cliff): every flow
+        back to exact. Returns how many were fluid."""
+        demoted = 0
+        for key in list(self._flows):
+            if self.demote(key, reason):
+                demoted += 1
+        return demoted
+
+    # -- boundary hooks (wired by Machine and the planes) ------------------
+
+    def on_policy_commit(self) -> None:
+        """PolicyEngine commit: any verdict anywhere may have changed."""
+        self.demote_all(REASON_POLICY)
+
+    def on_fastpath_event(self, flow, reason: str) -> None:
+        """Verdict-cache miss/invalidation/eviction for ``flow`` (reason
+        ``fastpath``), or conntrack expiry (reason ``conntrack_expiry``)."""
+        self.demote(flow, reason)
+
+    def on_qdisc_pressure(self) -> None:
+        """Qdisc backlog crossed its threshold: queueing delay is about to
+        become load-dependent, which no frozen profile can model."""
+        self.demote_all(REASON_QDISC)
+
+    def note_working_set(self, hot_bytes: int, capacity_bytes: int) -> None:
+        """DDIO/SRAM pressure tracking: the analytic cache model's read
+        costs depend on the hot working set, so any capacity-quartile
+        crossing invalidates captured profiles."""
+        if capacity_bytes <= 0:
+            return
+        bucket = min(4, (hot_bytes * 4) // capacity_bytes)
+        if self._ws_bucket is not None and bucket != self._ws_bucket:
+            self.demote_all(REASON_PRESSURE)
+        self._ws_bucket = bucket
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def tracked(self) -> int:
+        return len(self._flows)
+
+    @property
+    def promoted_count(self) -> int:
+        return sum(1 for s in self._flows.values() if s.promoted)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "tracked": self.tracked,
+            "promoted": self.promoted_count,
+            "promotions": self.promotions,
+            "epochs": self.epochs,
+            "fluid_packets": self.fluid_packets,
+            "demotions": dict(self.demotions),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FastForwardController flows={self.tracked} "
+                f"fluid_pkts={self.fluid_packets} epochs={self.epochs}>")

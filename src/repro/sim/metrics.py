@@ -65,9 +65,16 @@ class Histogram:
         self._min: Optional[float] = None
         self._max: Optional[float] = None
 
-    def observe(self, value: float) -> None:
-        self._count += 1
-        self._total += value
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value``; with ``n > 1``, record it as ``n`` identical
+        observations (a fluid epoch charging one per-packet cost N times).
+        Count, total, min, and max account for all ``n`` exactly; the sample
+        buffer retains ``value`` once per call, so percentiles under heavy
+        weighting carry the same approximation caveat as decimation."""
+        if n < 1:
+            raise ValueError(f"histogram {self.name!r} observe needs n >= 1, got {n}")
+        self._count += n
+        self._total += value * n
         if self._min is None or value < self._min:
             self._min = value
         if self._max is None or value > self._max:

@@ -135,6 +135,13 @@ class Tracer:
         self._next_id = 1
         # (plane, stage) -> [total_ns, cpu_ns, ops] for work with no packet.
         self._loose: Dict[Tuple[str, str], List[int]] = {}
+        # Fluid epochs: (plane, packet count, span tuples). One entry stands
+        # for ``count`` identical packets whose per-packet spans are the
+        # given (stage, ns, cpu, label) tuples — the hybrid-fidelity engine
+        # records its bulk charges here so per-stage histograms and latency
+        # summaries weight them as count packets, not one.
+        self._epochs: List[Tuple[str, int,
+                                 Tuple[Tuple[str, int, bool, str], ...]]] = []
 
     # -- recording ---------------------------------------------------------
 
@@ -164,19 +171,39 @@ class Tracer:
             bucket[2] += 1
         return ns
 
+    def epoch(self, count: int,
+              spans: Tuple[Tuple[str, int, bool, str], ...],
+              plane: Optional[str] = None) -> None:
+        """Record one fluid epoch: ``count`` packets that each charged the
+        per-packet ``spans`` (``(stage, ns, cpu, label)`` tuples). The
+        epoch's per-packet latency is the span sum by construction, so the
+        conservation invariant (span sums tile end-to-end latency) holds
+        for fluid packets exactly as for per-packet contexts."""
+        if self.enabled and count > 0:
+            self._epochs.append((plane or self.plane, count, tuple(spans)))
+
     def reset(self) -> None:
-        """Drop every recorded context and loose bucket (the enabled flag
-        and plane tag survive). Measurement drivers call this after their
-        setup phase so the trace window matches the measurement window —
-        resetting observes nothing and perturbs nothing."""
+        """Drop every recorded context, loose bucket, and fluid epoch (the
+        enabled flag and plane tag survive). Measurement drivers call this
+        after their setup phase so the trace window matches the measurement
+        window — resetting observes nothing and perturbs nothing."""
         self.contexts = []
         self._loose = {}
+        self._epochs = []
 
     # -- analysis ----------------------------------------------------------
 
     def closed_contexts(self, plane: Optional[str] = None) -> List[TraceContext]:
         return [c for c in self.contexts
                 if c.closed and (plane is None or c.plane == plane)]
+
+    def epochs(self, plane: Optional[str] = None):
+        """The recorded fluid epochs (optionally one plane's)."""
+        return [e for e in self._epochs if plane is None or e[0] == plane]
+
+    def fluid_packets(self, plane: Optional[str] = None) -> int:
+        """Packets represented by fluid epochs rather than contexts."""
+        return sum(count for _pl, count, _spans in self.epochs(plane))
 
     def loose_totals(self, plane: Optional[str] = None) -> Dict[str, Dict[str, int]]:
         """``{stage: {"ns": total, "cpu_ns": cpu subset, "ops": n}}``."""
@@ -192,30 +219,67 @@ class Tracer:
 
     def stage_histograms(self, plane: Optional[str] = None) -> Dict[str, Histogram]:
         """Per-stage histograms of *per-packet* nanoseconds over every
-        closed context (optionally one plane's)."""
+        closed context (optionally one plane's). Fluid epochs contribute
+        their per-packet stage sums weighted by packet count, so hybrid
+        runs report the same shape packet-exact runs do."""
         hists = {stage: Histogram(f"trace.{stage}") for stage in STAGES}
         for ctx in self.closed_contexts(plane):
             for stage, ns in ctx.by_stage().items():
                 hists.setdefault(stage, Histogram(f"trace.{stage}")).observe(ns)
+        for _pl, count, spans in self.epochs(plane):
+            per_stage: Dict[str, int] = {}
+            for stage, ns, _cpu, _label in spans:
+                per_stage[stage] = per_stage.get(stage, 0) + ns
+            for stage, ns in per_stage.items():
+                hists.setdefault(stage, Histogram(f"trace.{stage}")).observe(
+                    ns, n=count)
         return {stage: h for stage, h in hists.items() if h.count}
+
+    def work_by_stage(self, plane: Optional[str] = None,
+                      include_wait: bool = True) -> Dict[str, int]:
+        """Total attributed nanoseconds per stage over contexts and fluid
+        epochs. ``include_wait=False`` drops spans whose label ends in
+        ``_wait`` (ring/queue/pipeline residency) — the workload-dependent
+        part no frozen profile models — leaving the deterministic per-packet
+        work E21 compares across fidelity modes."""
+        out: Dict[str, int] = {}
+        for ctx in self.closed_contexts(plane):
+            for s in ctx.spans:
+                if not include_wait and s.label.endswith("_wait"):
+                    continue
+                out[s.stage] = out.get(s.stage, 0) + s.ns
+        for _pl, count, spans in self.epochs(plane):
+            for stage, ns, _cpu, label in spans:
+                if not include_wait and label.endswith("_wait"):
+                    continue
+                out[stage] = out.get(stage, 0) + ns * count
+        return out
 
     def report(self, plane: Optional[str] = None) -> Dict[str, object]:
         """Everything E16 and the CLI need: per-stage per-packet summaries,
         loose totals, attributed CPU time, and mean end-to-end latency."""
         closed = self.closed_contexts(plane)
         loose = self.loose_totals(plane)
+        fluid = self.epochs(plane)
         ctx_cpu = sum(c.cpu_ns() for c in closed)
+        fluid_cpu = sum(count * sum(ns for _st, ns, cpu, _lb in spans if cpu)
+                        for _pl, count, spans in fluid)
         loose_cpu = sum(v["cpu_ns"] for v in loose.values())
         lat = Histogram("trace.latency")
         lat.extend(float(c.latency_ns()) for c in closed)
+        for _pl, count, spans in fluid:
+            # An epoch packet's latency is its span sum by construction.
+            lat.observe(float(sum(ns for _st, ns, _cpu, _lb in spans)),
+                        n=count)
         return {
             "plane": plane or self.plane,
-            "packets": len(closed),
+            "packets": len(closed) + self.fluid_packets(plane),
+            "fluid_packets": self.fluid_packets(plane),
             "stages": {s: h.summary() for s, h in
                        self.stage_histograms(plane).items()},
             "loose": loose,
-            "cpu_ns_total": ctx_cpu + loose_cpu,
-            "cpu_ns_attributed": ctx_cpu,
+            "cpu_ns_total": ctx_cpu + fluid_cpu + loose_cpu,
+            "cpu_ns_attributed": ctx_cpu + fluid_cpu,
             "latency": lat.summary(),
         }
 

@@ -74,3 +74,76 @@ class TestEngineOrdering:
         sim.run()
         assert fired == sorted(fired)
         assert len(fired) == 2 * len(first)
+
+
+class TestHeapCompaction:
+    """Lazy-cancel heap compaction must be invisible: firing order, FIFO
+    ties, and the ``cancelled_pending`` books survive arbitrary
+    schedule/cancel/peek interleavings straddling ``COMPACT_MIN_HEAP``."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["sched", "cancel", "peek"]),
+                st.integers(0, 5_000),
+            ),
+            min_size=2 * Simulator.COMPACT_MIN_HEAP,
+            max_size=5 * Simulator.COMPACT_MIN_HEAP,
+        )
+    )
+    @settings(max_examples=60)
+    def test_interleaved_cancels_preserve_semantics(self, ops):
+        sim = Simulator()
+        fired = []
+        handles = []          # (index, delay, handle) in schedule order
+        cancelled = set()
+        for op, val in ops:
+            if op == "sched" or not handles:
+                i = len(handles)
+                handles.append(
+                    (i, val, sim.after(val, lambda i=i: fired.append(i)))
+                )
+            elif op == "cancel":
+                i, _d, h = handles[val % len(handles)]
+                h.cancel()    # may repeat: cancel() must be idempotent
+                cancelled.add(i)
+            else:
+                # peek() drains cancelled heap heads as a side effect; it
+                # must report the next *live* timestamp (delay == abs time
+                # here, nothing has run yet) and keep the books balanced.
+                t = sim.peek()
+                live = [d for i, d, _h in handles if i not in cancelled]
+                assert t == (min(live) if live else None)
+            # The books at every step: pending counts lazily-cancelled
+            # entries still in the heap, so live = pending - cancelled.
+            assert 0 <= sim.cancelled_pending <= sim.pending
+            assert (
+                sim.pending - sim.cancelled_pending
+                == len(handles) - len(cancelled)
+            )
+        sim.run()
+        assert sim.pending == 0
+        assert sim.cancelled_pending == 0
+        survivors = [(i, d) for i, d, _h in handles if i not in cancelled]
+        # Time order with FIFO ties == stable sort of survivors by delay,
+        # no matter how many compactions rebuilt the heap along the way.
+        assert fired == [i for i, _d in sorted(survivors, key=lambda x: x[1])]
+
+    def test_compaction_fires_and_preserves_order(self):
+        """Deterministic companion: force a compaction past the 50%%
+        cancelled threshold and check the survivors still fire in order."""
+        sim = Simulator()
+        fired = []
+        n = 100
+        handles = [
+            sim.after(1_000 - i, lambda i=i: fired.append(i)) for i in range(n)
+        ]
+        for h in handles[:70]:
+            h.cancel()
+        assert sim.heap_compactions >= 1
+        assert sim.pending - sim.cancelled_pending == 30
+        sim.run()
+        # Survivors i=70..99 have delays 930..901: descending index order.
+        assert fired == list(range(n - 1, 69, -1))
+        assert sim.pending == 0
+        assert sim.cancelled_pending == 0
