@@ -5,8 +5,9 @@ Usage::
     python -m repro report [--quick]   # run every experiment, print tables
     python -m repro matrix             # just the E3 capability matrix
     python -m repro costs              # dump the calibrated cost model
-    python -m repro e1 .. e16 | e21 | f1   # one experiment's table
+    python -m repro e1 .. e16 | e21 | e22 | f1   # one experiment's table
     python -m repro trace [plane] [--out FILE]   # traced run -> Chrome JSON
+    python -m repro profile <exp> [--top N]      # cProfile one experiment
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ def _experiment_mains():
         e15_flow_fastpath,
         e16_latency_anatomy,
         e21_fidelity_crossover,
+        e22_group_fastforward,
         f1_architecture,
         s1_tail_latency,
     )
@@ -57,6 +59,7 @@ def _experiment_mains():
         "e15": e15_flow_fastpath.main,
         "e16": e16_latency_anatomy.main,
         "e21": e21_fidelity_crossover.main,
+        "e22": e22_group_fastforward.main,
         "f1": f1_architecture.main,
         "s1": s1_tail_latency.main,
     }
@@ -106,6 +109,59 @@ def _trace_main(argv: "list[str]") -> int:
     return 0
 
 
+def _profile_main(argv: "list[str]") -> int:
+    """Run one plane or experiment under cProfile and print the hottest
+    functions.
+
+    ``repro profile <plane|experiment> [--top N]`` — a plane name
+    (``kernel``, ``kopi``, ...) profiles that plane's bulk-TX run (the
+    same workload ``repro trace`` uses); an experiment key (``e1`` ..
+    ``e22``, ``f1``, ``s1``) profiles that experiment's ``main``. N
+    defaults to 30 cumulative-time rows. The run's own table is
+    suppressed; this command answers "where does the wall clock go", not
+    "what did the run conclude".
+    """
+    import cProfile
+    import pstats
+
+    from .experiments.common import planes_under_test, run_bulk_tx
+
+    top = 30
+    args = list(argv)
+    if "--top" in args:
+        i = args.index("--top")
+        try:
+            top = int(args[i + 1])
+        except (IndexError, ValueError):
+            print("profile: --top needs an integer", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if not args:
+        print("profile: profile what? e.g. `repro profile kopi` or "
+              "`repro profile e22`", file=sys.stderr)
+        return 2
+    name = args[0]
+    mains = _experiment_mains()
+    planes = {cls.name: cls for cls in planes_under_test()}
+    if name in planes:
+        def target() -> None:
+            run_bulk_tx(planes[name], 1_458, 4_096)
+    elif name in mains:
+        target = mains[name]
+    else:
+        print(f"profile: unknown target {name!r}; choose a plane "
+              f"({sorted(planes)}) or experiment ({sorted(mains)})",
+              file=sys.stderr)
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    target()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return 0
+
+
 def main(argv: "list[str]") -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -123,6 +179,8 @@ def main(argv: "list[str]") -> int:
         return 0
     if cmd == "trace":
         return _trace_main(argv[1:])
+    if cmd == "profile":
+        return _profile_main(argv[1:])
     if cmd == "costs":
         for key, value in DEFAULT_COSTS.describe().items():
             print(f"{key} = {value}")

@@ -178,6 +178,21 @@ class CostModel:
     """Pinned relative tolerance for E21's fidelity contract: fast-forwarded
     latency/attribution totals must match packet-level runs within this."""
 
+    ff_group: bool = True
+    """Coalesce promoted flows sharing (plane, chain-version-vector, profile
+    shape) into one :class:`FlowGroup` per shape: a single epoch event and a
+    single horizon timer charge N_flows × N_pkts, so the epoch machinery
+    costs O(groups) events instead of O(flows). Off reproduces PR6's
+    per-flow epoch charging (the E22 comparison baseline). Only meaningful
+    with :attr:`fast_forward`."""
+
+    ff_tx: bool = True
+    """Fast-forward TX-side schedules too: a steady single-packet sender
+    whose packets hit the TX verdict cache absorbs its app-timer → syscall
+    → doorbell chain into fluid epochs instead of firing per-packet events,
+    demoting at the same boundaries. Only meaningful with
+    :attr:`fast_forward`."""
+
     # --- latency anatomy (attributed tracing spine, experiment E16) ---------
     trace: bool = False
     """Record an attributed span per charged nanosecond (see repro.trace):

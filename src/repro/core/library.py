@@ -64,6 +64,23 @@ class NormanEndpoint(Endpoint):
             return self._os.kernel.netstack.sendmmsg(
                 self.proc, self.conn.sock, dst[0], dst[1], payload_lens
             )
+        ff = self._os.machine.ff
+        if ff is not None:
+            # TX-side fast-forward: a steady single-packet send on a
+            # promoted flow is absorbed here — it never builds a Packet,
+            # never enters the ring, fires zero simulator events. The
+            # epoch flush replays its full chain later.
+            from ..net.flow import FiveTuple
+
+            key = FiveTuple(
+                proto=self.proto, src_ip=self._os.kernel.host_ip,
+                sport=self.port, dst_ip=dst[0], dport=dst[1],
+            )
+            absorbed = ff.absorb_send(key, payload_lens)
+            if absorbed:
+                done = Signal("norman.send_burst")
+                done.succeed(absorbed)
+                return done
         pkts = [self._build(dst[0], dst[1], length) for length in payload_lens]
         return self.send_raw_burst(pkts)
 

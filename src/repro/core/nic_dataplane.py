@@ -105,6 +105,7 @@ class KopiNic:
         self.fallback_rx: Optional[FallbackRx] = None
         self.filter_point = None  # overlay InterpositionPoint, wired by the control plane
         self.ff_plane = None  # the owning NormanOS, wired when fast_forward is on
+        self.tx_ff_plane = None  # its TX surface, wired when ff_tx is also on
 
         # Optional offloaded kernel functionality (§3: "per-connection
         # state, NAT, and everything else the kernel does today").
@@ -378,7 +379,7 @@ class KopiNic:
             )
             fp_entry = fp.install(
                 CHAIN_KOPI_TX, ft, verdict=verdict, qdisc_class=sched_class,
-                points=points,
+                conn_id=pkt.meta.conn_id, points=points,
             )
         return verdict, sched_class, cost, fp_entry, False
 
@@ -399,6 +400,10 @@ class KopiNic:
         )
 
         verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
+        if fp_hit and verdict != VERDICT_DROP and self.tx_ff_plane is not None:
+            ff = self.machine.ff
+            if ff is not None and pkt.five_tuple is not None:
+                ff.note_exact(self.tx_ff_plane, pkt.five_tuple, pkt)
         if pkt.meta.trace is not None:
             # Doorbell MMIO latency + ring residency since the library post.
             pkt.meta.trace.fill_gap(STAGE_DMA, self.sim.now, label="desc_fetch")
@@ -449,6 +454,10 @@ class KopiNic:
             conn.tx_packets += 1
             total_wire += pkt.wire_len
             verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
+            if fp_hit and verdict != VERDICT_DROP and self.tx_ff_plane is not None:
+                ff = self.machine.ff
+                if ff is not None and pkt.five_tuple is not None:
+                    ff.note_exact(self.tx_ff_plane, pkt.five_tuple, pkt)
             if pkt.meta.trace is not None:
                 pkt.meta.trace.fill_gap(STAGE_DMA, self.sim.now, label="desc_fetch")
                 charge(STAGE_FASTPATH if fp_hit else STAGE_NETFILTER,

@@ -100,6 +100,9 @@ class NormanOS(Dataplane):
         # verdict-cache events are wired machine-wide by Machine itself.)
         if machine.ff is not None:
             self.nic.ff_plane = self
+            if self.costs.ff_tx:
+                self.tx_ff = KopiTxFastForward(self)
+                self.nic.tx_ff_plane = self.tx_ff
             self.nic.scheduler.backlog_demote_threshold = (
                 self.costs.ff_qdisc_backlog)
             self.nic.scheduler.on_backlog_pressure = machine.ff.on_qdisc_pressure
@@ -202,6 +205,7 @@ class NormanOS(Dataplane):
         the DMA-direct copy ledger, and receive credit + notification."""
         from ..host.copies import LAYER_DMA_DIRECT
         from ..interpose.fastpath import CHAIN_KOPI_RX
+        from ..nic.notification import KIND_RX_READY
         from ..sim.fastforward import FlowProfile
         from ..trace import (
             STAGE_COHERENCE,
@@ -235,11 +239,15 @@ class NormanOS(Dataplane):
         ft = flow
         nic = self.nic
         src_ip, sport = ft.src_ip, ft.sport
+        # Metric objects are stable for the machine's lifetime — resolve
+        # them once at profile capture, not per epoch.
+        rx_pkts = nic.metrics.counter("rx_pkts")
+        rx_bytes = nic.metrics.meter("rx_bytes")
 
         def deliver(n: int) -> None:
             now = machine.sim.now
-            nic.metrics.counter("rx_pkts").inc(n)
-            nic.metrics.meter("rx_bytes").record(now, n * wire_len)
+            rx_pkts.inc(n)
+            rx_bytes.record(now, n * wire_len)
             fp.bulk_hit(CHAIN_KOPI_RX, ft, None, n, points=points)
             if nic.conntrack is not None and ct_entry is not None:
                 ct_entry.packets += n
@@ -250,12 +258,173 @@ class NormanOS(Dataplane):
             conn.rx_packets += n
             conn.fluid_rx.append([n, payload_len, src_ip, sport])
             if conn.notify_rx and nic.notify is not None:
-                from ..nic.notification import KIND_RX_READY
-
                 nic.notify(conn, KIND_RX_READY, n)
 
         return FlowProfile(
             spans, core_id=conn.proc.core_id, wire_len=wire_len,
             payload_len=payload_len, src_ip=src_ip, sport=sport,
-            deliver=deliver, conn_id=conn.conn_id,
+            deliver=deliver, conn_id=conn.conn_id, versions=entry.versions,
+        )
+
+
+class KopiTxFastForward:
+    """The TX-side fast-forward surface of :class:`NormanOS`.
+
+    A separate promotion plane (same controller, same boundaries) because
+    the steady-state shape is a different chain: app timer → descriptor
+    post → doorbell MMIO → PCIe descriptor fetch → TX verdict cache →
+    fixed pipeline → (empty) qdisc → wire. Promotion is driven by TX
+    verdict-cache hits in the NIC's drain loop; absorption happens one
+    layer up, in :meth:`NormanEndpoint.send_burst`, where an absorbed send
+    never even enters the ring. Epoch charging reuses the shared
+    :class:`~repro.dataplanes.base.Dataplane` bulk/group charge — the
+    surface carries the same ``name``/``machine`` contract, and its spans
+    land under the same plane tag so the E16 taxonomy stays one table.
+    """
+
+    name = NormanOS.name
+
+    # Plain function reuse: the shared epoch charges only touch
+    # self.machine / self.name, both of which this surface provides.
+    ff_bulk_charge = Dataplane.ff_bulk_charge
+    ff_group_charge = Dataplane.ff_group_charge
+
+    def __init__(self, os: NormanOS):
+        self._os = os
+        self.machine = os.machine
+
+    def _ff_conn(self, flow):
+        """The live, NIC-resident connection whose cached TX verdict covers
+        ``flow``, or None if any part of the chain is not steady-state."""
+        machine = self._os.machine
+        fp = machine.fastpath
+        if fp is None:
+            return None, None
+        from ..interpose.fastpath import CHAIN_KOPI_TX
+
+        entry = fp.peek(CHAIN_KOPI_TX, flow)
+        if entry is None or entry.conn_id is None:
+            return None, None
+        from ..overlay.isa import VERDICT_DROP
+
+        if entry.verdict == VERDICT_DROP:
+            return None, None
+        if entry.qdisc_class is not None:
+            # Non-default scheduling class: fairness arbitration between
+            # classes is load-dependent, not a frozen per-packet shape.
+            return None, None
+        conn = self._os.nic.conn_resolver(entry.conn_id)
+        if conn is None or conn.closed or conn.fallback:
+            return None, None
+        return entry, conn
+
+    def ff_eligible(self, flow) -> bool:
+        """Steady state on the KOPI TX path: the cached verdict delivers a
+        healthy NIC-resident connection to the default class, nothing
+        per-packet-interesting is attached (capture, NAT, policer token
+        bucket, congestion pacing, structural LLC), the TX ring is empty
+        (isolated single sends — the app-timer shape) and the egress qdisc
+        carries no backlog (zero queue residency is part of the frozen
+        profile)."""
+        from .nic_dataplane import SLOT_POLICER
+
+        entry, conn = self._ff_conn(flow)
+        if conn is None:
+            return False
+        os_ = self._os
+        nic = os_.nic
+        if os_.sniffer.active_sessions:
+            return False
+        if nic.nat is not None or nic.congestion is not None:
+            return False
+        if nic.fpga.machine(SLOT_POLICER) is not None:
+            return False
+        if os_.machine.llc is not None:
+            return False
+        if conn.rate_bps is not None:
+            return False
+        if not conn.rings.tx.is_empty:
+            return False
+        if nic.scheduler.backlog:
+            return False
+        return True
+
+    def ff_profile(self, flow, pkt):
+        """Freeze the steady-state per-send shape of a single-packet burst:
+        descriptor post + doorbell MMIO (CPU on the owner's core), PCIe
+        descriptor fetch, TX flow-cache hit, the fixed pipeline, and the
+        uncontended wire. The deliver closure replays every counter the
+        exact path moves — connection/NIC/DMA/ledger counters, the cached
+        conntrack entry, cache hits, the qdisc's zero-residency transit,
+        the egress link, and the peer's bulk receive."""
+        from .. import units
+        from ..host.copies import LAYER_DMA
+        from ..interpose.fastpath import CHAIN_KOPI_TX
+        from ..nic.notification import KIND_TX_DRAINED
+        from ..sim.fastforward import FlowProfile
+        from ..trace import (
+            STAGE_DMA,
+            STAGE_FASTPATH,
+            STAGE_NIC_PIPELINE,
+            STAGE_RING,
+            STAGE_WIRE,
+        )
+
+        entry, conn = self._ff_conn(flow)
+        if conn is None:
+            return None
+        os_ = self._os
+        machine = os_.machine
+        nic = os_.nic
+        fp = machine.fastpath
+        costs = os_.costs
+        wire_len = pkt.wire_len
+        payload_len = pkt.payload_len
+        egress = nic.egress
+        pcie_ser = units.transmit_time_ns(wire_len, costs.pcie_bandwidth_bps)
+        wire_ns = (units.transmit_time_ns(wire_len, egress.rate_bps)
+                   + egress.propagation_ns)
+        spans = (
+            (STAGE_RING, costs.bypass_tx_pkt_ns, True, "tx_desc"),
+            (STAGE_DMA, costs.mmio_write_ns, True, "doorbell"),
+            (STAGE_DMA, costs.pcie_dma_latency_ns, False, "desc_fetch"),
+            (STAGE_FASTPATH, fp.hit_ns, False, "tx_flow_cache"),
+            (STAGE_NIC_PIPELINE, nic._fixed_latency(), False, "tx_pipeline"),
+            (STAGE_WIRE, wire_ns, False, egress.name),
+        )
+        points = entry.points
+        ct_entry = entry.ct_entry
+        ft = flow
+        dport = ft.dport
+        # Metric objects are stable for the machine's lifetime — resolve
+        # them once at profile capture, not per epoch.
+        mmio_writes = machine.dma.metrics.counter("mmio_writes")
+        tx_pkts = nic.metrics.counter("tx_pkts")
+        tx_bytes = nic.metrics.meter("tx_bytes")
+
+        def deliver(n: int) -> None:
+            now = machine.sim.now
+            conn.tx_packets += n
+            # The doorbell count the absorbed sends never rang (the span
+            # carries its nanoseconds; mmio_write_cost() is not re-called
+            # because pricing and counting are fused there).
+            mmio_writes.inc(n)
+            machine.copies.charge(LAYER_DMA, n * wire_len, n * pcie_ser, ops=n)
+            fp.bulk_hit(CHAIN_KOPI_TX, ft, None, n, points=points)
+            if nic.conntrack is not None and ct_entry is not None:
+                ct_entry.packets += n
+                ct_entry.bytes += n * wire_len
+                ct_entry.last_seen_ns = now
+                fp.note_skipped("conntrack", n)
+            nic.scheduler.note_fluid(n)
+            tx_pkts.inc(n)
+            tx_bytes.record(now, n * wire_len)
+            egress.send_fluid(n, wire_len, dport)
+            if nic.notify is not None:
+                nic.notify(conn, KIND_TX_DRAINED, n)
+
+        return FlowProfile(
+            spans, core_id=conn.proc.core_id, wire_len=wire_len,
+            payload_len=payload_len, src_ip=ft.src_ip, sport=ft.sport,
+            deliver=deliver, conn_id=conn.conn_id, versions=entry.versions,
         )

@@ -257,6 +257,23 @@ class Dataplane:
         if profile.deliver is not None:
             profile.deliver(n)
 
+    def ff_group_charge(self, members, total_n: int, profile) -> None:
+        """Charge one *group* epoch: ``total_n`` packets spread over
+        ``members`` (``(flow, n, profile)`` triples sharing this plane,
+        chain-version-vector, and span shape) as ONE event. The trace
+        spine gets a single count-weighted epoch and the shared core one
+        bulk execute — CPU busy time is additive, so coalescing is exact —
+        while each member's ``deliver`` closure still replays its own
+        connection-scoped side effects (counters, credit, conntrack)."""
+        machine = self.machine
+        machine.tracer.epoch(total_n, profile.spans, plane=self.name)
+        if profile.cpu_ns:
+            machine.cpus[profile.core_id].execute(
+                total_n * profile.cpu_ns, "ff_epoch")
+        for _flow, n, prof in members:
+            if prof.deliver is not None:
+                prof.deliver(n)
+
     # --- accounting -----------------------------------------------------------
 
     def data_movements(self) -> Dict[str, int]:

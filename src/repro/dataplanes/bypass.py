@@ -349,9 +349,13 @@ class BypassDataplane(Dataplane):
             (STAGE_FASTPATH, fp.hit_ns, False, "steer_cache"),
             (STAGE_RING, costs.bypass_rx_pkt_ns, True, "rx_desc"),
         )
+        from ..interpose.fastpath import CHAIN_STEER
+
+        entry = fp.peek(CHAIN_STEER, flow)
         return FlowProfile(
             spans, core_id=ep.proc.core_id, wire_len=pkt.wire_len,
             payload_len=pkt.payload_len, src_ip=flow.src_ip, sport=flow.sport,
+            versions=entry.versions if entry is not None else (),
         )
 
     def total_polls(self) -> int:

@@ -408,7 +408,9 @@ class HypervisorDataplane(Dataplane):
             (STAGE_NIC_PIPELINE, costs.nic_pipeline_ns, False, "rx_pipeline"),
             (STAGE_RING, costs.bypass_rx_pkt_ns, True, "rx_desc"),
         )
+        entry = fp.peek(CHAIN_VSWITCH, flow)
         return FlowProfile(
             spans, core_id=ep.proc.core_id, wire_len=pkt.wire_len,
             payload_len=pkt.payload_len, src_ip=flow.src_ip, sport=flow.sport,
+            versions=entry.versions if entry is not None else (),
         )

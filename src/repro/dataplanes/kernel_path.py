@@ -266,7 +266,11 @@ class KernelPathDataplane(Dataplane):
             (STAGE_FASTPATH, fp.hit_ns, True, "input_chain"),
             (STAGE_PROTO, costs.socket_demux_ns, True, "demux"),
         )
+        from ..kernel.netfilter import CHAIN_INPUT
+
+        entry = fp.peek(CHAIN_INPUT, flow, sock.owner.pid)
         return FlowProfile(
             spans, core_id=sock.owner.core_id, wire_len=pkt.wire_len,
             payload_len=pkt.payload_len, src_ip=flow.src_ip, sport=flow.sport,
+            versions=entry.versions if entry is not None else (),
         )

@@ -550,7 +550,9 @@ class SidecarDataplane(Dataplane):
             (STAGE_FASTPATH, fp.hit_ns, True, "input_chain"),
             (STAGE_COHERENCE, x_core, True, "x_core"),
         )
+        entry = fp.peek(CHAIN_INPUT, flow, ep.proc.pid)
         return FlowProfile(
             spans, core_id=self.sidecar_core_id, wire_len=pkt.wire_len,
             payload_len=pkt.payload_len, src_ip=flow.src_ip, sport=flow.sport,
+            versions=entry.versions if entry is not None else (),
         )

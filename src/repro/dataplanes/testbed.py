@@ -55,6 +55,19 @@ class TrafficPeer:
                         dst_ip=ft.src_ip,
                     )
 
+    def receive_fluid(self, n: int, wire_len: int, dport: int = 0) -> None:
+        """Bulk counterpart of :meth:`receive` for fast-forwarded TX
+        epochs: moves the packet/byte/dport counters exactly as ``n``
+        receives would, without materializing Packet objects (``received``
+        is a capture artifact, not a counted observable) and without the
+        echo hook — fluid TX models a sink peer, and a promoting plane
+        must stay exact for request/reply traffic it needs answered."""
+        self.metrics.counter("rx_pkts").inc(n)
+        self.metrics.meter("rx_bytes").record(self.sim.now, n * wire_len)
+        if dport:
+            self.metrics.meter(f"rx_dport_{dport}").record(
+                self.sim.now, n * wire_len)
+
     def enable_echo(self, reply_len_of: Callable[[Packet], Optional[int]]) -> None:
         """Reply to each received packet (RPC-style). ``reply_len_of``
         returns the response payload size, or None for no reply."""
@@ -129,6 +142,7 @@ class Testbed:
         )
         self.peer = TrafficPeer(self.sim, PEER_IP, PEER_MAC, uplink=self.ingress)
         self.egress.attach(self.peer.receive)
+        self.egress.attach_fluid(self.peer.receive_fluid)
         self.ingress.attach(self.dataplane.wire_rx)  # type: ignore[attr-defined]
         kernel = getattr(self.dataplane, "kernel", None)
         if kernel is not None:

@@ -102,22 +102,24 @@ class InterpositionPoint:
 
     # --- datapath side -----------------------------------------------------
 
-    def record_eval(self, hit: bool = False, dropped: bool = False) -> int:
-        """One packet evaluated against the current table version.
+    def record_eval(self, hit: bool = False, dropped: bool = False,
+                    n: int = 1) -> int:
+        """``n`` packets evaluated against the current table version
+        (``n > 1`` is a fluid epoch replaying one steady verdict N times).
 
         Pure counters — never schedules simulator events, so registering a
         point cannot perturb a workload's event trace. Returns the version
-        the packet was evaluated against (the epoch stamp).
+        the packets were evaluated against (the epoch stamp).
         """
-        self.metrics.counter("evaluated").inc()
+        self.metrics.counter("evaluated").inc(n)
         if hit:
-            self.metrics.counter("hits").inc()
+            self.metrics.counter("hits").inc(n)
         if dropped:
-            self.metrics.counter("drops").inc()
+            self.metrics.counter("drops").inc(n)
         if self._inflight:
             # A newer policy is submitted but not yet live: this packet ran
             # under the old version — the §3 stale-policy window E14 counts.
-            self.metrics.counter("stale_evals").inc()
+            self.metrics.counter("stale_evals").inc(n)
             for commit in self._inflight:
                 commit.stale_evals += 1
         return self.version

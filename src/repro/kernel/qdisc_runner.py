@@ -73,6 +73,17 @@ class PacedQdiscRunner:
             self.metrics.counter("dropped").inc()
         return accepted
 
+    def note_fluid(self, n: int) -> None:
+        """Bulk accounting for ``n`` fast-forwarded packets that each would
+        have transited the discipline with zero residency: a fluid TX epoch
+        only exists while the backlog boundary is quiescent, so enqueue and
+        emit collapse to counters and a zero-residency histogram weight."""
+        if self.point is not None:
+            self.point.record_eval(n=n)
+        self.metrics.counter("enqueued").inc(n)
+        self.metrics.counter("emitted").inc(n)
+        self.metrics.histogram("queue_ns").observe(0, n=n)
+
     def replace_qdisc(self, qdisc: Qdisc) -> None:
         """Swap the discipline (tc qdisc replace). Packets queued in the old
         discipline are dropped, as with tc. The swap is one reference

@@ -8,9 +8,16 @@ from ..errors import PacketError
 from .addresses import IPv4Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FiveTuple:
-    """(proto, src ip/port, dst ip/port) — the unit of steering and NAT."""
+    """(proto, src ip/port, dst ip/port) — the unit of steering and NAT.
+
+    Five-tuples key every hot dict in the dataplane (verdict cache,
+    conntrack, fast-forward state), so the hash — same value the
+    generated dataclass hash would produce — is computed once at
+    construction instead of per lookup, and equality compares raw
+    address words instead of dispatching through ``IPv4Address``.
+    """
 
     proto: int
     src_ip: IPv4Address
@@ -24,6 +31,22 @@ class FiveTuple:
         for name, port in (("sport", self.sport), ("dport", self.dport)):
             if not 0 <= port <= 0xFFFF:
                 raise PacketError(f"{name} out of range: {port}")
+        object.__setattr__(self, "_hash", hash(
+            (self.proto, self.src_ip, self.sport, self.dst_ip, self.dport)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not FiveTuple:
+            return NotImplemented
+        return (
+            self.sport == other.sport
+            and self.dport == other.dport
+            and self.proto == other.proto
+            and self.src_ip._value == other.src_ip._value
+            and self.dst_ip._value == other.dst_ip._value
+        )
 
     def reversed(self) -> "FiveTuple":
         """The reply direction of this flow."""

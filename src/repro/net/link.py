@@ -40,12 +40,31 @@ class Link:
         self.name = name
         self.metrics = MetricSet(name)
         self._rx: Optional[RxHandler] = None
+        self._rx_fluid: Optional[Callable[[int, int, int], None]] = None
         self._tx_free_at = 0
         self._queued = 0
 
     def attach(self, handler: RxHandler) -> None:
         """Set the receiver callback; replaces any previous one."""
         self._rx = handler
+
+    def attach_fluid(self, handler: Callable[[int, int, int], None]) -> None:
+        """Set the bulk counterpart of the receiver: called as
+        ``handler(n, wire_len, dport)`` when a fluid epoch replays ``n``
+        same-shape sends (see :meth:`send_fluid`)."""
+        self._rx_fluid = handler
+
+    def send_fluid(self, n: int, wire_len: int, dport: int = 0) -> None:
+        """Bulk accounting for ``n`` fast-forwarded same-shape packets:
+        moves the wire counters exactly as ``n`` :meth:`send` calls would
+        and hands the bulk to the receiver's fluid hook (if any). No
+        per-packet events fire and no buffer occupancy is modeled — fluid
+        epochs only exist while the link is uncontended, which is the
+        promoting plane's eligibility predicate to enforce."""
+        self.metrics.counter("sent").inc(n)
+        self.metrics.meter("bytes").record(self.sim.now, n * wire_len)
+        if self._rx_fluid is not None:
+            self._rx_fluid(n, wire_len, dport)
 
     def send(self, pkt: Packet) -> bool:
         """Enqueue ``pkt`` for transmission. Returns False on drop."""

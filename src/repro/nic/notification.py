@@ -54,6 +54,9 @@ class NotificationQueue:
         self.name = name or f"notifq.pid{owner_pid}"
         self._entries: Deque[Notification] = deque()
         self._subscribers: List[Callable[[Notification], None]] = []
+        #: Immutable snapshot iterated by :meth:`post` — rebuilt on
+        #: (un)subscribe so the hot path never copies the list.
+        self._subs: tuple = ()
         self.metrics = MetricSet(self.name)
         self.interrupts_enabled = False
 
@@ -72,7 +75,7 @@ class NotificationQueue:
             self.metrics.counter("posted").inc()
         else:
             self.metrics.counter("overflows").inc()
-        for sub in list(self._subscribers):
+        for sub in self._subs:
             sub(notif)
         return stored
 
@@ -80,7 +83,13 @@ class NotificationQueue:
         """Kernel-monitor side: observe every posted notification.
         Returns an unsubscribe callable."""
         self._subscribers.append(fn)
-        return lambda: self._subscribers.remove(fn)
+        self._subs = tuple(self._subscribers)
+
+        def _unsubscribe() -> None:
+            self._subscribers.remove(fn)
+            self._subs = tuple(self._subscribers)
+
+        return _unsubscribe
 
     def poll(self) -> Optional[Notification]:
         """Process side: consume the oldest notification, if any."""

@@ -1,25 +1,45 @@
 """The discrete-event engine.
 
-A :class:`Simulator` owns a heap of pending events. Each event is a plain
-callback scheduled at an absolute integer-nanosecond timestamp. Ties are
-broken by insertion order, so a run is fully deterministic.
+A :class:`Simulator` owns a calendar queue of pending events. Each event
+is a plain callback scheduled at an absolute integer-nanosecond
+timestamp. Ties are broken by insertion order, so a run is fully
+deterministic.
+
+The calendar queue buckets the near future (a fixed window of
+``N_BUCKETS`` buckets of ``2**BUCKET_SHIFT`` ns each) so the hot
+schedule/pop path is O(1): most simulated work schedules a few hundred
+to a few thousand ns ahead, which lands in a small per-bucket heap
+instead of one binary heap shared by every pending event. Events beyond
+the window go to an overflow heap and migrate into buckets (at most
+once each) when the window advances past them — so epoch and horizon
+timers at million-flow scale stop paying O(log n) against each other.
+Firing order is identical to a single global heap: the queue partitions
+the (time, seq) key space by time range, and the scan always drains the
+lowest occupied bucket first.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+
+#: log2 of the bucket width: 1024 ns per bucket.
+BUCKET_SHIFT = 10
+#: Buckets in the near window: 2048 * 1024 ns ~= 2.1 ms of simulated time.
+N_BUCKETS = 2048
+#: Absolute span of the near window in ns.
+WINDOW_NS = N_BUCKETS << BUCKET_SHIFT
 
 
 class EventHandle:
     """Handle to a scheduled callback; allows cancellation.
 
-    Cancellation is lazy: the heap entry stays in place and is skipped when
-    popped, which keeps scheduling O(log n). The owning simulator tracks
-    how many cancelled entries its heap carries and compacts when they
-    dominate (see :meth:`Simulator._compact`).
+    Cancellation is lazy: the queue entry stays in place and is skipped
+    when it surfaces, which keeps scheduling O(1). The owning simulator
+    tracks how many cancelled entries its queue carries and compacts when
+    they dominate (see :meth:`Simulator._compact`).
     """
 
     __slots__ = ("time", "_fn", "_args", "_cancelled", "_sim")
@@ -72,16 +92,28 @@ def _fire_burst(fn: Callable[..., Any], items: Tuple[Any, ...]) -> None:
 class Simulator:
     """Deterministic discrete-event simulator with integer-ns time."""
 
-    #: Below this heap size, compaction is not worth the rebuild.
+    #: Below this queue size, compaction is not worth the rebuild.
     COMPACT_MIN_HEAP = 64
 
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._heap: List[Tuple[int, int, EventHandle]] = []
         self._events_fired = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        # Calendar: near-window buckets (each a (time, seq, handle) heap),
+        # an occupancy bitmap over them, and an overflow heap for events
+        # past the window. ``_base`` is bucket 0's start time; ``_cur`` is
+        # a scan hint — no occupied bucket lies below it.
+        self._base = 0
+        self._cur = 0
+        self._buckets: List[List[Tuple[int, int, EventHandle]]] = [
+            [] for _ in range(N_BUCKETS)
+        ]
+        self._occupied = 0
+        self._near_count = 0
+        self._far: List[Tuple[int, int, EventHandle]] = []
+        self._rebases = 0
 
     @property
     def now(self) -> int:
@@ -95,39 +127,137 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of heap entries (including lazily-cancelled ones)."""
-        return len(self._heap)
+        """Number of queue entries (including lazily-cancelled ones)."""
+        return self._near_count + len(self._far)
 
     @property
     def cancelled_pending(self) -> int:
-        """Lazily-cancelled entries still occupying heap slots."""
+        """Lazily-cancelled entries still occupying queue slots."""
         return self._cancelled_pending
 
     @property
     def heap_compactions(self) -> int:
-        """How many times the heap has been compacted (observability)."""
+        """How many times the queue has been compacted (observability)."""
         return self._compactions
 
+    @property
+    def far_pending(self) -> int:
+        """Entries waiting in the overflow heap beyond the near window."""
+        return len(self._far)
+
+    @property
+    def calendar_rebases(self) -> int:
+        """How many times the near window has advanced over the overflow
+        heap (observability)."""
+        return self._rebases
+
+    # --- calendar internals -------------------------------------------------
+
+    def _push(self, entry: Tuple[int, int, EventHandle]) -> None:
+        idx = (entry[0] - self._base) >> BUCKET_SHIFT
+        if idx >= N_BUCKETS:
+            heappush(self._far, entry)
+            return
+        if idx < 0:
+            # Entry predates the window base (a rebase moved base past
+            # ``now``). Clamping to bucket 0 is order-safe: such entries
+            # are globally smallest, and bucket 0 is scanned first.
+            idx = 0
+        heappush(self._buckets[idx], entry)
+        self._occupied |= 1 << idx
+        if idx < self._cur:
+            self._cur = idx
+        self._near_count += 1
+
+    def _rebase(self) -> None:
+        """Advance the window to the earliest overflow entry and pull every
+        overflow entry now inside it into buckets. Only called with all
+        buckets empty, so each overflow entry migrates at most once."""
+        far = self._far
+        while far and far[0][2].cancelled:
+            heappop(far)
+            self._cancelled_pending -= 1
+        if not far:
+            return
+        base = far[0][0]
+        self._base = base
+        self._cur = 0
+        limit = base + WINDOW_NS
+        buckets = self._buckets
+        while far and far[0][0] < limit:
+            entry = heappop(far)
+            idx = (entry[0] - base) >> BUCKET_SHIFT
+            heappush(buckets[idx], entry)
+            self._occupied |= 1 << idx
+            self._near_count += 1
+        self._rebases += 1
+
+    def _min_bucket(self) -> Optional[List[Tuple[int, int, EventHandle]]]:
+        """The bucket holding the earliest live event, with cancelled heads
+        drained, or None when the queue holds no live events. Leaves
+        ``_cur`` at that bucket's index (so callers can clear its
+        occupancy bit after popping it empty)."""
+        while True:
+            occ = self._occupied
+            if occ:
+                m = occ >> self._cur
+                if not m:  # pragma: no cover - defensive; _cur is a hint
+                    self._cur = 0
+                    m = occ
+                idx = self._cur + ((m & -m).bit_length() - 1)
+                self._cur = idx
+                bucket = self._buckets[idx]
+                while bucket and bucket[0][2].cancelled:
+                    heappop(bucket)
+                    self._near_count -= 1
+                    self._cancelled_pending -= 1
+                if bucket:
+                    return bucket
+                self._occupied &= ~(1 << idx)
+                continue
+            if not self._far:
+                return None
+            self._rebase()
+
+    def _pop_from(self, bucket: List[Tuple[int, int, EventHandle]]):
+        """Pop the head of a bucket returned by :meth:`_min_bucket`."""
+        entry = heappop(bucket)
+        self._near_count -= 1
+        if not bucket:
+            self._occupied &= ~(1 << self._cur)
+        return entry
+
     def _note_cancelled(self) -> None:
-        """Heap hygiene: when cancelled entries exceed 50% of ``pending``,
-        rebuild the heap without them. Lazy cancellation otherwise leaks
-        the slots for the lifetime of a run (timer-heavy workloads cancel
-        far more events than they fire)."""
+        """Queue hygiene: when cancelled entries exceed 50% of ``pending``,
+        rebuild the calendar without them. Lazy cancellation otherwise
+        leaks the slots for the lifetime of a run (timer-heavy workloads
+        cancel far more events than they fire)."""
         self._cancelled_pending += 1
-        if (
-            len(self._heap) >= self.COMPACT_MIN_HEAP
-            and self._cancelled_pending * 2 > len(self._heap)
-        ):
+        pending = self._near_count + len(self._far)
+        if pending >= self.COMPACT_MIN_HEAP and self._cancelled_pending * 2 > pending:
             self._compact()
 
     def _compact(self) -> None:
-        # In-place: run() holds a local alias to the heap list, so the
-        # list object must survive compaction. heapify preserves firing
-        # order because (time, seq) keys are unique and totally ordered.
-        self._heap[:] = [e for e in self._heap if not e[2].cancelled]
-        heapq.heapify(self._heap)
+        # Rebuild the calendar from the live entries only. Re-pushing
+        # preserves firing order because (time, seq) keys are unique and
+        # totally ordered, and every live entry's time is >= ``now`` (the
+        # clock only advances to fired-event times or idle ``until``
+        # marks), so re-basing the window at ``now`` strands nothing.
+        live = [e for b in self._buckets for e in b if not e[2].cancelled]
+        live.extend(e for e in self._far if not e[2].cancelled)
+        self._base = self._now
+        self._cur = 0
+        self._occupied = 0
+        self._near_count = 0
+        self._far = []
+        for bucket in self._buckets:
+            del bucket[:]
+        for entry in live:
+            self._push(entry)
         self._cancelled_pending = 0
         self._compactions += 1
+
+    # --- scheduling ---------------------------------------------------------
 
     def at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
@@ -137,7 +267,7 @@ class Simulator:
             )
         handle = EventHandle(time_ns, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, (time_ns, self._seq, handle))
+        self._push((time_ns, self._seq, handle))
         return handle
 
     def after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -150,10 +280,10 @@ class Simulator:
         self, time_ns: int, fn: Callable[..., Any], items: Sequence[Any]
     ) -> EventHandle:
         """Coalesced-event fast path: schedule ``fn(item)`` for every item
-        of a burst under ONE heap entry (and one callback execution).
+        of a burst under ONE queue entry (and one callback execution).
 
         This is what makes large-batch sweeps cheap in wall-clock terms:
-        a burst of 64 packets costs one heap push/pop instead of 64.
+        a burst of 64 packets costs one queue push/pop instead of 64.
         Cancelling the handle cancels the whole burst.
         """
         if not items:
@@ -168,30 +298,28 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay_ns}")
         return self.at_burst(self._now + delay_ns, fn, items)
 
+    # --- execution ----------------------------------------------------------
+
     def peek(self) -> Optional[int]:
         """Timestamp of the next non-cancelled event, or None if idle."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled_pending -= 1
-        if not self._heap:
+        bucket = self._min_bucket()
+        if bucket is None:
             return None
-        return self._heap[0][0]
+        return bucket[0][0]
 
     def step(self) -> bool:
         """Execute the next event. Returns False when no events remain."""
-        while self._heap:
-            time_ns, _, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            self._now = time_ns
-            self._events_fired += 1
-            handle._fire()
-            return True
-        return False
+        bucket = self._min_bucket()
+        if bucket is None:
+            return False
+        time_ns, _, handle = self._pop_from(bucket)
+        self._now = time_ns
+        self._events_fired += 1
+        handle._fire()
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` callbacks have executed.
 
         Returns the simulated time afterwards. When stopping at ``until``,
@@ -200,33 +328,32 @@ class Simulator:
         clock segments.
         """
         fired = 0
-        heap = self._heap
         while True:
             if max_events is not None and fired >= max_events:
                 return self._now
-            nxt = self.peek()
-            if nxt is None:
+            # _min_bucket() leaves a non-cancelled entry at the head, so
+            # pop it directly — one queue traversal per event.
+            bucket = self._min_bucket()
+            if bucket is None:
                 if until is not None and until > self._now:
                     self._now = until
                 return self._now
+            nxt = bucket[0][0]
             if until is not None and nxt > until:
                 self._now = until
                 return self._now
-            # peek() left a non-cancelled entry on top, so pop it directly
-            # instead of going through step()'s skip-cancelled scan — one
-            # heap traversal per event, not two.
-            time_ns, _, handle = heapq.heappop(heap)
+            time_ns, _, handle = self._pop_from(bucket)
             self._now = time_ns
             self._events_fired += 1
             handle._fire()
             fired += 1
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
-        """Drain the event heap completely; guard against runaway loops.
+        """Drain the event queue completely; guard against runaway loops.
 
-        Delegates to :meth:`run`, which pops via ``peek()`` — one heap
-        traversal per event. Fires at most ``max_events`` callbacks; if
-        non-cancelled work remains after that, raises.
+        Delegates to :meth:`run`, which pops via :meth:`_min_bucket` — one
+        queue traversal per event. Fires at most ``max_events`` callbacks;
+        if non-cancelled work remains after that, raises.
         """
         self.run(max_events=max_events)
         if self.peek() is not None:
@@ -236,4 +363,4 @@ class Simulator:
         return self._now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self._now}ns pending={len(self._heap)}>"
+        return f"<Simulator now={self._now}ns pending={self.pending}>"

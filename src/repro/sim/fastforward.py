@@ -1,7 +1,7 @@
 """Hybrid-fidelity fast-forward: fluid epochs for steady-state flows.
 
 The simulator's default mode is packet-exact: every packet is its own chain
-of heap events. That fidelity is the whole point at interposition
+of queue events. That fidelity is the whole point at interposition
 boundaries — a policy commit, a verdict-cache miss, a queue filling up —
 but in steady state a flow whose packets all hit the verdict cache pays the
 same per-stage costs packet after packet, and simulating each one buys
@@ -14,6 +14,14 @@ packets are *absorbed* — counted, not simulated. One ``FlowEpoch`` flush
 event then charges ``N ×`` the per-packet cost per stage, so the trace
 taxonomy, the copy ledger, CPU busy time, and fastpath counters all move
 exactly as N packet-level events would have moved them.
+
+Promoted flows that share a plane, chain-version-vector, and profile shape
+coalesce into a :class:`FlowGroup` charged by a *single* epoch event: one
+``ff_group_charge`` per group per epoch replays N_flows × N_pkts of
+counters, ledger entries, CPU busy time, and trace stages, with one shared
+horizon timer instead of one per flow. Per-flow residue is flushed on
+demotion, so any single flow can drop back to packet-exact without
+disturbing its group.
 
 The safety contract is the *demotion* half: at every fidelity boundary the
 flow drops back to exact packet-level simulation **before** the boundary's
@@ -34,7 +42,7 @@ controller is constructed and the event trace is byte-identical to seed.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 
@@ -70,17 +78,21 @@ class FlowProfile:
     NIC counters, verdict-cache hit counters, conntrack byte counts, copy
     ledger charges, receive-queue credit. ``wire_len`` pins the profile's
     shape: a packet of any other size is a ``shape_change`` boundary.
+    ``versions`` is the chain-version-vector the verdict-cache entry was
+    installed under; together with the plane and the span shape it decides
+    which :class:`FlowGroup` the flow coalesces into.
     """
 
     __slots__ = ("spans", "core_id", "wire_len", "payload_len",
                  "src_ip", "sport", "deliver", "conn_id",
-                 "latency_ns", "cpu_ns")
+                 "versions", "latency_ns", "cpu_ns")
 
     def __init__(self, spans: Tuple[Tuple[str, int, bool, str], ...],
                  core_id: int, wire_len: int, payload_len: int = 0,
                  src_ip: str = "", sport: int = 0,
                  deliver: Optional[Callable[[int], None]] = None,
-                 conn_id: Optional[int] = None):
+                 conn_id: Optional[int] = None,
+                 versions: Tuple[Tuple[str, int], ...] = ()):
         self.spans = tuple(spans)
         self.core_id = core_id
         self.wire_len = wire_len
@@ -89,6 +101,7 @@ class FlowProfile:
         self.sport = sport
         self.deliver = deliver
         self.conn_id = conn_id
+        self.versions = tuple(versions)
         self.latency_ns = sum(ns for _stage, ns, _cpu, _label in self.spans)
         self.cpu_ns = sum(ns for _stage, ns, cpu, _label in self.spans if cpu)
 
@@ -101,7 +114,7 @@ class FlowState:
     """Per-flow fast-forward bookkeeping."""
 
     __slots__ = ("key", "plane", "streak", "promoted", "profile",
-                 "pending", "flush_handle")
+                 "pending", "flush_handle", "group")
 
     def __init__(self, key, plane):
         self.key = key
@@ -111,21 +124,53 @@ class FlowState:
         self.profile: Optional[FlowProfile] = None
         self.pending = 0         # absorbed packets awaiting an epoch flush
         self.flush_handle = None # horizon event for the pending epoch
+        self.group: Optional[FlowGroup] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "fluid" if self.promoted else f"exact(streak={self.streak})"
         return f"<FlowState {self.key} {mode} pending={self.pending}>"
 
 
+class FlowGroup:
+    """Promoted flows sharing (plane, chain-version-vector, profile shape).
+
+    The group holds ONE pending-packet total and ONE horizon timer for all
+    its members, and flushes with a single ``ff_group_charge`` — so at
+    100k+ steady flows the epoch machinery costs O(groups) queue events,
+    not O(flows). Per-flow pendings are still tracked (the residue), so a
+    member can flush or demote alone without disturbing the group.
+    """
+
+    __slots__ = ("key", "plane", "members", "pending_total", "flush_handle",
+                 "dirty")
+
+    def __init__(self, key, plane):
+        self.key = key
+        self.plane = plane
+        self.members: Dict[object, FlowState] = {}
+        self.pending_total = 0
+        self.flush_handle = None
+        #: Members with unflushed pending packets — a group flush scans
+        #: only these, not the whole membership, so epoch-threshold
+        #: flushes stay O(active flows) at 100k+ members.
+        self.dirty: List[FlowState] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlowGroup {len(self.members)} flows "
+                f"pending={self.pending_total}>")
+
+
 class FastForwardController:
     """Tracks flow fidelity and turns absorbed packets into epoch charges.
 
     The controller never charges costs itself: flushing calls back into the
-    owning plane's ``ff_bulk_charge(key, n, profile)`` so each dataplane
-    stays the authority on what N of its packets cost. The controller owns
-    *when* — promotion streaks, epoch sizing, the flush horizon, and the
-    demote-on-boundary contract (flush first, so packets absorbed before a
-    boundary are charged under the profile that was valid when they ran).
+    owning plane's ``ff_bulk_charge(key, n, profile)`` (or the coalesced
+    ``ff_group_charge(members, total, profile)`` for a whole group) so each
+    dataplane stays the authority on what N of its packets cost. The
+    controller owns *when* — promotion streaks, epoch sizing, the flush
+    horizon, and the demote-on-boundary contract (flush first, so packets
+    absorbed before a boundary are charged under the profile that was valid
+    when they ran).
     """
 
     def __init__(self, sim, costs):
@@ -133,10 +178,13 @@ class FastForwardController:
         self.costs = costs
         self._flows: Dict[object, FlowState] = {}
         self._by_conn: Dict[int, List[FlowState]] = {}
+        self._groups: Dict[object, FlowGroup] = {}
+        self._group_enabled = bool(getattr(costs, "ff_group", True))
         self._ws_bucket: Optional[int] = None
         # Metrics.
         self.promotions = 0
         self.epochs = 0
+        self.group_epochs = 0
         self.fluid_packets = 0
         self.demotions: Dict[str, int] = {reason: 0 for reason in REASONS}
 
@@ -167,6 +215,14 @@ class FastForwardController:
         self.promotions += 1
         if profile.conn_id is not None:
             self._by_conn.setdefault(profile.conn_id, []).append(state)
+        if self._group_enabled:
+            gkey = (id(plane), profile.versions, profile.spans,
+                    profile.core_id, profile.wire_len)
+            group = self._groups.get(gkey)
+            if group is None:
+                group = self._groups[gkey] = FlowGroup(gkey, plane)
+            group.members[key] = state
+            state.group = group
 
     def promoted(self, key) -> bool:
         state = self._flows.get(key)
@@ -199,8 +255,40 @@ class FastForwardController:
         self._absorb(state, n)
         return True
 
+    def absorb_send(self, key, payload_lens: Sequence[int]) -> int:
+        """TX-side absorption: a promoted sender's steady single-packet
+        send (the app-timer → syscall → doorbell chain) is absorbed into
+        the flow's pending epoch instead of entering the ring. Returns how
+        many packets were absorbed (0 means the caller must simulate the
+        send exactly). A payload not matching the frozen profile is a
+        shape boundary and demotes; a multi-packet burst simply stays
+        exact — its amortized doorbell cost is not the profile's shape."""
+        state = self._flows.get(key)
+        if state is None or not state.promoted:
+            return 0
+        if len(payload_lens) != 1:
+            return 0
+        assert state.profile is not None
+        if payload_lens[0] != state.profile.payload_len:
+            self.demote(key, REASON_SHAPE)
+            return 0
+        self._absorb(state, 1)
+        return 1
+
     def _absorb(self, state: FlowState, n: int) -> None:
         state.pending += n
+        group = state.group
+        if group is not None:
+            if state.pending == n:
+                group.dirty.append(state)
+            group.pending_total += n
+            if group.pending_total >= self.costs.ff_epoch_packets:
+                self._flush_group(group)
+            elif group.flush_handle is None:
+                group.flush_handle = self.sim.after(
+                    self.costs.ff_horizon_ns, self._group_horizon_flush,
+                    group.key)
+            return
         if state.pending >= self.costs.ff_epoch_packets:
             self._flush_state(state)
         elif state.flush_handle is None:
@@ -215,14 +303,59 @@ class FastForwardController:
             state.flush_handle = None
             self._flush_state(state)
 
+    def _group_horizon_flush(self, gkey) -> None:
+        group = self._groups.get(gkey)
+        if group is not None:
+            group.flush_handle = None
+            self._flush_group(group)
+
+    def _flush_group(self, group: FlowGroup) -> None:
+        """One epoch event for the whole group: a single ``ff_group_charge``
+        replays every member's pending packets."""
+        if group.flush_handle is not None:
+            group.flush_handle.cancel()
+            group.flush_handle = None
+        total = group.pending_total
+        if total == 0:
+            group.dirty = []
+            return
+        # A residue flush may leave a zero-pending entry behind, and a
+        # re-absorbing flow re-appends itself — zeroing as we collect makes
+        # any duplicate harmless (its second occurrence reads 0).
+        members = []
+        for s in group.dirty:
+            if s.pending:
+                members.append((s.key, s.pending, s.profile))
+                s.pending = 0
+        group.dirty = []
+        group.pending_total = 0
+        self.epochs += 1
+        self.group_epochs += 1
+        self.fluid_packets += total
+        charge = getattr(group.plane, "ff_group_charge", None)
+        if charge is not None:
+            charge(members, total, members[0][2])
+        else:
+            for key, n, profile in members:
+                group.plane.ff_bulk_charge(key, n, profile)
+
     def _flush_state(self, state: FlowState) -> None:
-        if state.flush_handle is not None:
+        """Per-flow flush. For a grouped flow this is the *residue* flush:
+        it charges just this member's pending packets (one
+        ``ff_bulk_charge``) and leaves the rest of the group fluid."""
+        group = state.group
+        if group is None and state.flush_handle is not None:
             state.flush_handle.cancel()
             state.flush_handle = None
         n = state.pending
         if n == 0:
             return
         state.pending = 0
+        if group is not None:
+            group.pending_total -= n
+            if group.pending_total == 0 and group.flush_handle is not None:
+                group.flush_handle.cancel()
+                group.flush_handle = None
         self.epochs += 1
         self.fluid_packets += n
         state.plane.ff_bulk_charge(state.key, n, state.profile)
@@ -241,8 +374,11 @@ class FastForwardController:
             self._flush_state(state)
 
     def flush_all(self) -> None:
+        for group in list(self._groups.values()):
+            self._flush_group(group)
         for state in list(self._flows.values()):
-            self._flush_state(state)
+            if state.group is None:
+                self._flush_state(state)
 
     # -- demotion (the fidelity boundaries) --------------------------------
 
@@ -250,7 +386,9 @@ class FastForwardController:
         """Drop ``key`` back to exact packet-level simulation. Pending
         absorbed packets are flushed first — they ran while the old profile
         was valid, so they are charged under it; everything after this call
-        is simulated packet-exact. Returns True if the flow was fluid."""
+        is simulated packet-exact. A grouped flow flushes only its own
+        residue and leaves its group fluid. Returns True if the flow was
+        fluid."""
         if reason not in self.demotions:
             raise SimulationError(f"unknown demotion reason {reason!r}")
         state = self._flows.pop(key, None)
@@ -260,6 +398,15 @@ class FastForwardController:
         if was_fluid:
             self._flush_state(state)
             self.demotions[reason] += 1
+            group = state.group
+            if group is not None:
+                group.members.pop(key, None)
+                state.group = None
+                if not group.members:
+                    if group.flush_handle is not None:
+                        group.flush_handle.cancel()
+                        group.flush_handle = None
+                    self._groups.pop(group.key, None)
             profile = state.profile
             if profile is not None and profile.conn_id is not None:
                 peers = self._by_conn.get(profile.conn_id)
@@ -282,7 +429,11 @@ class FastForwardController:
 
     def demote_all(self, reason: str) -> int:
         """A global boundary (policy commit, pressure cliff): every flow
-        back to exact. Returns how many were fluid."""
+        back to exact. Groups flush wholesale first — one epoch charge per
+        group — so the per-flow demotions that follow carry no residue.
+        Returns how many were fluid."""
+        for group in list(self._groups.values()):
+            self._flush_group(group)
         demoted = 0
         for key in list(self._flows):
             if self.demote(key, reason):
@@ -326,12 +477,18 @@ class FastForwardController:
     def promoted_count(self) -> int:
         return sum(1 for s in self._flows.values() if s.promoted)
 
+    @property
+    def groups(self) -> int:
+        return len(self._groups)
+
     def stats(self) -> Dict[str, object]:
         return {
             "tracked": self.tracked,
             "promoted": self.promoted_count,
+            "groups": self.groups,
             "promotions": self.promotions,
             "epochs": self.epochs,
+            "group_epochs": self.group_epochs,
             "fluid_packets": self.fluid_packets,
             "demotions": dict(self.demotions),
         }

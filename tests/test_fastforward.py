@@ -428,3 +428,124 @@ class TestConfigGating:
 
     def test_default_costs_are_exact_mode(self):
         assert DEFAULT_COSTS.fast_forward is False
+
+
+# ---------------------------------------------------------------------------
+# Property: group-epoch = per-flow-epoch = packet-exact
+# ---------------------------------------------------------------------------
+
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class LedgerPlane:
+    """Records exactly which (key, n) the controller charges, under both
+    the per-flow and the group charging entry points, so two charging
+    modes can be compared ledger-for-ledger."""
+
+    def __init__(self, profiles):
+        self.profiles = profiles
+        self.charged = Counter()
+        self.group_calls = 0
+
+    def ff_eligible(self, key):
+        return True
+
+    def ff_profile(self, key, pkt):
+        return self.profiles[key]
+
+    def ff_bulk_charge(self, key, n, profile):
+        self.charged[key] += n
+
+    def ff_group_charge(self, members, total_n, profile):
+        assert total_n == sum(n for _key, n, _prof in members)
+        assert all(n > 0 for _key, n, _prof in members)
+        self.group_calls += 1
+        for key, n, _prof in members:
+            self.charged[key] += n
+
+
+def _drive_schedule(ops, group):
+    """Replay one random promote/absorb/demote/commit/flush interleaving
+    through a controller in the requested charging mode. Returns the
+    charge ledger plus offered/exact/fluid packet counts per flow."""
+    costs = DEFAULT_COSTS.replace(
+        flow_fastpath=True, fast_forward=True, ff_promote_after=2,
+        ff_epoch_packets=8, ff_horizon_ns=500, ff_group=group,
+    )
+    sim = Simulator()
+    ctl = FastForwardController(sim, costs)
+    keys = ["a", "b", "c", "d"]
+    spans = (("nic_pipeline", 100, False, "rx"), ("ring", 50, True, "desc"))
+    # Two shape classes: flows a/b group together, c/d group together.
+    profiles = {
+        k: FlowProfile(spans, core_id=(0 if k in "ab" else 1), wire_len=1_000)
+        for k in keys
+    }
+    plane = LedgerPlane(profiles)
+    offered, exact, fluid = Counter(), Counter(), Counter()
+    for action, ki, cnt in ops:
+        key = keys[ki]
+        if action == "pkt":
+            offered[key] += cnt
+            if ctl.promoted(key):
+                assert ctl.absorb(key, cnt)
+                fluid[key] += cnt
+            else:
+                # Pre-promotion packets arrive one by one; a packet that
+                # completes the streak promotes, and the *next* one is
+                # the first absorbed.
+                for _ in range(cnt):
+                    if ctl.promoted(key):
+                        assert ctl.absorb(key, 1)
+                        fluid[key] += 1
+                    else:
+                        ctl.note_exact(plane, key, None)
+                        exact[key] += 1
+        elif action == "demote":
+            ctl.demote(key, REASON_POLICY)
+        elif action == "commit":
+            ctl.demote_all(REASON_POLICY)
+        elif action == "flush":
+            ctl.flush_all()
+        else:  # "tick": let horizon timers fire
+            sim.run()
+    ctl.flush_all()
+    ctl.demote_all(REASON_POLICY)
+    sim.run()
+    return plane, offered, exact, fluid
+
+
+class TestChargingModeEquivalence:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["pkt", "pkt", "pkt", "demote", "commit", "flush", "tick"]
+                ),
+                st.integers(0, 3),
+                st.integers(1, 12),
+            ),
+            min_size=1, max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_group_equals_per_flow_equals_exact(self, ops):
+        g_plane, g_offered, g_exact, g_fluid = _drive_schedule(ops, True)
+        p_plane, p_offered, p_exact, p_fluid = _drive_schedule(ops, False)
+        # Promotion decisions depend only on the schedule, so the
+        # exact/fluid split is identical across charging modes...
+        assert g_exact == p_exact
+        assert g_fluid == p_fluid
+        assert g_offered == p_offered
+        # ...and so is the charge ledger: every absorbed packet is
+        # charged exactly once to its own flow in both modes.
+        assert g_plane.charged == p_plane.charged
+        for key in g_offered:
+            assert g_plane.charged[key] == g_fluid[key]
+            assert g_plane.charged[key] + g_exact[key] == g_offered[key]
+        # Per-flow mode must never take the group entry point.
+        assert p_plane.group_calls == 0

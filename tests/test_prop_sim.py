@@ -147,3 +147,50 @@ class TestHeapCompaction:
         assert fired == list(range(n - 1, 69, -1))
         assert sim.pending == 0
         assert sim.cancelled_pending == 0
+
+
+class TestCalendarWindowProperties:
+    """Delays past the calendar window exercise the far heap, rebase
+    migration, and compaction across the boundary — none of which may
+    perturb (time, seq) order."""
+
+    @given(
+        delays=st.lists(
+            st.integers(0, 5 * 2_097_152),  # several calendar windows
+            min_size=1, max_size=80,
+        )
+    )
+    @settings(max_examples=60)
+    def test_order_holds_across_the_window_boundary(self, delays):
+        sim = Simulator()
+        fired = []
+        for i, d in enumerate(delays):
+            sim.after(d, fired.append, (d, i))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(
+            st.integers(1, 5 * 2_097_152),
+            min_size=2 * Simulator.COMPACT_MIN_HEAP,
+            max_size=3 * Simulator.COMPACT_MIN_HEAP,
+        ),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=192),
+    )
+    @settings(max_examples=40)
+    def test_cancels_across_the_boundary_never_fire(self, delays, cancel_mask):
+        sim = Simulator()
+        fired = []
+        handles = []
+        for i, d in enumerate(delays):
+            handles.append((i, sim.after(d, fired.append, i)))
+        dropped = set()
+        for j, flag in enumerate(cancel_mask):
+            if flag and handles:
+                i, h = handles[j % len(handles)]
+                h.cancel()
+                dropped.add(i)
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - dropped
+        assert sim.pending == 0
