@@ -193,6 +193,38 @@ class CostModel:
     demoting at the same boundaries. Only meaningful with
     :attr:`fast_forward`."""
 
+    # --- multi-tenancy (tenant-aware dataplane, experiment E17) -------------
+    tenants: bool = False
+    """Resolve every resource touch to a first-class :class:`Tenant`
+    (uid/cgroup-scoped, registered per machine): kernel syscall/socket/
+    qdisc paths, fastpath installs, conntrack entries, SRAM blocks and
+    NIC pipeline/DMA charges all carry the owning tenant, and per-tenant
+    hit/miss/evicted/bytes counters move. Pure attribution — no schedule
+    or quota changes. Off (the default) reproduces the seed
+    byte-identically."""
+
+    tenant_isolation: bool = False
+    """Enforce tenant isolation on top of attribution: per-tenant
+    flowtable and SRAM quotas (evict-within-tenant before evict-across),
+    a per-tenant egress scheduler (:attr:`tenant_sched`) replacing the
+    KOPI FIFO drain, and weighted fair arbitration of SmartNIC pipeline
+    passes and DMA bytes. Fast-forward promotion consults quota headroom
+    and fluid groups never span tenants. Requires :attr:`tenants`."""
+
+    tenant_sched: str = "drr"
+    """Per-tenant egress scheduler flavour: ``"drr"`` (deficit round
+    robin over byte quanta) or ``"wfq"`` (same DRR mechanism, weights
+    read as rate shares — the repo's WFQ realization, as in tc)."""
+
+    tenant_quantum_bytes: int = 1_514
+    """DRR byte quantum per round for weight-1 tenants (one MTU frame):
+    bounds how long a victim waits behind any hog to ~1 frame per active
+    tenant per round."""
+
+    tenant_default_weight: int = 1
+    """Scheduler weight for the built-in ``system`` tenant and for
+    tenants registered without an explicit weight."""
+
     # --- latency anatomy (attributed tracing spine, experiment E16) ---------
     trace: bool = False
     """Record an attributed span per charged nanosecond (see repro.trace):
@@ -307,6 +339,23 @@ class CostModel:
         if not 0 < self.ff_tolerance < 1:
             raise ConfigError(
                 f"ff_tolerance must be in (0, 1), got {self.ff_tolerance}"
+            )
+        if self.tenant_isolation and not self.tenants:
+            raise ConfigError(
+                "tenant_isolation requires tenants: quotas and the "
+                "per-tenant scheduler need resolved tenant identity"
+            )
+        if self.tenant_sched not in ("drr", "wfq"):
+            raise ConfigError(
+                f"tenant_sched must be 'drr' or 'wfq', got {self.tenant_sched!r}"
+            )
+        if self.tenant_quantum_bytes < 1:
+            raise ConfigError(
+                f"tenant_quantum_bytes must be >= 1, got {self.tenant_quantum_bytes}"
+            )
+        if self.tenant_default_weight < 1:
+            raise ConfigError(
+                f"tenant_default_weight must be >= 1, got {self.tenant_default_weight}"
             )
         if self.ddio_ways > self.llc_ways:
             raise ConfigError(

@@ -37,6 +37,9 @@ class CtEntry:
     bytes: int
     last_seen_ns: int
     sram: SramBlock
+    tenant_tid: Optional[int] = None
+    """Owning tenant (tid) — the conntrack side of owner scoping: a
+    tenant's flows are enumerable and its SRAM entries quota-charged."""
 
 
 class ConntrackTable:
@@ -53,7 +56,7 @@ class ConntrackTable:
         self.point = None  # Optional[InterpositionPoint], set at registration
         self.fastpath = None  # Optional[FlowFastPath]: expiry evicts flows
 
-    def observe(self, pkt: Packet, now_ns: int) -> Optional[CtEntry]:
+    def observe(self, pkt: Packet, now_ns: int, tenant=None) -> Optional[CtEntry]:
         ft = pkt.five_tuple
         if ft is None:
             return None
@@ -72,14 +75,19 @@ class ConntrackTable:
                     self.point.record_eval(hit=True)
                 return reverse
             try:
-                block = self.sram.alloc(CT_ENTRY_BYTES, "conntrack")
+                # tenant: the entry's SRAM bytes bill against the owning
+                # tenant's quota; a hog exhausts its own cap, not the table.
+                block = self.sram.alloc(CT_ENTRY_BYTES, "conntrack",
+                                        tenant=tenant)
             except NicResourceExhausted:
                 self.metrics.counter("untracked").inc()
                 if self.point is not None:
                     self.point.record_eval(hit=False)
                 return None
             entry = CtEntry(flow=ft, state=STATE_NEW, packets=0, bytes=0,
-                            last_seen_ns=now_ns, sram=block)
+                            last_seen_ns=now_ns, sram=block,
+                            tenant_tid=tenant.tid if tenant is not None
+                            else None)
             self._entries[ft] = entry
             self.metrics.counter("created").inc()
             created = True
@@ -113,6 +121,10 @@ class ConntrackTable:
 
     def entries(self) -> List[CtEntry]:
         return sorted(self._entries.values(), key=lambda e: str(e.flow))
+
+    def entries_for_tenant(self, tid: int) -> List[CtEntry]:
+        """Owner-scoped view: one tenant's tracked flows."""
+        return [e for e in self.entries() if e.tenant_tid == tid]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -159,6 +171,8 @@ class NatTable:
         binding = self._by_internal.get(ft)
         if binding is None:
             try:
+                # tenant: NAT bindings are admin-installed machine policy,
+                # not per-flow tenant state — they bill the shared pool.
                 block = self.sram.alloc(NAT_ENTRY_BYTES, "nat")
             except NicResourceExhausted:
                 self.metrics.counter("exhausted").inc()

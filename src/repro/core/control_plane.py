@@ -135,8 +135,13 @@ class ControlPlane:
         conn = NormanConnection(
             conn_id=conn_id, proc=proc, sock=sock, rings=rings, mode=mode
         )
+        # tenant: connection state is the control plane's SRAM charging
+        # site — attributed so a hog's connection churn burns its own quota.
+        tenant = (self.machine.tenants.resolve(proc)
+                  if self.costs.tenants else None)
         try:
-            conn.sram = self.nic.sram.alloc(self.costs.conn_state_bytes, "conn_state")
+            conn.sram = self.nic.sram.alloc(
+                self.costs.conn_state_bytes, "conn_state", tenant=tenant)
         except NicResourceExhausted:
             conn.fallback = True
             self.metrics.counter("fallback_conns").inc()

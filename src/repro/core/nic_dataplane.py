@@ -30,6 +30,7 @@ from ..net.link import Link
 from ..net.packet import Packet
 from ..nic.smartnic.fpga import Bitstream, FpgaFabric
 from ..nic.smartnic.sram import SramAllocator
+from ..nic.tenant_sched import WeightedFairClock
 from ..nic.steering import SteeringTable
 from ..overlay.isa import VERDICT_DROP
 from ..sim import MetricSet
@@ -93,6 +94,19 @@ class KopiNic:
             name=f"{name}.sched",
         )
         self._sched_classes: "set[str]" = set()
+        #: Tenant registry when attribution is on; None keeps every
+        #: tenant-resolution branch dead (the seed default).
+        self.tenants = machine.tenants if self.costs.tenants else None
+        #: True once the control plane installed the per-tenant egress
+        #: qdisc — then _tx_effects classifies by owning tenant.
+        self.tenant_classes = False
+        #: Weighted fair arbiter over SmartNIC pipeline passes (isolation
+        #: only): a hog's passes stretch to its share, a victim's do not
+        #: wait behind them.
+        self.pipeline_clock = (
+            WeightedFairClock(machine.tenants, name=f"{name}.pipeline")
+            if self.costs.tenant_isolation else None
+        )
         self._draining: "set[int]" = set()
         self._tx_drained: Dict[int, int] = {}  # conn_id -> pkts this doorbell session
         self.offline = False
@@ -120,6 +134,27 @@ class KopiNic:
 
     def _fixed_latency(self) -> int:
         return self.costs.nic_pipeline_ns + N_PIPELINE_STAGES * self.costs.smartnic_stage_ns
+
+    def _tenant_of(self, conn: Optional[NormanConnection],
+                   pkt: Optional[Packet] = None):
+        """Resolve the tenant this work bills to: the connection's owning
+        process when the control plane knows it, else the packet's stamped
+        owner uid, else the system tenant. Returns None (no attribution at
+        all) only when the machine runs without tenants."""
+        if self.tenants is None:
+            return None
+        if conn is not None:
+            return self.tenants.resolve(conn.proc)
+        if pkt is not None:
+            return self.tenants.resolve_uid(pkt.meta.owner_uid)
+        return self.tenants.system
+
+    def _pipeline_arb_ns(self, tenant, busy_ns: int) -> int:
+        """Extra pipeline wait the per-tenant arbiter imposes (isolation
+        only; 0 for an uncontended or unattributed pass)."""
+        if self.pipeline_clock is None or tenant is None:
+            return 0
+        return self.pipeline_clock.delay(tenant, busy_ns, self.sim.now)
 
     def _lines_for(self, pkt: Packet) -> int:
         line = self.costs.cache_line_bytes
@@ -170,6 +205,16 @@ class KopiNic:
                 charge(STAGE_FASTPATH, fp.hit_ns, ctx, cpu=False,
                        label="rx_flow_cache")
                 latency = self._fixed_latency() + fp.hit_ns
+                # tenant: the pipeline pass bills to the flow's owner; under
+                # isolation a contending hog's pass stretches to its share.
+                tenant = self._tenant_of(conn, pkt)
+                if tenant is not None:
+                    pkt.meta.tenant_tid = tenant.tid
+                arb = self._pipeline_arb_ns(tenant, self._fixed_latency())
+                if arb:
+                    charge(STAGE_NIC_PIPELINE, arb, ctx, cpu=False,
+                           label="pipeline_arb")
+                    latency += arb
                 self.sim.after(latency, self._rx_effects, pkt, conn, entry.verdict,
                                entry, True)
                 if ff is not None and self.ff_plane is not None:
@@ -188,6 +233,14 @@ class KopiNic:
         ctx = self.machine.tracer.begin(pkt)
         latency = charge(STAGE_NIC_PIPELINE, self._fixed_latency(), ctx,
                          cpu=False, label="rx_pipeline")
+        # tenant: slow-path passes bill to the resolved owner too.
+        tenant = self._tenant_of(conn, pkt)
+        if tenant is not None:
+            pkt.meta.tenant_tid = tenant.tid
+        arb = self._pipeline_arb_ns(tenant, self._fixed_latency())
+        if arb:
+            latency += charge(STAGE_NIC_PIPELINE, arb, ctx, cpu=False,
+                              label="pipeline_arb")
         verdict = None
         machine = self.fpga.machine(SLOT_FILTER_RX)
         if machine is not None:
@@ -207,7 +260,7 @@ class KopiNic:
             fp_entry = fp.install(
                 CHAIN_KOPI_RX, ft, verdict=verdict,
                 conn_id=conn.conn_id if conn is not None else None,
-                points=points,
+                points=points, tenant=tenant,
             )
         self.sim.after(latency, self._rx_effects, pkt, conn, verdict, fp_entry, False)
 
@@ -242,7 +295,8 @@ class KopiNic:
         if pkt.is_arp:
             return
         if self.conntrack is not None:
-            self._observe_conntrack(pkt, fp_entry, fp_hit)
+            self._observe_conntrack(pkt, fp_entry, fp_hit,
+                                    tenant=self._tenant_of(conn, pkt))
         if conn is None or conn.closed:
             if self.fallback_rx is not None:
                 self.metrics.counter("rx_fallback").inc()
@@ -260,11 +314,13 @@ class KopiNic:
             return
         self._deliver_to_ring(pkt, conn)
 
-    def _observe_conntrack(self, pkt: Packet, fp_entry, fp_hit: bool) -> None:
+    def _observe_conntrack(self, pkt: Packet, fp_entry, fp_hit: bool,
+                           tenant=None) -> None:
         """Conntrack update for one packet. A flow-cache hit updates the
         cached :class:`~repro.core.conntrack.CtEntry` in place (exact
         per-flow accounting, no table walk); misses take the full observe
-        path and attach the live entry to the cache."""
+        path and attach the live entry to the cache. New entries carry the
+        resolved tenant so SRAM bytes land on its quota."""
         if fp_hit and fp_entry is not None and fp_entry.ct_entry is not None:
             cached = fp_entry.ct_entry
             cached.packets += 1
@@ -274,7 +330,7 @@ class KopiNic:
             if fp is not None:
                 fp.note_skipped("conntrack")
             return
-        entry = self.conntrack.observe(pkt, self.sim.now)
+        entry = self.conntrack.observe(pkt, self.sim.now, tenant=tenant)
         if fp_entry is not None and entry is not None:
             fp_entry.ct_entry = entry
 
@@ -333,7 +389,7 @@ class KopiNic:
         self._draining.add(conn.conn_id)
         self.sim.after(self.costs.pcie_dma_latency_ns, self._drain_tx, conn)
 
-    def _tx_pipeline(self, pkt: Packet):
+    def _tx_pipeline(self, pkt: Packet, tenant=None):
         """Run the TX overlay pipeline for one packet; returns
         (verdict, sched_class, overlay_cost_ns, fastpath entry, hit flag).
 
@@ -345,7 +401,7 @@ class KopiNic:
         policer = self.fpga.machine(SLOT_POLICER)
         ft = pkt.five_tuple if (fp is not None and policer is None) else None
         if ft is not None:
-            entry = fp.lookup(CHAIN_KOPI_TX, ft)
+            entry = fp.lookup(CHAIN_KOPI_TX, ft, tenant=tenant)
             if entry is not None:
                 return entry.verdict, entry.qdisc_class, fp.hit_ns, entry, True
         cost = 0
@@ -379,9 +435,20 @@ class KopiNic:
             )
             fp_entry = fp.install(
                 CHAIN_KOPI_TX, ft, verdict=verdict, qdisc_class=sched_class,
-                conn_id=pkt.meta.conn_id, points=points,
+                conn_id=pkt.meta.conn_id, points=points, tenant=tenant,
             )
         return verdict, sched_class, cost, fp_entry, False
+
+    def _dma_fair_gap(self, tenant, nbytes: int, gap: int) -> int:
+        """Stretch a drain-pacing gap to the tenant's weighted DMA share
+        (isolation only): the hog's descriptor fetches slow to its share
+        of PCIe bytes while an uncontended tenant keeps the raw gap."""
+        fc = self.machine.dma.fair_clock
+        if fc is None or tenant is None:
+            return gap
+        busy = units.transmit_time_ns(nbytes, self.costs.pcie_bandwidth_bps)
+        fin = fc.finish(tenant, busy, self.sim.now)
+        return max(gap, fin - self.sim.now)
 
     def _drain_tx(self, conn: NormanConnection) -> None:
         if self.costs.batch_size > 1:
@@ -394,16 +461,23 @@ class KopiNic:
         pkt.meta.conn_id = conn.conn_id
         pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = conn.owner
         conn.tx_packets += 1
+        # tenant: the descriptor fetch's DMA bytes and the pipeline pass
+        # below bill to the connection's owner.
+        tenant = self._tenant_of(conn, pkt)
+        if tenant is not None:
+            pkt.meta.tenant_tid = tenant.tid
         self.machine.copies.charge(
             LAYER_DMA, pkt.wire_len,
             units.transmit_time_ns(pkt.wire_len, self.costs.pcie_bandwidth_bps),
         )
 
-        verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
+        verdict, sched_class, overlay_cost, fp_entry, fp_hit = \
+            self._tx_pipeline(pkt, tenant=tenant)
         if fp_hit and verdict != VERDICT_DROP and self.tx_ff_plane is not None:
             ff = self.machine.ff
             if ff is not None and pkt.five_tuple is not None:
                 ff.note_exact(self.tx_ff_plane, pkt.five_tuple, pkt)
+        arb = self._pipeline_arb_ns(tenant, self._fixed_latency())
         if pkt.meta.trace is not None:
             # Doorbell MMIO latency + ring residency since the library post.
             pkt.meta.trace.fill_gap(STAGE_DMA, self.sim.now, label="desc_fetch")
@@ -412,7 +486,10 @@ class KopiNic:
                    label="tx_flow_cache" if fp_hit else "overlay_tx")
             charge(STAGE_NIC_PIPELINE, self._fixed_latency(), pkt.meta.trace,
                    cpu=False, label="tx_pipeline")
-        latency = self._fixed_latency() + overlay_cost
+            if arb:
+                charge(STAGE_NIC_PIPELINE, arb, pkt.meta.trace,
+                       cpu=False, label="pipeline_arb")
+        latency = self._fixed_latency() + overlay_cost + arb
         self.sim.after(latency, self._tx_effects, pkt, conn, verdict, sched_class,
                        fp_entry, fp_hit)
 
@@ -422,6 +499,7 @@ class KopiNic:
             gap = units.transmit_time_ns(pkt.wire_len, self.costs.pcie_bandwidth_bps)
             if conn.rate_bps is not None:
                 gap = max(gap, units.transmit_time_ns(pkt.wire_len, conn.rate_bps))
+            gap = self._dma_fair_gap(tenant, pkt.wire_len, gap)
             self.sim.after(max(gap, 1), self._drain_tx, conn)
         else:
             self._draining.discard(conn.conn_id)
@@ -441,19 +519,29 @@ class KopiNic:
             return
         self.metrics.counter("tx_bursts").inc()
         self._tx_drained[conn.conn_id] = self._tx_drained.get(conn.conn_id, 0) + len(pkts)
+        # tenant: one burst belongs to one connection, hence one tenant —
+        # its pipeline pass and DMA bytes bill there.
+        tenant = self._tenant_of(conn, pkts[0])
         latency = self._fixed_latency()
         # One pipeline pass covers the burst: the fixed latency lands on the
         # lead packet's trace; each packet carries its own overlay cost.
         charge(STAGE_NIC_PIPELINE, self._fixed_latency(), pkts[0].meta.trace,
                cpu=False, label="tx_pipeline")
+        arb = self._pipeline_arb_ns(tenant, self._fixed_latency())
+        if arb:
+            latency += charge(STAGE_NIC_PIPELINE, arb, pkts[0].meta.trace,
+                              cpu=False, label="pipeline_arb")
         total_wire = 0
         items = []
         for pkt in pkts:
             pkt.meta.conn_id = conn.conn_id
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = conn.owner
+            if tenant is not None:
+                pkt.meta.tenant_tid = tenant.tid
             conn.tx_packets += 1
             total_wire += pkt.wire_len
-            verdict, sched_class, overlay_cost, fp_entry, fp_hit = self._tx_pipeline(pkt)
+            verdict, sched_class, overlay_cost, fp_entry, fp_hit = \
+                self._tx_pipeline(pkt, tenant=tenant)
             if fp_hit and verdict != VERDICT_DROP and self.tx_ff_plane is not None:
                 ff = self.machine.ff
                 if ff is not None and pkt.five_tuple is not None:
@@ -476,6 +564,7 @@ class KopiNic:
             gap = units.transmit_time_ns(total_wire, self.costs.pcie_bandwidth_bps)
             if conn.rate_bps is not None:
                 gap = max(gap, units.transmit_time_ns(total_wire, conn.rate_bps))
+            gap = self._dma_fair_gap(tenant, total_wire, gap)
             self.sim.after(max(gap, 1), self._drain_tx, conn)
         else:
             self._draining.discard(conn.conn_id)
@@ -514,8 +603,9 @@ class KopiNic:
             if pkt.meta.trace is not None:
                 pkt.meta.trace.close(self.sim.now)
             return
+        tenant = self._tenant_of(conn, pkt)
         if self.conntrack is not None and not pkt.is_arp:
-            self._observe_conntrack(pkt, fp_entry, fp_hit)
+            self._observe_conntrack(pkt, fp_entry, fp_hit, tenant=tenant)
         if self.nat is not None and not pkt.is_arp:
             translated = self.nat.translate_out(pkt)
             if translated is None:
@@ -528,6 +618,13 @@ class KopiNic:
         # Mirror post-NAT: captures show what is actually on the wire.
         self.sniffer.mirror(pkt)
         cls = str(sched_class) if sched_class is not None else DEFAULT_CLASS
+        if self.tenant_classes and tenant is not None:
+            # Per-tenant egress scheduling: the owning tenant's class wins
+            # over any cgroup/classifier class — each tenant drains from
+            # its own DRR queue, so a hog's backlog is not a victim's.
+            tcls = tenant.sched_class
+            if tcls in self._sched_classes:
+                cls = tcls
         if cls not in self._sched_classes:
             cls = DEFAULT_CLASS
         admitted = self.scheduler.submit(pkt, cls)

@@ -106,6 +106,30 @@ class NormanOS(Dataplane):
             self.nic.scheduler.backlog_demote_threshold = (
                 self.costs.ff_qdisc_backlog)
             self.nic.scheduler.on_backlog_pressure = machine.ff.on_qdisc_pressure
+        # Per-tenant egress scheduling: replace the factory FIFO drain with
+        # a DRR/WFQ discipline holding one class per tenant, and rebuild it
+        # whenever the registry changes (new tenant, weight update). The
+        # qdisc interposition point stays attached to the runner, so the
+        # swap is a recorded commit like any tc change.
+        if self.costs.tenant_isolation:
+            self._install_tenant_scheduler()
+            machine.tenants.on_change.append(self._install_tenant_scheduler)
+
+    def _install_tenant_scheduler(self) -> None:
+        """Build the per-tenant egress qdisc from the registry's weight map.
+
+        Both ``tenant_sched`` settings land here: ``"drr"`` uses the byte
+        quantum directly, ``"wfq"`` reads the same weights as rate shares —
+        DRR with per-weight quanta *is* a packetized weighted fair queue,
+        so one discipline realizes both (docs/multi_tenancy.md)."""
+        from ..kernel.qdisc import DrrQdisc
+
+        weights = self.machine.tenants.sched_weights()
+        self.nic.set_scheduler(
+            DrrQdisc(weights, quantum_bytes=self.costs.tenant_quantum_bytes),
+            set(weights),
+        )
+        self.nic.tenant_classes = True
 
     # --- wire plumbing ------------------------------------------------------
 
@@ -184,7 +208,10 @@ class NormanOS(Dataplane):
         inspects or rewrites individual packets is attached — no capture
         session (the sniffer must see real packets), no NAT (per-packet
         rewrites), no structural LLC (per-line cache state would make the
-        frozen read cost wrong)."""
+        frozen read cost wrong). Under tenant isolation, promotion also
+        consults quota headroom: a tenant at its flowtable quota or over
+        its SRAM cap is about to start evicting/falling back, which is
+        exactly the regime the exact path must keep simulating."""
         entry, conn = self._ff_conn(flow)
         if conn is None:
             return False
@@ -194,6 +221,14 @@ class NormanOS(Dataplane):
             return False
         if self.machine.llc is not None:
             return False
+        tenants = self.machine.tenants
+        if tenants.isolation:
+            tenant = tenants.resolve(conn.proc)
+            fp = self.machine.fastpath
+            if fp is not None and fp.at_quota(tenant):
+                return False
+            if not self.nic.sram.tenant_headroom(tenant):
+                return False
         return True
 
     def ff_profile(self, flow, pkt):
@@ -264,6 +299,8 @@ class NormanOS(Dataplane):
             spans, core_id=conn.proc.core_id, wire_len=wire_len,
             payload_len=payload_len, src_ip=src_ip, sport=sport,
             deliver=deliver, conn_id=conn.conn_id, versions=entry.versions,
+            tenant_tid=(machine.tenants.resolve(conn.proc).tid
+                        if costs.tenants else None),
         )
 
 
@@ -347,6 +384,17 @@ class KopiTxFastForward:
             return False
         if nic.scheduler.backlog:
             return False
+        tenants = os_.machine.tenants
+        if tenants.isolation:
+            # Quota headroom gates promotion (same rationale as the RX
+            # side); the zero-backlog check above already guarantees the
+            # per-tenant DRR is work-conserving FIFO for the frozen shape.
+            tenant = tenants.resolve(conn.proc)
+            fp = os_.machine.fastpath
+            if fp is not None and fp.at_quota(tenant):
+                return False
+            if not nic.sram.tenant_headroom(tenant):
+                return False
         return True
 
     def ff_profile(self, flow, pkt):
@@ -427,4 +475,6 @@ class KopiTxFastForward:
             spans, core_id=conn.proc.core_id, wire_len=wire_len,
             payload_len=payload_len, src_ip=ft.src_ip, sport=ft.sport,
             deliver=deliver, conn_id=conn.conn_id, versions=entry.versions,
+            tenant_tid=(machine.tenants.resolve(conn.proc).tid
+                        if costs.tenants else None),
         )

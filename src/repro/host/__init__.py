@@ -12,6 +12,7 @@ from .cpu import Core, CpuSet
 from .machine import Machine
 from .memory import MemorySystem, PinnedRegion
 from .pcie import DmaEngine
+from .tenants import Tenant, TenantRegistry
 
 __all__ = [
     "AnalyticDdioModel",
@@ -24,5 +25,7 @@ __all__ = [
     "Machine",
     "MemorySystem",
     "PinnedRegion",
+    "Tenant",
+    "TenantRegistry",
     "WayPartitionedCache",
 ]

@@ -16,6 +16,8 @@ from .copies import CopyLedger
 from .cpu import CpuSet
 from .memory import MemorySystem
 from .pcie import DmaEngine
+from .tenants import TenantRegistry
+from ..nic.tenant_sched import WeightedFairClock
 
 
 class Machine:
@@ -43,7 +45,15 @@ class Machine:
         )
         self.ddio_model = AnalyticDdioModel(costs)
         self.copies = CopyLedger()
+        # Tenant registry: always present (resolution must never dangle),
+        # passive until ``costs.tenants`` — nothing consults it on the
+        # default path, which keeps the seed fingerprint byte-identical.
+        self.tenants = TenantRegistry(costs)
         self.dma = DmaEngine(self.sim, costs, llc=self.llc, ledger=self.copies)
+        if costs.tenant_isolation:
+            # Weighted fair arbitration of DMA bytes between tenants —
+            # the fluid counterpart of the egress DRR scheduler.
+            self.dma.fair_clock = WeightedFairClock(self.tenants, name="dma")
         self.coherence = CoherenceFabric(costs, ledger=self.copies)
         # Every interposition mechanism on this host (netfilter, qdiscs,
         # conntrack, taps, steering, overlays) registers here; see
@@ -53,7 +63,9 @@ class Machine:
         # the cost-model flag is off: dataplanes guard every touch on that,
         # which is what keeps default-config traces seed-identical.
         self.fastpath: Optional[FlowFastPath] = (
-            FlowFastPath(self.interpose, costs) if costs.flow_fastpath else None
+            FlowFastPath(self.interpose, costs,
+                         tenants=self.tenants if costs.tenants else None)
+            if costs.flow_fastpath else None
         )
         # The tracing spine (repro.trace). Always wired so charging sites
         # can hold a reference unconditionally; disabled it never creates a

@@ -35,12 +35,26 @@ class DmaEngine:
         self._link_free_at = 0
         self.metrics = MetricSet("dma")
         self.ledger = ledger if ledger is not None else CopyLedger()
+        #: Per-tenant weighted fair arbitration of link bytes
+        #: (:class:`~repro.nic.tenant_sched.WeightedFairClock`). Wired by
+        #: Machine only under ``tenant_isolation``; None keeps the seed's
+        #: pure-FIFO link schedule.
+        self.fair_clock = None
 
-    def _serialize(self, nbytes: int) -> int:
-        """Reserve link time for ``nbytes``; returns completion timestamp."""
+    def _serialize(self, nbytes: int, tenant=None) -> int:
+        """Reserve link time for ``nbytes``; returns completion timestamp.
+
+        With the fair clock wired and a tenant resolved, completion is the
+        later of the FIFO link time and the tenant's weighted-share finish
+        — a hog's bytes stretch to its share while a lone tenant still
+        sees the raw link (work-conserving)."""
         start = max(self._link_free_at, self.sim.now)
         busy = units.transmit_time_ns(nbytes, self.costs.pcie_bandwidth_bps)
         self._link_free_at = start + busy
+        if self.fair_clock is not None and tenant is not None:
+            fair = self.fair_clock.finish(tenant, busy, self.sim.now)
+            if fair > self._link_free_at:
+                return fair
         return self._link_free_at
 
     def dma_write(
@@ -48,6 +62,7 @@ class DmaEngine:
         region: PinnedRegion,
         nbytes: int,
         offset: int = 0,
+        tenant=None,
     ) -> Signal:
         """Device -> host memory write of ``nbytes`` into ``region``.
 
@@ -57,7 +72,8 @@ class DmaEngine:
         self._check(region, nbytes, offset)
         done = Signal("dma_write")
         lines = self._touch_lines(region, nbytes, offset, write=True)
-        finish = self._serialize(nbytes) + self.costs.pcie_dma_latency_ns
+        # tenant: attributed fair-queued link share when isolation is on.
+        finish = self._serialize(nbytes, tenant) + self.costs.pcie_dma_latency_ns
         self.metrics.counter("writes").inc()
         self.metrics.meter("write_bytes").record(self.sim.now, nbytes)
         self.ledger.charge(
@@ -67,12 +83,14 @@ class DmaEngine:
         self.sim.at(finish, done.succeed, lines)
         return done
 
-    def dma_read(self, region: PinnedRegion, nbytes: int, offset: int = 0) -> Signal:
+    def dma_read(self, region: PinnedRegion, nbytes: int, offset: int = 0,
+                 tenant=None) -> Signal:
         """Host memory -> device read (TX path). The signal fires when the
         device holds the data."""
         self._check(region, nbytes, offset)
         done = Signal("dma_read")
-        finish = self._serialize(nbytes) + self.costs.pcie_dma_latency_ns
+        # tenant: attributed fair-queued link share when isolation is on.
+        finish = self._serialize(nbytes, tenant) + self.costs.pcie_dma_latency_ns
         self.metrics.counter("reads").inc()
         self.metrics.meter("read_bytes").record(self.sim.now, nbytes)
         self.ledger.charge(
@@ -102,6 +120,8 @@ class DmaEngine:
         count = 0
         for addr in range(first, start + nbytes, line):
             if write:
+                # tenant: cache side effect of a transfer whose bytes were
+                # already billed to the owning tenant in dma_read/dma_write.
                 self.llc.dma_write(addr)
             count += 1
         return count

@@ -1,0 +1,214 @@
+"""First-class tenants: one identity object per resource principal.
+
+The paper's argument is that interposition matters *because the NIC is
+shared* — many mutually distrusting applications contend for the same
+SmartNIC pipeline, SRAM, flowtable and DMA link. Until now that identity
+existed only as scattered fragments (a uid here, a cgroup classid there,
+the fastpath's owner-pid scope). :class:`Tenant` makes it one object,
+registered per machine, that every charging site can resolve and every
+quota/scheduler can key on (OSMOSIS / SuperNIC in PAPERS.md design
+exactly this layer).
+
+Resolution is deterministic and cheap: a process maps to the tenant
+registered for its *current* cgroup path first, else the tenant
+registered for its uid, else the built-in ``system`` tenant (tid 0).
+Because `CgroupTree` re-resolves membership on move/delete (and never
+recycles classids), a migrated process can never classify into a stale
+tenant.
+
+Everything here is passive until the ``CostModel.tenants`` knob is on:
+the registry always exists on the machine, but no counter moves and no
+schedule changes unless a caller resolves and passes a tenant — keeping
+the default path byte-identical to the seed fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..errors import ConfigError
+
+#: The implicit tenant every unregistered process belongs to. Its traffic
+#: rides the scheduler's default class and is never quota-limited.
+TENANT_SYSTEM_TID = 0
+TENANT_SYSTEM_NAME = "system"
+
+
+def tenant_class(tid: int) -> str:
+    """The NIC scheduler class name for a tenant (``t<tid>``)."""
+    return f"t{tid}"
+
+
+class Tenant:
+    """One resource principal: a uid- or cgroup-scoped application.
+
+    ``weight`` is the relative share the per-tenant NIC scheduler grants
+    (DRR byte quantum multiplier / WFQ rate share). ``flow_quota`` caps
+    this tenant's flowtable (fastpath) entries; ``sram_quota_bytes`` caps
+    its on-NIC SRAM. ``None`` quotas mean unlimited — attribution without
+    enforcement.
+    """
+
+    __slots__ = ("tid", "name", "uid", "cgroup_path", "weight",
+                 "flow_quota", "sram_quota_bytes")
+
+    def __init__(
+        self,
+        tid: int,
+        name: str,
+        uid: Optional[int] = None,
+        cgroup_path: Optional[str] = None,
+        weight: int = 1,
+        flow_quota: Optional[int] = None,
+        sram_quota_bytes: Optional[int] = None,
+    ):
+        self.tid = tid
+        self.name = name
+        self.uid = uid
+        self.cgroup_path = cgroup_path
+        self.weight = weight
+        self.flow_quota = flow_quota
+        self.sram_quota_bytes = sram_quota_bytes
+
+    @property
+    def sched_class(self) -> str:
+        return tenant_class(self.tid)
+
+    def __repr__(self) -> str:
+        scope = []
+        if self.uid is not None:
+            scope.append(f"uid={self.uid}")
+        if self.cgroup_path is not None:
+            scope.append(f"cgroup={self.cgroup_path}")
+        return (f"<Tenant #{self.tid} {self.name!r} "
+                f"{' '.join(scope) or 'unscoped'} w={self.weight}>")
+
+
+class TenantRegistry:
+    """Per-machine tenant table: registration, deterministic resolution,
+    and the weight map the per-tenant NIC scheduler is built from.
+
+    ``on_change`` observers fire after every registration or weight
+    change; the KOPI control path subscribes when isolation is on so the
+    egress scheduler is rebuilt with the new class set.
+    """
+
+    def __init__(self, costs):
+        self.costs = costs
+        self.enabled = bool(costs.tenants)
+        self.isolation = bool(costs.tenant_isolation)
+        self.system = Tenant(TENANT_SYSTEM_TID, TENANT_SYSTEM_NAME,
+                             weight=costs.tenant_default_weight)
+        self._by_tid: Dict[int, Tenant] = {TENANT_SYSTEM_TID: self.system}
+        self._by_uid: Dict[int, Tenant] = {}
+        self._by_cgroup: Dict[str, Tenant] = {}
+        self._next_tid = 1
+        self.on_change: List[Callable[[], None]] = []
+
+    # --- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        uid: Optional[int] = None,
+        cgroup_path: Optional[str] = None,
+        weight: Optional[int] = None,
+        flow_quota: Optional[int] = None,
+        sram_quota_bytes: Optional[int] = None,
+    ) -> Tenant:
+        """Create a tenant scoped to a uid and/or a cgroup path. At least
+        one scope is required — an unresolvable tenant could never be
+        charged."""
+        if uid is None and cgroup_path is None:
+            raise ConfigError(f"tenant {name!r} needs a uid or cgroup scope")
+        if uid is not None and uid in self._by_uid:
+            raise ConfigError(
+                f"uid {uid} already owned by {self._by_uid[uid]!r}")
+        if cgroup_path is not None and cgroup_path in self._by_cgroup:
+            raise ConfigError(
+                f"cgroup {cgroup_path!r} already owned by "
+                f"{self._by_cgroup[cgroup_path]!r}")
+        w = self.costs.tenant_default_weight if weight is None else weight
+        if w < 1:
+            raise ConfigError(f"tenant weight must be >= 1: {w}")
+        tenant = Tenant(self._next_tid, name, uid=uid,
+                        cgroup_path=cgroup_path, weight=w,
+                        flow_quota=flow_quota,
+                        sram_quota_bytes=sram_quota_bytes)
+        self._next_tid += 1
+        self._by_tid[tenant.tid] = tenant
+        if uid is not None:
+            self._by_uid[uid] = tenant
+        if cgroup_path is not None:
+            self._by_cgroup[cgroup_path] = tenant
+        self._fire()
+        return tenant
+
+    def set_weight(self, tid: int, weight: int) -> None:
+        if weight < 1:
+            raise ConfigError(f"tenant weight must be >= 1: {weight}")
+        self._by_tid[tid].weight = weight
+        self._fire()
+
+    def set_flow_quota(self, tid: int, quota: Optional[int]) -> None:
+        self._by_tid[tid].flow_quota = quota
+
+    def set_sram_quota(self, tid: int, nbytes: Optional[int]) -> None:
+        """Resize a tenant's SRAM cap. Shrinking below its current use is
+        allowed: existing blocks stay, new allocations fail until frees
+        bring it back under (see docs/multi_tenancy.md)."""
+        self._by_tid[tid].sram_quota_bytes = nbytes
+
+    def _fire(self) -> None:
+        for hook in self.on_change:
+            hook()
+
+    # --- resolution --------------------------------------------------------
+
+    def resolve(self, proc) -> Tenant:
+        """Process -> tenant: current cgroup path first (the §2 scenario —
+        ports lie, the process tree doesn't), then uid, else ``system``.
+        Always resolves; attribution never dangles."""
+        t = self._by_cgroup.get(proc.cgroup_path)
+        if t is not None:
+            return t
+        t = self._by_uid.get(proc.uid)
+        if t is not None:
+            return t
+        return self.system
+
+    def resolve_uid(self, uid: Optional[int]) -> Tenant:
+        """NIC-side resolution from packet metadata (``owner_uid``), for
+        charging sites that never see the process object."""
+        if uid is None:
+            return self.system
+        return self._by_uid.get(uid, self.system)
+
+    def get(self, tid: int) -> Optional[Tenant]:
+        return self._by_tid.get(tid)
+
+    def tenants(self) -> List[Tenant]:
+        return [self._by_tid[tid] for tid in sorted(self._by_tid)]
+
+    def __len__(self) -> int:
+        return len(self._by_tid)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self.tenants())
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._by_tid
+
+    # --- scheduler view ----------------------------------------------------
+
+    def sched_weights(self) -> Dict[str, int]:
+        """Class -> weight map for the per-tenant egress qdisc: one class
+        per registered tenant plus the default class (system tenant and
+        anything unresolvable)."""
+        from ..kernel.qdisc import DEFAULT_CLASS
+
+        weights = {DEFAULT_CLASS: self.system.weight}
+        for tenant in self._by_tid.values():
+            if tenant.tid != TENANT_SYSTEM_TID:
+                weights[tenant.sched_class] = tenant.weight
+        return weights

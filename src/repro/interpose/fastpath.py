@@ -61,6 +61,7 @@ class FlowVerdict:
     __slots__ = (
         "chain", "flow", "scope", "verdict", "qdisc_class", "queue_id",
         "conn_id", "ct_entry", "points", "epoch", "versions", "hits",
+        "tenant",
     )
 
     def __init__(
@@ -76,6 +77,7 @@ class FlowVerdict:
         points: Tuple[str, ...],
         epoch: int,
         versions: Tuple[Tuple[str, int], ...],
+        tenant=None,
     ):
         self.chain = chain
         self.flow = flow
@@ -89,6 +91,9 @@ class FlowVerdict:
         self.epoch = epoch
         self.versions = versions
         self.hits = 0
+        #: Owning :class:`~repro.host.tenants.Tenant`, or None when the
+        #: machine runs without tenant attribution (the seed default).
+        self.tenant = tenant
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -108,10 +113,17 @@ class FlowFastPath:
     (flow, process), ``None`` on header-only planes.
     """
 
-    def __init__(self, engine, costs: CostModel):
+    def __init__(self, engine, costs: CostModel, tenants=None):
         self.engine = engine
         self.hit_ns = costs.flowtable_hit_ns
         self.capacity = costs.flow_fastpath_entries
+        #: :class:`~repro.host.tenants.TenantRegistry` when the machine
+        #: attributes by tenant, else None. Quotas only bite when the
+        #: registry reports isolation on.
+        self.tenants = tenants
+        self._quotas_on = tenants is not None and tenants.isolation
+        self._tenant_entries: Dict[int, int] = {}
+        self._tenant_ctrs: Dict[int, tuple] = {}
         self._entries: "OrderedDict[Key, FlowVerdict]" = OrderedDict()
         self._by_flow: Dict[FiveTuple, Set[Key]] = {}
         self.metrics = MetricSet("fastpath")
@@ -134,17 +146,21 @@ class FlowFastPath:
 
     # --- datapath side -----------------------------------------------------
 
-    def lookup(self, chain: str, flow: FiveTuple, scope: Optional[int] = None):
+    def lookup(self, chain: str, flow: FiveTuple, scope: Optional[int] = None,
+               tenant=None):
         """Return the live cached entry for this walk, or None (miss).
 
         A stale entry (any policy commit landed since it was built) is
         discarded here — lazy invalidation, charged to the packet that
-        discovers it."""
+        discovers it. ``tenant`` (when the caller resolved one) attributes
+        the miss; hits are attributed to the entry's installing tenant."""
         key = (chain, flow, scope)
         entry = self._entries.get(key)
         if entry is None:
             self._c_misses.inc()
             self._chain_counters(chain)[1].inc()
+            if tenant is not None:
+                self._tenant_counters(tenant.tid)[1].inc()
             if self.demotion_hook is not None:
                 self.demotion_hook(flow, REASON_FASTPATH)
             return None
@@ -153,6 +169,8 @@ class FlowFastPath:
             self._c_invalidated.inc()
             self._c_misses.inc()
             self._chain_counters(chain)[1].inc()
+            if tenant is not None:
+                self._tenant_counters(tenant.tid)[1].inc()
             if self.demotion_hook is not None:
                 self.demotion_hook(flow, REASON_FASTPATH)
             return None
@@ -160,6 +178,8 @@ class FlowFastPath:
         entry.hits += 1
         self._c_hits.inc()
         self._chain_counters(chain)[0].inc()
+        if entry.tenant is not None:
+            self._tenant_counters(entry.tenant.tid)[0].inc()
         for point in entry.points:
             self._skip_counter(point).inc()
         return entry
@@ -187,13 +207,17 @@ class FlowFastPath:
         carried at promotion time."""
         key = (chain, flow, scope)
         entry = self._entries.get(key)
+        tenant = None
         if entry is not None and entry.epoch == self.engine.epoch:
             self._entries.move_to_end(key)
             entry.hits += n
+            tenant = entry.tenant
             if points is None:
                 points = entry.points
         self._c_hits.inc(n)
         self._chain_counters(chain)[0].inc(n)
+        if tenant is not None:
+            self._tenant_counters(tenant.tid)[0].inc(n)
         for point in points or ():
             self._skip_counter(point).inc(n)
 
@@ -208,26 +232,76 @@ class FlowFastPath:
         conn_id: Optional[int] = None,
         ct_entry=None,
         points: Tuple[str, ...] = (),
+        tenant=None,
     ) -> FlowVerdict:
         """Cache a freshly-walked outcome, stamped with the current epoch
-        and version vector; evicts LRU entries past capacity."""
+        and version vector; evicts LRU entries past capacity.
+
+        With isolation on, a tenant over its ``flow_quota`` evicts its own
+        LRU entry first, and global capacity pressure victimizes the
+        installing tenant before reaching across tenants (evict-within
+        before evict-across) — a hog churning flows cannot flush the
+        victims' entries."""
         key = (chain, flow, scope)
         old = self._entries.pop(key, None)
+        if old is not None and old.tenant is not None:
+            self._tenant_entries[old.tenant.tid] -= 1
         entry = FlowVerdict(
             chain, flow, scope, verdict, qdisc_class, queue_id, conn_id,
             ct_entry, points, self.engine.epoch, self.engine.version_vector(),
+            tenant=tenant,
         )
         self._entries[key] = entry
         if old is None:
             self._by_flow.setdefault(flow, set()).add(key)
         self._c_installs.inc()
+        if tenant is not None:
+            tid = tenant.tid
+            self._tenant_entries[tid] = self._tenant_entries.get(tid, 0) + 1
+            if self._quotas_on and tenant.flow_quota is not None:
+                while self._tenant_entries[tid] > tenant.flow_quota:
+                    if not self._evict_one(prefer_tid=tid, strict=True):
+                        break
         while len(self._entries) > self.capacity:
-            evicted_key, evicted = self._entries.popitem(last=False)
-            self._unindex(evicted_key)
-            self._c_evicted.inc()
-            if self.demotion_hook is not None:
-                self.demotion_hook(evicted.flow, REASON_FASTPATH)
+            prefer = tenant.tid if (self._quotas_on and tenant is not None) \
+                else None
+            self._evict_one(prefer_tid=prefer, exclude_key=key)
         return entry
+
+    def _evict_one(self, prefer_tid: Optional[int] = None,
+                   strict: bool = False, exclude_key: Optional[Key] = None)\
+            -> bool:
+        """Evict one entry: the LRU entry of ``prefer_tid`` when that
+        tenant still holds any besides ``exclude_key`` (evict-within-tenant
+        first), else — unless ``strict`` — the global LRU entry. Returns
+        True if one died."""
+        victim_key = None
+        if prefer_tid is not None and self._tenant_entries.get(prefer_tid, 0):
+            for key, entry in self._entries.items():  # LRU -> MRU order
+                if key == exclude_key:
+                    continue
+                if entry.tenant is not None and entry.tenant.tid == prefer_tid:
+                    victim_key = key
+                    break
+        if victim_key is None:
+            if strict:
+                return False
+            if not self._entries:
+                return False
+            victim_key = next(iter(self._entries))
+        evicted = self._entries.pop(victim_key)
+        self._unindex(victim_key)
+        self._unaccount(evicted)
+        self._c_evicted.inc()
+        if evicted.tenant is not None:
+            self._tenant_counters(evicted.tenant.tid)[2].inc()
+        if self.demotion_hook is not None:
+            self.demotion_hook(evicted.flow, REASON_FASTPATH)
+        return True
+
+    def _unaccount(self, entry: FlowVerdict) -> None:
+        if entry.tenant is not None:
+            self._tenant_entries[entry.tenant.tid] -= 1
 
     # --- invalidation / eviction ------------------------------------------
 
@@ -240,7 +314,9 @@ class FlowFastPath:
             if not keys:
                 continue
             for key in keys:
-                if self._entries.pop(key, None) is not None:
+                dead = self._entries.pop(key, None)
+                if dead is not None:
+                    self._unaccount(dead)
                     dropped += 1
         if dropped:
             self._c_expired.inc(dropped)
@@ -254,11 +330,13 @@ class FlowFastPath:
         n = len(self._entries)
         self._entries.clear()
         self._by_flow.clear()
+        self._tenant_entries.clear()
         return n
 
     def _remove(self, key: Key, entry: FlowVerdict) -> None:
         del self._entries[key]
         self._unindex(key)
+        self._unaccount(entry)
 
     def _unindex(self, key: Key) -> None:
         keys = self._by_flow.get(key[1])
@@ -285,6 +363,20 @@ class FlowFastPath:
             c = self.metrics.counter(f"skipped.{point}")
             self._skip_counters[point] = c
         return c
+
+    def _tenant_counters(self, tid: int):
+        """(hits, misses, evicted) counters for one tenant, created on
+        first attributed touch — a machine without tenants never grows
+        these names, keeping default metric snapshots seed-identical."""
+        trio = self._tenant_ctrs.get(tid)
+        if trio is None:
+            trio = (
+                self.metrics.counter(f"tenant.{tid}.hits"),
+                self.metrics.counter(f"tenant.{tid}.misses"),
+                self.metrics.counter(f"tenant.{tid}.evicted"),
+            )
+            self._tenant_ctrs[tid] = trio
+        return trio
 
     def note_skipped(self, point: str, n: int = 1) -> None:
         """Count a point whose evaluation a hit elided outside lookup()
@@ -322,6 +414,37 @@ class FlowFastPath:
     def hit_rate(self) -> float:
         total = self.lookups
         return self._c_hits.value / total if total else 0.0
+
+    def tenant_entries(self, tid: int) -> int:
+        """Live flowtable entries currently held by one tenant."""
+        return self._tenant_entries.get(tid, 0)
+
+    def at_quota(self, tenant) -> bool:
+        """True when this tenant's flowtable occupancy has reached its
+        quota — the headroom predicate fast-forward promotion consults."""
+        if tenant is None or tenant.flow_quota is None:
+            return False
+        return self._tenant_entries.get(tenant.tid, 0) >= tenant.flow_quota
+
+    def per_tenant(self) -> "Dict[int, Dict[str, float]]":
+        """Per-tenant pressure snapshot: entries/quota occupancy plus the
+        hit/miss/evicted counters — the `repro report` section's source."""
+        out: Dict[int, Dict[str, float]] = {}
+        tids = set(self._tenant_ctrs) | set(self._tenant_entries)
+        for tid in sorted(tids):
+            hits, misses, evicted = self._tenant_counters(tid)
+            row = {
+                "entries": float(self._tenant_entries.get(tid, 0)),
+                "hits": float(hits.value),
+                "misses": float(misses.value),
+                "evicted": float(evicted.value),
+            }
+            if self.tenants is not None:
+                tenant = self.tenants.get(tid)
+                if tenant is not None and tenant.flow_quota is not None:
+                    row["quota"] = float(tenant.flow_quota)
+            out[tid] = row
+        return out
 
     def stats(self) -> Dict[str, float]:
         out = self.metrics.snapshot()

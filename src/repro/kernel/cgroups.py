@@ -37,7 +37,12 @@ class CgroupTree:
     def __init__(self) -> None:
         self._groups: Dict[str, Cgroup] = {self.ROOT: Cgroup(self.ROOT, 0)}
         self._pid_group: Dict[int, str] = {}
+        self._procs: Dict[int, Process] = {}
         self._next_classid = 0x1_0001  # tc-style major:minor starting at 1:1
+        #: Classids of deleted groups. Never reissued: a packet or qdisc
+        #: classified under a dead group's id must resolve to *nothing*,
+        #: never to a later tenant that happened to receive the same id.
+        self._retired: "set[int]" = set()
 
     def create(self, path: str) -> Cgroup:
         if not path.startswith("/") or path == self.ROOT:
@@ -58,10 +63,36 @@ class CgroupTree:
         group = self.get(path)
         old = self._pid_group.get(proc.pid)
         if old is not None:
-            self._groups[old].pids.discard(proc.pid)
+            old_group = self._groups.get(old)
+            if old_group is not None:
+                old_group.pids.discard(proc.pid)
         group.pids.add(proc.pid)
         self._pid_group[proc.pid] = path
+        self._procs[proc.pid] = proc
         proc.cgroup_path = path
+
+    def delete(self, path: str) -> None:
+        """Remove a cgroup, deterministically re-resolving its members.
+
+        Every member pid is re-homed to the root group — both the tree's
+        index and the process's own ``cgroup_path`` — so later
+        classification (classid lookups, tenant resolution) can never see
+        the dead group. The classid is retired, not recycled: a stale id
+        held anywhere keeps resolving to None rather than silently
+        classifying into whoever registered next."""
+        if path == self.ROOT:
+            raise KernelError("cannot delete the root cgroup")
+        group = self.get(path)
+        root = self._groups[self.ROOT]
+        for pid in sorted(group.pids):
+            root.pids.add(pid)
+            self._pid_group[pid] = self.ROOT
+            proc = self._procs.get(pid)
+            if proc is not None:
+                proc.cgroup_path = self.ROOT
+        group.pids.clear()
+        self._retired.add(group.classid)
+        del self._groups[path]
 
     def group_of(self, pid: int) -> Cgroup:
         return self._groups[self._pid_group.get(pid, self.ROOT)]
@@ -73,7 +104,13 @@ class CgroupTree:
         return list(self._groups.values())
 
     def by_classid(self, classid: int) -> Optional[Cgroup]:
+        if classid in self._retired:
+            return None
         for group in self._groups.values():
             if group.classid == classid:
                 return group
         return None
+
+    def retired(self) -> "set[int]":
+        """Classids that once named a now-deleted group (diagnostics)."""
+        return set(self._retired)

@@ -88,6 +88,7 @@ class Kernel:
             mac_for=self.mac_for,
             fastpath=machine.fastpath,
             tracer=machine.tracer,
+            tenants=machine.tenants,
         )
 
     # --- identity & neighbors ------------------------------------------------

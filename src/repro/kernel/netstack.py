@@ -61,6 +61,7 @@ class KernelNetStack:
         mac_for: Callable[[IPv4Address], MacAddress],
         fastpath=None,
         tracer=None,
+        tenants=None,
     ):
         self.sim = sim
         self.costs = costs
@@ -69,6 +70,11 @@ class KernelNetStack:
         self.fastpath = fastpath
         # Tracing spine (repro.trace); disabled tracers never open contexts.
         self.tracer = tracer
+        # Optional TenantRegistry: the kernel's syscall/socket paths resolve
+        # the calling process to its tenant and stamp/count per tenant.
+        # None (or a disabled registry) keeps the seed path untouched.
+        self.tenants = tenants if (tenants is not None
+                                   and tenants.enabled) else None
         self.cpus = cpus
         self.scheduler = scheduler
         self.syscalls = syscalls
@@ -133,6 +139,18 @@ class KernelNetStack:
             sock.rx_copied_bytes += payload_len
         return cost
 
+    def _tenant_stamp(self, pkt: Packet, proc: Optional[Process]) -> None:
+        """Resolve the calling process to its tenant, stamp the packet, and
+        move that tenant's direction counter (lazy: counters exist only for
+        tenants that actually touched the stack)."""
+        if self.tenants is None or proc is None:
+            return
+        tenant = self.tenants.resolve(proc)
+        pkt.meta.tenant_tid = tenant.tid
+        prefix = f"tenant.{tenant.tid}"
+        self.metrics.counter(f"{prefix}.pkts").inc()
+        self.metrics.counter(f"{prefix}.bytes").inc(pkt.wire_len)
+
     def _loose(self, stage: str, ns: int, label: str = "") -> int:
         """Loose (message-level) attribution for work with no packet context."""
         if self.tracer is not None:
@@ -192,6 +210,7 @@ class KernelNetStack:
         owner = owner_info(proc)
         pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
         pkt.meta.created_ns = self.sim.now
+        self._tenant_stamp(pkt, proc)
         ctx = self.tracer.begin(pkt) if self.tracer is not None else None
 
         verdict, filter_ns, fp_entry = self._tx_filter(pkt, proc, owner)
@@ -256,6 +275,7 @@ class KernelNetStack:
             pkt = self._build(sock, dst_ip, dport, payload_len)
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
             pkt.meta.created_ns = self.sim.now
+            self._tenant_stamp(pkt, proc)
             ctx = self.tracer.begin(pkt) if self.tracer is not None else None
             if lead_ctx is None:
                 lead_ctx = ctx
@@ -464,6 +484,7 @@ class KernelNetStack:
         if owner is not None:
             # The kernel attributes inbound packets at socket demux time.
             pkt.meta.owner_pid, pkt.meta.owner_uid, pkt.meta.owner_comm = owner
+            self._tenant_stamp(pkt, sock.owner)
         ctx = pkt.meta.trace
         fp = self.fastpath
         if fp is not None:

@@ -242,6 +242,9 @@ class PacketMeta:
     owner_pid: Optional[int] = None
     owner_uid: Optional[int] = None
     owner_comm: Optional[str] = None
+    # Host-side tenant attribution (repro.host.tenants), stamped at the
+    # same sites as the owner fields when CostModel.tenants is on.
+    tenant_tid: Optional[int] = None
     notes: dict = field(default_factory=dict)
     # The packet's TraceContext when tracing is on (repro.trace), else None.
     # Typed as object to keep the wire-format layer free of tracing imports.

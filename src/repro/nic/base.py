@@ -96,6 +96,10 @@ class BasicNic:
         self.metrics.meter("rx_bytes").record(self.sim.now, pkt.wire_len)
         if self.tracer is not None:
             ctx = self.tracer.begin(pkt)
+            # tenant: the fixed-function NIC is tenant-blind by design (the
+            # paper's off-host asymmetry); ownership is resolved when the
+            # kernel RX stage stamps meta.tenant_tid and these spans follow
+            # the packet's trace to it.
             charge(STAGE_NIC_PIPELINE, self.costs.nic_pipeline_ns, ctx,
                    cpu=False, label="rx_pipeline")
         self.sim.after(self.costs.nic_pipeline_ns, self._rx_steer, pkt)
@@ -112,6 +116,8 @@ class BasicNic:
                 self.dma.account_placement(
                     LAYER_DMA, pkt.wire_len, self.costs.pcie_dma_latency_ns
                 )
+                # tenant: RX DMA lands before ownership is known; the
+                # kernel RX stage stamps the tenant the trace bills to.
                 charge(STAGE_DMA, self.costs.pcie_dma_latency_ns,
                        pkt.meta.trace, cpu=False, label="rx_dma")
                 self.sim.after(self.costs.pcie_dma_latency_ns, queue.handler, pkt)
@@ -156,6 +162,7 @@ class BasicNic:
         )
         # One DMA covers the burst: the shared latency lands on the lead
         # packet's trace; siblings absorb it as softirq wait at close time.
+        # tenant: ownership is stamped by the kernel RX stage downstream.
         charge(STAGE_DMA, burst_ns, burst[0].meta.trace, cpu=False,
                label="rx_dma_burst")
         self.sim.after(burst_ns, queue.burst_handler, burst)

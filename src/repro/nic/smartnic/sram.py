@@ -5,12 +5,22 @@ available on-host memory" (§5). Every piece of NIC-resident state —
 per-connection entries, filter rules, queue buffers — allocates here, and
 exhaustion raises, forcing callers to take the software fallback path that
 E9 measures.
+
+Allocations may carry a :class:`~repro.host.tenants.Tenant`: per-tenant
+``used`` is tracked incrementally and, when the tenant has an
+``sram_quota_bytes`` cap, an allocation that would cross it raises the
+same :class:`NicResourceExhausted` the global limit does — the hog falls
+back to software while its neighbours' SRAM survives. Shrinking a quota
+below a tenant's current use is legal: live blocks stay, new allocations
+fail until frees bring the tenant back under (see docs/multi_tenancy.md).
+Untenanted allocations (the seed default) are accounted exactly as
+before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ... import units
 from ...errors import NicResourceExhausted
@@ -22,6 +32,7 @@ class SramBlock:
     block_id: int
     size: int
     purpose: str
+    tenant_tid: Optional[int] = None
 
 
 class SramAllocator:
@@ -34,9 +45,10 @@ class SramAllocator:
         self._blocks: Dict[int, SramBlock] = {}
         self._next_id = 1
         self._used = 0  # running total; alloc/free keep it exact
+        self._tenant_used: Dict[int, int] = {}  # same invariant, per tenant
         self.metrics = MetricSet(name)
 
-    def alloc(self, size: int, purpose: str) -> SramBlock:
+    def alloc(self, size: int, purpose: str, tenant=None) -> SramBlock:
         if size <= 0:
             raise NicResourceExhausted(f"allocation must be positive: {size}")
         if self.used_bytes + size > self.capacity_bytes:
@@ -46,10 +58,25 @@ class SramAllocator:
                 f"{units.fmt_size(self.capacity_bytes)}, requested "
                 f"{units.fmt_size(size)} for {purpose!r}"
             )
-        block = SramBlock(block_id=self._next_id, size=size, purpose=purpose)
+        if tenant is not None and tenant.sram_quota_bytes is not None:
+            held = self._tenant_used.get(tenant.tid, 0)
+            if held + size > tenant.sram_quota_bytes:
+                self.metrics.counter("exhaustions").inc()
+                self.metrics.counter(f"tenant.{tenant.tid}.exhaustions").inc()
+                raise NicResourceExhausted(
+                    f"tenant {tenant.name!r} SRAM quota exhausted: "
+                    f"{units.fmt_size(held)} used of "
+                    f"{units.fmt_size(tenant.sram_quota_bytes)}, requested "
+                    f"{units.fmt_size(size)} for {purpose!r}"
+                )
+        tid = tenant.tid if tenant is not None else None
+        block = SramBlock(block_id=self._next_id, size=size, purpose=purpose,
+                          tenant_tid=tid)
         self._next_id += 1
         self._blocks[block.block_id] = block
         self._used += size
+        if tid is not None:
+            self._tenant_used[tid] = self._tenant_used.get(tid, 0) + size
         return block
 
     def free(self, block: SramBlock) -> None:
@@ -57,6 +84,8 @@ class SramAllocator:
             raise NicResourceExhausted(f"double free of SRAM block {block.block_id}")
         del self._blocks[block.block_id]
         self._used -= block.size
+        if block.tenant_tid is not None:
+            self._tenant_used[block.tenant_tid] -= block.size
 
     @property
     def used_bytes(self) -> int:
@@ -74,6 +103,22 @@ class SramAllocator:
         for b in self._blocks.values():
             out[b.purpose] = out.get(b.purpose, 0) + b.size
         return out
+
+    def used_by_tenant(self) -> Dict[int, int]:
+        """Live bytes per tenant tid (a tenant that freed everything keeps
+        a 0 entry — the running counter is exact, not pruned)."""
+        return dict(self._tenant_used)
+
+    def tenant_used(self, tid: int) -> int:
+        return self._tenant_used.get(tid, 0)
+
+    def tenant_headroom(self, tenant, size: int = 0) -> bool:
+        """Would an allocation of ``size`` fit under this tenant's quota?
+        Quota-less tenants only face the global limit."""
+        if tenant is None or tenant.sram_quota_bytes is None:
+            return self.used_bytes + size <= self.capacity_bytes
+        return (self._tenant_used.get(tenant.tid, 0) + size
+                <= tenant.sram_quota_bytes)
 
     def blocks(self, purpose: str) -> List[SramBlock]:
         return [b for b in self._blocks.values() if b.purpose == purpose]

@@ -1,0 +1,82 @@
+"""Per-tenant arbitration of the NIC's serial resources.
+
+The egress wire already has a real packet scheduler (the DRR qdisc the
+control plane installs per tenant). The *other* serial resources a hog
+can monopolize — PCIe DMA bytes and SmartNIC pipeline passes — are
+modeled as latency charges, not queues, so they get a fluid arbiter
+instead: :class:`WeightedFairClock`, a start-time fair-queueing clock in
+the GPS tradition (OSMOSIS's DMA arbiter, PAPERS.md).
+
+Each tenant carries a virtual finish time. A grant of ``busy_ns`` work
+starts at ``max(now, own previous finish)`` and finishes after
+``busy * (sum of active weights) / own weight`` — i.e. the work is
+stretched to the tenant's weighted share of the resource while other
+tenants are active, and runs at full rate when it is alone
+(work-conserving: an idle NIC is never slowed, so with one tenant the
+clock is FIFO-identical). Callers take ``max(fifo_finish, fair_finish)``
+so the physical serialization bound still applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# tenant: every grant below is billed to the Tenant object the caller
+# resolved; there is no anonymous path through this arbiter.
+
+
+class WeightedFairClock:
+    """Start-time fair queueing over one serial NIC resource."""
+
+    def __init__(self, registry, name: str = "fair_clock"):
+        self.registry = registry
+        self.name = name
+        #: tenant tid -> virtual finish time of its last grant.
+        self._vfinish: Dict[int, int] = {}
+        self.grants = 0
+        self.contended_grants = 0
+
+    def active_weight(self, now_ns: int, exclude_tid: int = -1) -> int:
+        """Sum of weights of tenants with work still in (virtual) flight.
+        Prunes finished tenants as a side effect."""
+        total = 0
+        stale = None
+        for tid, fin in self._vfinish.items():
+            if fin <= now_ns:
+                stale = (stale or [])
+                stale.append(tid)
+            elif tid != exclude_tid:
+                t = self.registry.get(tid)
+                total += t.weight if t is not None else 1
+        if stale:
+            for tid in stale:
+                del self._vfinish[tid]
+        return total
+
+    def finish(self, tenant, busy_ns: int, now_ns: int) -> int:
+        """Reserve ``busy_ns`` of the resource for ``tenant``; returns the
+        completion time under weighted sharing (>= now + busy)."""
+        self.grants += 1
+        w = tenant.weight if tenant.weight >= 1 else 1
+        others = self.active_weight(now_ns, exclude_tid=tenant.tid)
+        start = self._vfinish.get(tenant.tid, 0)
+        if start < now_ns:
+            start = now_ns
+        if others:
+            self.contended_grants += 1
+            fin = start + (busy_ns * (w + others)) // w
+        else:
+            fin = start + busy_ns
+        self._vfinish[tenant.tid] = fin
+        return fin
+
+    def delay(self, tenant, busy_ns: int, now_ns: int) -> int:
+        """Extra wait the weighted share imposes beyond running the same
+        work alone — the number a charging site adds to its latency (and
+        attributes to the tenant) when isolation is on."""
+        return max(0, self.finish(tenant, busy_ns, now_ns)
+                   - (now_ns + busy_ns))
+
+    def backlog_ns(self, tid: int, now_ns: int) -> int:
+        """How far this tenant's virtual clock runs ahead of real time."""
+        return max(0, self._vfinish.get(tid, 0) - now_ns)

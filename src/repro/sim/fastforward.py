@@ -85,14 +85,15 @@ class FlowProfile:
 
     __slots__ = ("spans", "core_id", "wire_len", "payload_len",
                  "src_ip", "sport", "deliver", "conn_id",
-                 "versions", "latency_ns", "cpu_ns")
+                 "versions", "tenant_tid", "latency_ns", "cpu_ns")
 
     def __init__(self, spans: Tuple[Tuple[str, int, bool, str], ...],
                  core_id: int, wire_len: int, payload_len: int = 0,
                  src_ip: str = "", sport: int = 0,
                  deliver: Optional[Callable[[int], None]] = None,
                  conn_id: Optional[int] = None,
-                 versions: Tuple[Tuple[str, int], ...] = ()):
+                 versions: Tuple[Tuple[str, int], ...] = (),
+                 tenant_tid: Optional[int] = None):
         self.spans = tuple(spans)
         self.core_id = core_id
         self.wire_len = wire_len
@@ -102,6 +103,9 @@ class FlowProfile:
         self.deliver = deliver
         self.conn_id = conn_id
         self.versions = tuple(versions)
+        # tenant: part of the group key — fluid epochs never span tenants,
+        # so per-tenant attribution stays exact under fast-forward.
+        self.tenant_tid = tenant_tid
         self.latency_ns = sum(ns for _stage, ns, _cpu, _label in self.spans)
         self.cpu_ns = sum(ns for _stage, ns, cpu, _label in self.spans if cpu)
 
@@ -217,7 +221,7 @@ class FastForwardController:
             self._by_conn.setdefault(profile.conn_id, []).append(state)
         if self._group_enabled:
             gkey = (id(plane), profile.versions, profile.spans,
-                    profile.core_id, profile.wire_len)
+                    profile.core_id, profile.wire_len, profile.tenant_tid)
             group = self._groups.get(gkey)
             if group is None:
                 group = self._groups[gkey] = FlowGroup(gkey, plane)

@@ -1,0 +1,131 @@
+"""Property-based tests on per-tenant SRAM quota accounting.
+
+Random interleavings of alloc / free / quota-resize across several
+tenants must preserve the allocator's two-level accounting invariants:
+the per-tenant ``used`` counters always sum to the global ``used`` (plus
+untenanted bytes), and no allocation is ever *granted* past its owner's
+quota at grant time (shrinking a quota below current use is legal — live
+blocks stay, new grants fail until frees bring the tenant back under).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_COSTS
+from repro.errors import NicResourceExhausted
+from repro.host.tenants import TenantRegistry
+from repro.nic.smartnic.sram import SramAllocator
+
+CAPACITY = 4_096
+N_TENANTS = 4
+ISO_COSTS = DEFAULT_COSTS.replace(tenants=True, tenant_isolation=True)
+
+# One step of the interleaving:
+#   ("alloc", tenant_index, size)
+#   ("free", slot_index)              — frees the i-th oldest live block
+#   ("quota", tenant_index, bytes|None)
+_alloc = st.tuples(st.just("alloc"), st.integers(0, N_TENANTS - 1),
+                   st.integers(1, 512))
+_free = st.tuples(st.just("free"), st.integers(0, 63), st.just(0))
+_quota = st.tuples(st.just("quota"), st.integers(0, N_TENANTS - 1),
+                   st.one_of(st.none(), st.integers(0, 2_048)))
+
+
+def ops_strategy():
+    return st.lists(st.one_of(_alloc, _free, _quota), min_size=1,
+                    max_size=200)
+
+
+def _fresh():
+    reg = TenantRegistry(ISO_COSTS)
+    tenants = [
+        reg.register(f"t{i}", uid=1_000 + i, sram_quota_bytes=1_024)
+        for i in range(N_TENANTS)
+    ]
+    return reg, tenants, SramAllocator(CAPACITY)
+
+
+@given(ops=ops_strategy())
+@settings(max_examples=200)
+def test_per_tenant_used_sums_to_global_used(ops):
+    reg, tenants, sram = _fresh()
+    live = []
+    for op, arg, val in ops:
+        if op == "alloc":
+            try:
+                live.append(sram.alloc(val, "x", tenant=tenants[arg]))
+            except NicResourceExhausted:
+                pass
+        elif op == "free" and live:
+            sram.free(live.pop(arg % len(live)))
+        elif op == "quota":
+            reg.set_sram_quota(tenants[arg].tid, val)
+        assert sum(sram.used_by_tenant().values()) == sram.used_bytes
+        assert sram.used_bytes == sum(b.size for b in live)
+        assert 0 <= sram.used_bytes <= CAPACITY
+    # Every per-tenant counter matches a fresh walk over the live blocks.
+    by_tid = {}
+    for b in live:
+        by_tid[b.tenant_tid] = by_tid.get(b.tenant_tid, 0) + b.size
+    for t in tenants:
+        assert sram.tenant_used(t.tid) == by_tid.get(t.tid, 0)
+
+
+@given(ops=ops_strategy())
+@settings(max_examples=200)
+def test_no_grant_ever_crosses_the_owners_cap(ops):
+    reg, tenants, sram = _fresh()
+    live = []
+    for op, arg, val in ops:
+        if op == "alloc":
+            t = tenants[arg]
+            before = sram.tenant_used(t.tid)
+            try:
+                live.append(sram.alloc(val, "x", tenant=t))
+            except NicResourceExhausted:
+                # Refusal must be for a real reason: the grant would have
+                # crossed the tenant cap or the global capacity.
+                over_quota = (
+                    t.sram_quota_bytes is not None
+                    and before + val > t.sram_quota_bytes
+                )
+                over_global = sram.used_bytes + val > CAPACITY
+                assert over_quota or over_global
+            else:
+                # At grant time the owner was within its cap.
+                if t.sram_quota_bytes is not None:
+                    assert before + val <= t.sram_quota_bytes
+                assert sram.used_bytes <= CAPACITY
+        elif op == "free" and live:
+            sram.free(live.pop(arg % len(live)))
+        elif op == "quota":
+            # Shrinking below current use is legal and must not corrupt
+            # the counters — only future grants are affected.
+            reg.set_sram_quota(tenants[arg].tid, val)
+
+
+@given(ops=ops_strategy())
+@settings(max_examples=100)
+def test_mixed_tenanted_and_anonymous_blocks_account_exactly(ops):
+    reg, tenants, sram = _fresh()
+    live = []
+    anonymous = 0
+    for i, (op, arg, val) in enumerate(ops):
+        if op == "alloc":
+            tenant = None if i % 3 == 0 else tenants[arg]
+            try:
+                blk = sram.alloc(val, "x", tenant=tenant)
+            except NicResourceExhausted:
+                continue
+            live.append(blk)
+            if tenant is None:
+                anonymous += val
+        elif op == "free" and live:
+            blk = live.pop(arg % len(live))
+            sram.free(blk)
+            if blk.tenant_tid is None:
+                anonymous -= blk.size
+        elif op == "quota":
+            reg.set_sram_quota(tenants[arg].tid, val)
+        tenanted = sum(sram.used_by_tenant().values())
+        assert tenanted + anonymous == sram.used_bytes
