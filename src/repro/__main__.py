@@ -5,7 +5,7 @@ Usage::
     python -m repro report [--quick]   # run every experiment, print tables
     python -m repro matrix             # just the E3 capability matrix
     python -m repro costs              # dump the calibrated cost model
-    python -m repro e1 .. e17 | e21 | e22 | f1   # one experiment's table
+    python -m repro e1 .. e17 | e21 .. e23 | f1  # one experiment's table
     python -m repro trace [plane] [--out FILE]   # traced run -> Chrome JSON
     python -m repro profile <exp> [--top N]      # cProfile one experiment
 """
@@ -38,6 +38,7 @@ def _experiment_mains():
         e17_multi_tenant,
         e21_fidelity_crossover,
         e22_group_fastforward,
+        e23_rack_fastforward,
         f1_architecture,
         s1_tail_latency,
     )
@@ -62,6 +63,7 @@ def _experiment_mains():
         "e17": e17_multi_tenant.main,
         "e21": e21_fidelity_crossover.main,
         "e22": e22_group_fastforward.main,
+        "e23": e23_rack_fastforward.main,
         "f1": f1_architecture.main,
         "s1": s1_tail_latency.main,
     }
@@ -118,7 +120,7 @@ def _profile_main(argv: "list[str]") -> int:
     ``repro profile <plane|experiment> [--top N]`` — a plane name
     (``kernel``, ``kopi``, ...) profiles that plane's bulk-TX run (the
     same workload ``repro trace`` uses); an experiment key (``e1`` ..
-    ``e22``, ``f1``, ``s1``) profiles that experiment's ``main``. N
+    ``e23``, ``f1``, ``s1``) profiles that experiment's ``main``. N
     defaults to 30 cumulative-time rows. The run's own table is
     suppressed; this command answers "where does the wall clock go", not
     "what did the run conclude".

@@ -193,6 +193,19 @@ class CostModel:
     demoting at the same boundaries. Only meaningful with
     :attr:`fast_forward`."""
 
+    ff_cross_machine: bool = False
+    """Fast-forward across the switch hop (experiment E23): a steady flow
+    from host A through the L2 switch to host B is absorbed end-to-end in
+    one group-keyed fluid epoch — the sender's TX chain, the switch-hop
+    forward, and the receiver's RX chain — instead of demoting at the
+    wire. Promotion requires *both* stacks' verdict caches steady plus a
+    learned, rule-free switch path; either side's demotion boundary (and
+    any switch MAC-table change, flood, or rule install) demotes the whole
+    end-to-end flow before the boundary's effect is simulated (see
+    ``docs/hybrid_fidelity.md``). Requires :attr:`fast_forward`. Off (the
+    default) keeps cross-host flows demoting at the wire, byte-identical
+    to the per-host engine."""
+
     # --- multi-tenancy (tenant-aware dataplane, experiment E17) -------------
     tenants: bool = False
     """Resolve every resource touch to a first-class :class:`Tenant`
@@ -329,6 +342,11 @@ class CostModel:
             raise ConfigError(
                 "fast_forward requires flow_fastpath: fluid epochs replay "
                 "cached verdicts, so there must be a verdict cache"
+            )
+        if self.ff_cross_machine and not self.fast_forward:
+            raise ConfigError(
+                "ff_cross_machine requires fast_forward: the end-to-end "
+                "epoch binds two per-machine controllers, so both must exist"
             )
         for knob in ("ff_promote_after", "ff_epoch_packets", "ff_horizon_ns",
                      "ff_qdisc_backlog"):

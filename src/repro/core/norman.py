@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..config import CostModel
+from ..errors import SimulationError
 from ..host.machine import Machine
 from ..interpose import InterpositionPoint
 from ..kernel.kernel import Kernel
@@ -135,6 +136,21 @@ class NormanOS(Dataplane):
 
     def wire_rx(self, pkt: Packet) -> None:
         self.nic.rx_from_wire(pkt)
+
+    def wire_rx_fluid(self, n: int, wire_len: int, dport: int = 0,
+                      flow=None, eth_dst=None) -> None:
+        """Bulk counterpart of :meth:`wire_rx` for the cross-machine fluid
+        path: a sender-side TX epoch arriving over the switch lands directly
+        in this host's promoted RX flow. The rack promotion protocol
+        guarantees the receiver is fluid for ``flow`` (the gate checks it,
+        and any RX demotion demotes the sender first), so a miss here is a
+        protocol violation, not a slow path."""
+        ff = self.machine.ff
+        if ff is None or flow is None or not ff.absorb(flow, n):
+            raise SimulationError(
+                f"{self.name}: fluid wire arrival for {flow!r} with no "
+                "promoted RX flow — the rack promotion protocol was "
+                "bypassed")
 
     def _slowpath_tx(self, pkt: Packet) -> None:
         self.sniffer.mirror(pkt)
@@ -384,6 +400,14 @@ class KopiTxFastForward:
             return False
         if nic.scheduler.backlog:
             return False
+        if not nic.egress.has_fluid_rx:
+            # The wire is a fidelity boundary: with nothing on the far end
+            # able to absorb a fluid epoch (no single-host peer hook, no
+            # rack coordinator), an absorbed send would vanish at the link.
+            # On the multihost testbed this is literally demote-at-wire —
+            # cross-host TX stays exact unless ff_cross_machine wired the
+            # uplink into the switch's fluid path.
+            return False
         tenants = os_.machine.tenants
         if tenants.isolation:
             # Quota headroom gates promotion (same rationale as the RX
@@ -444,6 +468,10 @@ class KopiTxFastForward:
         ct_entry = entry.ct_entry
         ft = flow
         dport = ft.dport
+        # The frame's L2 destination rides along on fluid sends so the
+        # switch's fluid fast path can resolve the learned port without
+        # materializing frames (single-host links ignore it).
+        eth_dst = pkt.eth.dst
         # Metric objects are stable for the machine's lifetime — resolve
         # them once at profile capture, not per epoch.
         mmio_writes = machine.dma.metrics.counter("mmio_writes")
@@ -467,7 +495,7 @@ class KopiTxFastForward:
             nic.scheduler.note_fluid(n)
             tx_pkts.inc(n)
             tx_bytes.record(now, n * wire_len)
-            egress.send_fluid(n, wire_len, dport)
+            egress.send_fluid(n, wire_len, dport, ft, eth_dst)
             if nic.notify is not None:
                 nic.notify(conn, KIND_TX_DRAINED, n)
 

@@ -221,11 +221,14 @@ class KernelPathDataplane(Dataplane):
 
     # --- hybrid fidelity ---------------------------------------------------
     #
-    # The kernel plane exposes the eligibility predicate and bulk-charge
-    # contract (so fast-forward is plane-agnostic machinery), but does not
-    # wire fluid delivery into its socket queues — only KOPI does end-to-end
-    # fluid receive. Promotion here happens through the controller API
-    # (exercised by the fidelity tests), not from the RX hot path.
+    # The kernel plane exposes the eligibility predicate, bulk-charge
+    # contract, and a deliver closure that lands fluid epochs on the socket
+    # queue (``KernelNetStack.deliver_fluid`` — read-side copy costs stay
+    # exact because recv/recvmmsg charge them at read time). Promotion here
+    # happens through the controller API (exercised by the fidelity tests),
+    # not from the RX hot path, so the kernel stack never self-promotes on
+    # the multihost testbed — which is what keeps the rack gate from ever
+    # aiming a cross-machine epoch at it.
 
     def _ff_sock(self, flow):
         from ..kernel.netfilter import DROP
@@ -269,8 +272,20 @@ class KernelPathDataplane(Dataplane):
         from ..kernel.netfilter import CHAIN_INPUT
 
         entry = fp.peek(CHAIN_INPUT, flow, sock.owner.pid)
+        netstack = self.kernel.netstack
+        payload_len = pkt.payload_len
+        src_ip, sport = flow.src_ip, flow.sport
+        pid = sock.owner.pid
+        points = entry.points if entry is not None else 0
+        ft = flow
+
+        def deliver(n: int) -> None:
+            fp.bulk_hit(CHAIN_INPUT, ft, pid, n, points=points)
+            netstack.deliver_fluid(sock, n, payload_len, src_ip, sport)
+
         return FlowProfile(
             spans, core_id=sock.owner.core_id, wire_len=pkt.wire_len,
-            payload_len=pkt.payload_len, src_ip=flow.src_ip, sport=flow.sport,
+            payload_len=payload_len, src_ip=src_ip, sport=sport,
+            deliver=deliver,
             versions=entry.versions if entry is not None else (),
         )

@@ -17,6 +17,7 @@ from ..net.addresses import IPv4Address, MacAddress
 from ..net.link import Link
 from ..net.switch import L2Switch
 from ..sim import Simulator
+from ..sim.fastforward import RackFastForward
 from .base import Dataplane
 
 HOST_A_IP = IPv4Address.parse("10.0.0.1")
@@ -48,15 +49,27 @@ class HostStack:
         # Downlink: switch -> host, feeds the dataplane's RX entry.
         self.downlink = Link(sim, link_rate_bps, costs.link_propagation_ns,
                              name=f"{name}.down")
-        port = switch.add_port(self.downlink)
+        self.port = switch.add_port(self.downlink)
         # Uplink: host -> switch; this is the dataplane's egress.
         self.uplink = Link(sim, link_rate_bps, costs.link_propagation_ns,
                            name=f"{name}.up")
-        self.uplink.attach(switch.ingress(port))
+        self.uplink.attach(switch.ingress(self.port))
         self.dataplane: Dataplane = plane_cls(  # type: ignore[call-arg]
             self.machine, ip, mac, self.uplink, **plane_kwargs
         )
         self.downlink.attach(self.dataplane.wire_rx)  # type: ignore[attr-defined]
+        if costs.fast_forward and costs.ff_cross_machine:
+            # The rack-scale fluid path: the uplink forwards epochs through
+            # the switch's learned-port fast path, and the downlink lands
+            # them in this host's promoted RX flows. A plane without a
+            # fluid RX entry (the kernel stack) only skips the downlink
+            # hook — its RX hot path never promotes, and the sender-side
+            # gate refuses TX promotion toward an unpromoted receiver, so
+            # no fluid epoch can ever be aimed at it.
+            self.uplink.attach_fluid(switch.fluid_ingress(self.port))
+            rx_fluid = getattr(self.dataplane, "wire_rx_fluid", None)
+            if rx_fluid is not None:
+                self.downlink.attach_fluid(rx_fluid)
 
     @property
     def kernel(self):
@@ -100,6 +113,19 @@ class TwoHostTestbed:
         # The simulation's address book (no ARP resolution delays).
         self.host_a.kernel.register_neighbor(HOST_B_IP, HOST_B_MAC)
         self.host_b.kernel.register_neighbor(HOST_A_IP, HOST_A_MAC)
+        # Rack-scale fast-forward: one coordinator above the per-machine
+        # controllers binds steady A→switch→B flows into end-to-end epochs.
+        self.rack: Optional[RackFastForward] = None
+        if costs.fast_forward and costs.ff_cross_machine:
+            self.rack = RackFastForward(self.switch)
+            for host in (self.host_a, self.host_b):
+                self.rack.add_host(
+                    host.name, host.machine,
+                    rx_plane=host.dataplane,
+                    tx_plane=getattr(host.dataplane, "tx_ff", None),
+                    ip=host.ip, mac=host.mac, port=host.port,
+                    uplink=host.uplink, downlink=host.downlink,
+                )
 
     @property
     def hosts(self) -> List[HostStack]:

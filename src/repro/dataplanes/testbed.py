@@ -55,7 +55,8 @@ class TrafficPeer:
                         dst_ip=ft.src_ip,
                     )
 
-    def receive_fluid(self, n: int, wire_len: int, dport: int = 0) -> None:
+    def receive_fluid(self, n: int, wire_len: int, dport: int = 0,
+                      flow=None, eth_dst=None) -> None:
         """Bulk counterpart of :meth:`receive` for fast-forwarded TX
         epochs: moves the packet/byte/dport counters exactly as ``n``
         receives would, without materializing Packet objects (``received``

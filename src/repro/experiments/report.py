@@ -32,6 +32,7 @@ from . import e16_latency_anatomy as e16
 from . import e17_multi_tenant as e17
 from . import e21_fidelity_crossover as e21
 from . import e22_group_fastforward as e22
+from . import e23_rack_fastforward as e23
 from . import f1_architecture as f1
 from . import s1_tail_latency as s1
 from .common import fmt_table
@@ -56,6 +57,7 @@ SECTIONS = (
     ("E17 — multi-tenant isolation: hog vs victims, per-tenant scheduler", e17.main),
     ("E21 — fidelity crossover: hybrid fast-forward vs packet-exact", e21.main),
     ("E22 — group fast-forward: one epoch for many flows, TX absorbed", e22.main),
+    ("E23 — rack fast-forward: end-to-end fluid epochs across the switch", e23.main),
     ("F1 — Figure 1 architecture arrows", f1.main),
     ("S1 — supplementary: RPC tail latency", s1.main),
 )

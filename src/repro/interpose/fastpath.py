@@ -307,9 +307,22 @@ class FlowFastPath:
 
     def evict_flow(self, flow: FiveTuple) -> int:
         """Drop every entry keyed on this flow or its reverse (conntrack
-        expiry, connection teardown). Returns how many were dropped."""
+        expiry, connection teardown). Returns how many were dropped.
+
+        The demotion hook fires *before* the entries die: a demoting fluid
+        flow flushes its pending epoch from inside the hook (possibly
+        through a cross-machine peer), and that flush's :meth:`bulk_hit`
+        must still see the live entries — the packets it accounts ran while
+        the entries were valid. Demote-before-boundary, applied to the
+        cache itself."""
+        reversed_flow = flow.reversed()
+        if not (self._by_flow.get(flow) or self._by_flow.get(reversed_flow)):
+            return 0
+        if self.demotion_hook is not None:
+            self.demotion_hook(flow, REASON_CONNTRACK)
+            self.demotion_hook(reversed_flow, REASON_CONNTRACK)
         dropped = 0
-        for ft in (flow, flow.reversed()):
+        for ft in (flow, reversed_flow):
             keys = self._by_flow.pop(ft, None)
             if not keys:
                 continue
@@ -320,9 +333,6 @@ class FlowFastPath:
                     dropped += 1
         if dropped:
             self._c_expired.inc(dropped)
-            if self.demotion_hook is not None:
-                self.demotion_hook(flow, REASON_CONNTRACK)
-                self.demotion_hook(flow.reversed(), REASON_CONNTRACK)
         return dropped
 
     def purge(self) -> int:

@@ -11,6 +11,8 @@ from ..trace import STAGE_WIRE, charge
 from .packet import Packet
 
 RxHandler = Callable[[Packet], None]
+#: Bulk receiver: ``handler(n, wire_len, dport, flow, eth_dst)``.
+FluidRxHandler = Callable[[int, int, int, object, object], None]
 
 
 class Link:
@@ -40,71 +42,107 @@ class Link:
         self.name = name
         self.metrics = MetricSet(name)
         self._rx: Optional[RxHandler] = None
-        self._rx_fluid: Optional[Callable[[int, int, int], None]] = None
+        self._rx_fluid: Optional[FluidRxHandler] = None
         self._tx_free_at = 0
         self._queued = 0
+        # Hot-path handles: send()/send_fluid() run once per packet (or
+        # epoch) on every cross-host hop, so the metric lookups are resolved
+        # here instead of per call.
+        self._c_sent = self.metrics.counter("sent")
+        self._c_dropped = self.metrics.counter("dropped")
+        self._m_bytes = self.metrics.meter("bytes")
 
     def attach(self, handler: RxHandler) -> None:
         """Set the receiver callback; replaces any previous one."""
         self._rx = handler
 
-    def attach_fluid(self, handler: Callable[[int, int, int], None]) -> None:
+    def attach_fluid(self, handler: FluidRxHandler) -> None:
         """Set the bulk counterpart of the receiver: called as
-        ``handler(n, wire_len, dport)`` when a fluid epoch replays ``n``
-        same-shape sends (see :meth:`send_fluid`)."""
+        ``handler(n, wire_len, dport, flow, eth_dst)`` when a fluid epoch
+        replays ``n`` same-shape sends (see :meth:`send_fluid`)."""
         self._rx_fluid = handler
 
-    def send_fluid(self, n: int, wire_len: int, dport: int = 0) -> None:
+    @property
+    def has_fluid_rx(self) -> bool:
+        """Whether a fluid epoch can land on the far end of this link. A
+        plane must not promote a TX flow over a link without one — the wire
+        would silently eat the bulk (see :meth:`send_fluid`)."""
+        return self._rx_fluid is not None
+
+    def send_fluid(self, n: int, wire_len: int, dport: int = 0,
+                   flow=None, eth_dst=None) -> None:
         """Bulk accounting for ``n`` fast-forwarded same-shape packets:
         moves the wire counters exactly as ``n`` :meth:`send` calls would
-        and hands the bulk to the receiver's fluid hook (if any). No
-        per-packet events fire and no buffer occupancy is modeled — fluid
-        epochs only exist while the link is uncontended, which is the
-        promoting plane's eligibility predicate to enforce."""
-        self.metrics.counter("sent").inc(n)
-        self.metrics.meter("bytes").record(self.sim.now, n * wire_len)
-        if self._rx_fluid is not None:
-            self._rx_fluid(n, wire_len, dport)
+        and hands the bulk to the receiver's fluid hook. No per-packet
+        events fire and no buffer occupancy is modeled — fluid epochs only
+        exist while the link is uncontended, which is the promoting plane's
+        eligibility predicate to enforce. ``flow``/``eth_dst`` ride along
+        for the cross-machine path (switch forwarding, receiver lookup).
+
+        A link without a fluid receiver raises: counting bytes the far end
+        never sees would silently diverge the two ends' meters, and the
+        promotion protocol guarantees this cannot happen (``has_fluid_rx``
+        is part of TX eligibility).
+        """
+        if self._rx_fluid is None:
+            raise SimulationError(
+                f"link {self.name!r}: send_fluid with no fluid receiver "
+                "attached — the bulk would vanish from the far end's "
+                "accounting")
+        self._c_sent.inc(n)
+        self._m_bytes.record(self.sim.now, n * wire_len)
+        self._rx_fluid(n, wire_len, dport, flow, eth_dst)
 
     def send(self, pkt: Packet) -> bool:
         """Enqueue ``pkt`` for transmission. Returns False on drop."""
         if self._rx is None:
             raise SimulationError(f"link {self.name!r} has no receiver attached")
-        backlog_start = max(self._tx_free_at, self.sim.now)
+        sim = self.sim
+        now = sim.now
+        backlog_start = self._tx_free_at
+        if backlog_start < now:
+            backlog_start = now
         # How many packets are currently waiting or in flight on the wire?
         if self._queued >= self.queue_packets:
-            self.metrics.counter("dropped").inc()
+            self._c_dropped.inc()
             return False
-        ser = units.transmit_time_ns(pkt.wire_len, self.rate_bps)
+        wire_len = pkt.wire_len
+        ser = units.transmit_time_ns(wire_len, self.rate_bps)
         self._tx_free_at = backlog_start + ser
         self._queued += 1
-        self.metrics.counter("sent").inc()
-        self.metrics.meter("bytes").record(self.sim.now, pkt.wire_len)
+        self._c_sent.inc()
+        self._m_bytes.record(now, wire_len)
         deliver_at = self._tx_free_at + self.propagation_ns
         # Wire time as the packet experiences it: any backlog behind earlier
         # packets, serialization, and propagation.
-        charge(STAGE_WIRE, deliver_at - self.sim.now, pkt.meta.trace,
+        charge(STAGE_WIRE, deliver_at - now, pkt.meta.trace,
                cpu=False, label=self.name)
-        self.sim.at(deliver_at, self._deliver, pkt)
+        sim.at(deliver_at, self._deliver, pkt)
         return True
 
     def _deliver(self, pkt: Packet) -> None:
         self._queued -= 1
-        pkt.meta.delivered_ns = self.sim.now
+        now = self.sim.now
+        pkt.meta.delivered_ns = now
         tr = pkt.meta.trace
         if tr is not None and not tr.closed:
-            tr.close(self.sim.now)  # TX trace ends at the far end of the wire
+            tr.close(now)  # TX trace ends at the far end of the wire
         assert self._rx is not None
         self._rx(pkt)
 
     @property
     def in_flight(self) -> int:
+        """Packets queued or serializing right now. Fluid sends never
+        occupy the buffer (they model an uncontended wire), so this is the
+        packet-exact backlog in both modes."""
         return self._queued
 
     def utilization(self, elapsed_ns: Optional[int] = None) -> float:
-        """Fraction of the line rate used so far."""
+        """Fraction of the line rate used so far. Reads the bytes meter,
+        which both :meth:`send` and :meth:`send_fluid` feed — fluid epochs
+        count toward utilization exactly as the packets they replace."""
         window = elapsed_ns if elapsed_ns is not None else self.sim.now
         if window <= 0:
             return 0.0
-        sent = self.metrics.meter("bytes").total_bytes
+        sent = self._m_bytes.total_bytes
         return min(1.0, units.bits(sent) / (self.rate_bps * units.ns_to_sec(window)))

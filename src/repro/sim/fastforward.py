@@ -35,6 +35,16 @@ effect is simulated. Boundaries, and who wires them (see
 * ``qdisc_pressure`` — qdisc backlog crossing the configured threshold
 * ``cache_pressure`` — DDIO/SRAM working set crossing a capacity quartile
 * ``shape_change`` — the flow's packets stop matching the captured profile
+* ``switch_change`` — the switch hop under a cross-machine flow stops being
+  a frozen path: a MAC-table learn/move, a flood, or a match-action rule
+  install (:class:`RackFastForward`)
+
+With ``CostModel.ff_cross_machine`` a :class:`RackFastForward` coordinator
+binds a sender's TX profile, the switch hop, and the receiver's RX profile
+into one end-to-end :class:`CrossMachineFlow`: absorbed sends flow through
+the fluid switch path into the receiver's own pending epoch, and either
+side's boundary demotes the whole end-to-end flow before the boundary's
+effect is simulated.
 
 Everything here is default-off: with ``CostModel.fast_forward`` unset no
 controller is constructed and the event trace is byte-identical to seed.
@@ -53,6 +63,7 @@ REASON_CONNTRACK = "conntrack_expiry"
 REASON_QDISC = "qdisc_pressure"
 REASON_PRESSURE = "cache_pressure"
 REASON_SHAPE = "shape_change"
+REASON_SWITCH = "switch_change"
 
 REASONS = (
     REASON_POLICY,
@@ -61,6 +72,7 @@ REASONS = (
     REASON_QDISC,
     REASON_PRESSURE,
     REASON_SHAPE,
+    REASON_SWITCH,
 )
 
 
@@ -185,6 +197,20 @@ class FastForwardController:
         self._groups: Dict[object, FlowGroup] = {}
         self._group_enabled = bool(getattr(costs, "ff_group", True))
         self._ws_bucket: Optional[int] = None
+        # Cross-machine coordination hooks (wired by RackFastForward; all
+        # None on a standalone host, which keeps per-host behaviour
+        # byte-identical to the single-controller engine):
+        #: ``gate(plane, key) -> bool`` consulted after the plane's own
+        #: eligibility check; a veto resets the promotion streak.
+        self.promotion_gate: Optional[Callable[[object, object], bool]] = None
+        #: ``hook(plane, key, state)`` fired once promotion (and group
+        #: placement) completed.
+        self.on_promote: Optional[Callable[[object, object, FlowState], None]] = None
+        #: ``hook(key, reason)`` fired at the *top* of a promoted flow's
+        #: demotion, before its residue is flushed — the window in which a
+        #: coordinator can flush a bound peer *through* this still-promoted
+        #: flow (demote-before-boundary, end-to-end).
+        self.on_demote: Optional[Callable[[object, str], None]] = None
         # Metrics.
         self.promotions = 0
         self.epochs = 0
@@ -210,6 +236,10 @@ class FastForwardController:
         if not plane.ff_eligible(key):
             state.streak = 0
             return
+        if self.promotion_gate is not None and \
+                not self.promotion_gate(plane, key):
+            state.streak = 0
+            return
         profile = plane.ff_profile(key, pkt)
         if profile is None:
             state.streak = 0
@@ -220,13 +250,52 @@ class FastForwardController:
         if profile.conn_id is not None:
             self._by_conn.setdefault(profile.conn_id, []).append(state)
         if self._group_enabled:
-            gkey = (id(plane), profile.versions, profile.spans,
-                    profile.core_id, profile.wire_len, profile.tenant_tid)
-            group = self._groups.get(gkey)
-            if group is None:
-                group = self._groups[gkey] = FlowGroup(gkey, plane)
-            group.members[key] = state
-            state.group = group
+            self._group_insert(state, plane, profile)
+        if self.on_promote is not None:
+            self.on_promote(plane, key, state)
+
+    def _group_insert(self, state: FlowState, plane, profile: FlowProfile
+                      ) -> None:
+        gkey = (id(plane), profile.versions, profile.spans,
+                profile.core_id, profile.wire_len, profile.tenant_tid)
+        group = self._groups.get(gkey)
+        if group is None:
+            group = self._groups[gkey] = FlowGroup(gkey, plane)
+        group.members[state.key] = state
+        state.group = group
+
+    def rebind(self, key, profile: FlowProfile) -> None:
+        """Swap a promoted flow onto a new :class:`FlowProfile` — the
+        cross-machine promotion path extends a sender's TX profile with the
+        switch-hop wire span. Any pending epoch is flushed first (charged
+        under the profile it was absorbed under), and the flow moves to the
+        group matching the new shape."""
+        state = self._flows.get(key)
+        if state is None or not state.promoted:
+            raise SimulationError(f"rebind of unpromoted flow {key!r}")
+        self._flush_state(state)
+        group = state.group
+        if group is not None:
+            group.members.pop(key, None)
+            state.group = None
+            if not group.members:
+                if group.flush_handle is not None:
+                    group.flush_handle.cancel()
+                    group.flush_handle = None
+                self._groups.pop(group.key, None)
+        old = state.profile
+        if old is not None and old.conn_id != profile.conn_id:
+            if old.conn_id is not None:
+                peers = self._by_conn.get(old.conn_id)
+                if peers is not None:
+                    peers.remove(state)
+                    if not peers:
+                        del self._by_conn[old.conn_id]
+            if profile.conn_id is not None:
+                self._by_conn.setdefault(profile.conn_id, []).append(state)
+        state.profile = profile
+        if self._group_enabled:
+            self._group_insert(state, state.plane, profile)
 
     def promoted(self, key) -> bool:
         state = self._flows.get(key)
@@ -395,6 +464,13 @@ class FastForwardController:
         fluid."""
         if reason not in self.demotions:
             raise SimulationError(f"unknown demotion reason {reason!r}")
+        if self.on_demote is not None:
+            peek = self._flows.get(key)
+            if peek is not None and peek.promoted:
+                # Fired before the flow is popped: the rack coordinator may
+                # flush a bound peer *through* this still-promoted flow, and
+                # anything that lands in ``pending`` here is flushed below.
+                self.on_demote(key, reason)
         state = self._flows.pop(key, None)
         if state is None:
             return False
@@ -500,3 +576,218 @@ class FastForwardController:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<FastForwardController flows={self.tracked} "
                 f"fluid_pkts={self.fluid_packets} epochs={self.epochs}>")
+
+
+class RackHost:
+    """One machine's registration with the rack coordinator: which planes
+    it promotes on, where it sits on the switch, and the links that carry
+    its traffic."""
+
+    __slots__ = ("name", "machine", "ctrl", "rx_plane", "tx_plane",
+                 "ip", "mac", "port", "uplink", "downlink")
+
+    def __init__(self, name, machine, rx_plane, tx_plane,
+                 ip, mac, port, uplink, downlink):
+        self.name = name
+        self.machine = machine
+        self.ctrl = machine.ff
+        self.rx_plane = rx_plane
+        self.tx_plane = tx_plane
+        self.ip = ip
+        self.mac = mac
+        self.port = port
+        self.uplink = uplink
+        self.downlink = downlink
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RackHost {self.name} ip={self.ip} port={self.port}>"
+
+
+class CrossMachineFlow:
+    """An end-to-end binding: the sender's extended TX profile (its own
+    chain plus the switch-hop wire span), the fluid switch path, and the
+    receiver's RX profile, demoted as one unit."""
+
+    __slots__ = ("flow", "sender", "receiver")
+
+    def __init__(self, flow, sender: RackHost, receiver: RackHost):
+        self.flow = flow
+        self.sender = sender
+        self.receiver = receiver
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CrossMachineFlow {self.flow} "
+                f"{self.sender.name}->{self.receiver.name}>")
+
+
+class RackFastForward:
+    """End-to-end fluid epochs across the switch hop (``ff_cross_machine``).
+
+    The coordinator sits above the per-machine controllers and never charges
+    costs itself. It drives three hooks:
+
+    * ``promotion_gate`` — a sender's TX flow may only go fluid when the
+      receiving rack host's RX flow is *already* promoted and the switch
+      path is frozen (learned port correct, no match-action rules). Until
+      then the TX side keeps simulating exactly; a veto resets the streak.
+    * ``on_promote`` — when a gated TX promotion lands, the sender's profile
+      is rebound to an *extended* profile carrying the receiver-side
+      downlink wire span, and the flow is recorded as a
+      :class:`CrossMachineFlow`. From then on an absorbed send is the whole
+      A → switch → B packet: the TX epoch's deliver closure pushes the bulk
+      through ``Link.send_fluid`` → ``L2Switch.forward_fluid`` →
+      ``Link.send_fluid`` into the receiver's own pending epoch, moving
+      link meters and switch counters exactly as N exact packets would.
+    * ``on_demote`` — either side's boundary demotes the *whole* end-to-end
+      flow before the boundary's effect is simulated: the sender's residue
+      is flushed first (through the still-promoted chain, so in-flight
+      fluid credit lands under the old profiles), then the other side is
+      demoted too.
+
+    Any switch-state change (MAC learn/move, flood, rule install) fires
+    :meth:`_on_switch_change`, which demotes every bound flow with
+    ``switch_change`` before the switch applies the change.
+    """
+
+    def __init__(self, switch):
+        self.switch = switch
+        self._hosts: List[RackHost] = []
+        self._host_by_ip: Dict[str, RackHost] = {}
+        self._bound: Dict[object, CrossMachineFlow] = {}
+        self.bindings = 0       # cross-machine promotions, cumulative
+        self.gate_vetoes = 0    # TX promotions held back by the gate
+        switch.on_table_change = self._on_switch_change
+        switch.on_flood = self._on_switch_change
+        switch.on_rule_change = self._on_switch_change
+
+    # -- registration ------------------------------------------------------
+
+    def add_host(self, name, machine, rx_plane, tx_plane,
+                 ip, mac, port, uplink, downlink) -> RackHost:
+        if machine.ff is None:
+            raise SimulationError(
+                f"rack host {name!r} has no FastForwardController "
+                "(CostModel.fast_forward is off)")
+        host = RackHost(name, machine, rx_plane, tx_plane,
+                        ip, mac, port, uplink, downlink)
+        self._hosts.append(host)
+        self._host_by_ip[ip] = host
+        ctrl = host.ctrl
+        ctrl.promotion_gate = \
+            lambda plane, key, _h=host: self._gate(_h, plane, key)
+        ctrl.on_promote = \
+            lambda plane, key, state, _h=host: \
+            self._on_promote(_h, plane, key, state)
+        ctrl.on_demote = \
+            lambda key, reason, _h=host: self._on_demote(_h, key, reason)
+        return host
+
+    # -- the promotion protocol --------------------------------------------
+
+    def _gate(self, host: RackHost, plane, key) -> bool:
+        """TX promotions are held until the far end is ready: the receiver's
+        RX flow must already be fluid and the switch path frozen. RX
+        promotions are never gated — they are per-machine as before."""
+        if plane is not host.tx_plane:
+            return True
+        peer = self._host_by_ip.get(key.dst_ip)
+        if peer is None or peer is host:
+            self.gate_vetoes += 1
+            return False
+        peer_ctrl = peer.ctrl
+        if peer_ctrl is None or not peer_ctrl.promoted(key):
+            self.gate_vetoes += 1
+            return False
+        if not peer.downlink.has_fluid_rx:
+            # A stack without a fluid RX entry (the kernel netstack's hot
+            # path) can still hold controller-promoted flows; epochs must
+            # not be aimed at a wire with nowhere to land.
+            self.gate_vetoes += 1
+            return False
+        if not self.switch.ff_path_steady(peer.mac, peer.port):
+            self.gate_vetoes += 1
+            return False
+        return True
+
+    def _on_promote(self, host: RackHost, plane, key,
+                    state: FlowState) -> None:
+        if plane is not host.tx_plane:
+            return
+        peer = self._host_by_ip.get(key.dst_ip)
+        if peer is None:  # pragma: no cover - gate guarantees a peer
+            return
+        from .. import units
+        from ..trace import STAGE_WIRE
+        prof = state.profile
+        assert prof is not None
+        wire_ns = (units.transmit_time_ns(prof.wire_len,
+                                          peer.downlink.rate_bps)
+                   + peer.downlink.propagation_ns)
+        extended = FlowProfile(
+            prof.spans + ((STAGE_WIRE, wire_ns, False, peer.downlink.name),),
+            prof.core_id, prof.wire_len, payload_len=prof.payload_len,
+            src_ip=prof.src_ip, sport=prof.sport, deliver=prof.deliver,
+            conn_id=prof.conn_id, versions=prof.versions,
+            tenant_tid=prof.tenant_tid)
+        host.ctrl.rebind(key, extended)
+        self._bound[key] = CrossMachineFlow(key, host, peer)
+        self.bindings += 1
+
+    def _on_demote(self, host: RackHost, key, reason: str) -> None:
+        cmf = self._bound.pop(key, None)
+        if cmf is None:
+            return
+        # Flush the sender's residue while both ends are still promoted:
+        # the bulk flows through the fluid switch path into the receiver's
+        # pending epoch, and the receiver's own flush (below, or at the
+        # bottom of its in-progress demote) charges it under the old
+        # profile — demote-before-boundary, end to end.
+        cmf.sender.ctrl.flush(key)
+        if host is not cmf.sender:
+            cmf.sender.ctrl.demote(key, reason)
+        if host is not cmf.receiver:
+            cmf.receiver.ctrl.demote(key, reason)
+
+    def _on_switch_change(self, *_args) -> None:
+        """The switch hop is about to stop being a frozen path; every bound
+        flow drops to packet-exact first. Called by the switch *before* the
+        MAC-table write / flood / rule install takes effect, so flushed
+        epochs replay against the pre-change switch state."""
+        if not self._bound:
+            return
+        bound, self._bound = self._bound, {}
+        for key, cmf in bound.items():
+            cmf.sender.ctrl.demote(key, REASON_SWITCH)
+            cmf.receiver.ctrl.demote(key, REASON_SWITCH)
+
+    # -- epoch control -----------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Flush every host's pending epochs. Two passes: the first pushes
+        sender-side TX epochs through the fluid switch path into receiver
+        pendings, the second charges those. RX flushes generate no new
+        fluid credit, so two passes always drain the rack."""
+        for _ in range(2):
+            for host in self._hosts:
+                host.ctrl.flush_all()
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def bound(self) -> int:
+        return len(self._bound)
+
+    def host(self, ip: str) -> Optional[RackHost]:
+        return self._host_by_ip.get(ip)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "hosts": len(self._hosts),
+            "bound": self.bound,
+            "bindings": self.bindings,
+            "gate_vetoes": self.gate_vetoes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RackFastForward hosts={len(self._hosts)} "
+                f"bound={self.bound}>")

@@ -24,6 +24,7 @@ from repro.sim.fastforward import (
     REASON_PRESSURE,
     REASON_QDISC,
     REASON_SHAPE,
+    REASON_SWITCH,
     FastForwardController,
     FlowProfile,
 )
@@ -188,7 +189,7 @@ class TestControllerUnit:
         assert stats["fluid_packets"] == 8
         assert set(stats["demotions"]) == {
             REASON_POLICY, REASON_FASTPATH, REASON_CONNTRACK,
-            REASON_QDISC, REASON_PRESSURE, REASON_SHAPE,
+            REASON_QDISC, REASON_PRESSURE, REASON_SHAPE, REASON_SWITCH,
         }
 
 

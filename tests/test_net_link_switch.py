@@ -164,3 +164,123 @@ class TestNetworkInterposer:
         p4.add_rule(MatchAction(action="drop"))
         assert p4.process(udp(dport=80)) is True
         assert p4.process(udp(dport=81)) is False
+
+
+class TestLinkFluid:
+    """Satellite: the fluid path must feed the same meters as send()."""
+
+    def test_send_fluid_requires_receiver(self):
+        link = Link(Simulator(), rate_bps=units.GBPS)
+        assert not link.has_fluid_rx
+        with pytest.raises(SimulationError):
+            link.send_fluid(10, 1_000)
+
+    def test_mixed_exact_and_fluid_share_counters(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=units.GBPS, propagation_ns=0)
+        link.attach(lambda p: None)
+        got = []
+        link.attach_fluid(lambda n, wl, dport, flow, eth_dst: got.append((n, wl)))
+        assert link.has_fluid_rx
+        link.send(udp(size=958))  # 1000B wire
+        sim.run()
+        link.send_fluid(9, 1_000)
+        assert got == [(9, 1_000)]
+        assert link.metrics.counter("sent").value == 10
+        assert link.metrics.meter("bytes").total_bytes == 10_000
+        # Fluid sends model an uncontended wire: no buffer occupancy.
+        assert link.in_flight == 0
+
+    def test_utilization_includes_fluid_bytes(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=units.GBPS, propagation_ns=0)
+        link.attach(lambda p: None)
+        link.attach_fluid(lambda *a: None)
+        link.send(udp(size=583))  # 625B wire = 5000 bits
+        sim.run()
+        assert link.utilization(elapsed_ns=10_000) == pytest.approx(0.5)
+        link.send_fluid(1, 625)  # same bytes again, fluid
+        assert link.utilization(elapsed_ns=10_000) == pytest.approx(1.0)
+
+
+class TestSwitchFluid:
+    """Satellite: the learned-port fluid fast path and its demotion hooks."""
+
+    def _fluid_star(self, sim):
+        sw, inboxes, uplinks = build_star(sim, 3)
+        bulks = [[] for _ in inboxes]
+        for i, link in enumerate(sw._ports):
+            link.attach_fluid(
+                lambda n, wl, dport, flow, eth_dst, i=i: bulks[i].append((n, wl)))
+            uplinks[i].attach_fluid(sw.fluid_ingress(i))
+        return sw, inboxes, uplinks, bulks
+
+    def test_forward_fluid_moves_counters_to_learned_port(self):
+        sim = Simulator()
+        sw, inboxes, uplinks, bulks = self._fluid_star(sim)
+        uplinks[1].send(udp(src=1, dst=0))  # teach MAC 1 -> port 1
+        sim.run()
+        frames_before = sw.metrics.counter("frames").value
+        uplinks[0].send_fluid(50, 1_000, eth_dst=MAC[1])
+        assert bulks[1] == [(50, 1_000)]
+        assert bulks[2] == []  # fluid never floods
+        assert sw.metrics.counter("frames").value == frames_before + 50
+        assert sw.metrics.counter("flooded").value == 1  # only the teach
+
+    def test_forward_fluid_unknown_or_hairpin_is_protocol_violation(self):
+        sim = Simulator()
+        sw, _, uplinks, _ = self._fluid_star(sim)
+        uplinks[1].send(udp(src=1, dst=0))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sw.forward_fluid(0, 10, 1_000, eth_dst=MAC[3])  # never learned
+        with pytest.raises(SimulationError):
+            sw.forward_fluid(1, 10, 1_000, eth_dst=MAC[1])  # hairpin
+
+    def test_state_change_hooks_fire_before_effect(self):
+        sim = Simulator()
+        sw, _, uplinks, _ = self._fluid_star(sim)
+        learns, floods, rules = [], [], []
+        # Hooks observe the pre-change state: that is the demote-first
+        # contract RackFastForward relies on.
+        sw.on_table_change = lambda mac, port: learns.append(
+            (mac, port, sw.mac_table().get(mac)))
+        sw.on_flood = lambda pkt: floods.append(pkt.eth.dst)
+        sw.on_rule_change = lambda rule: rules.append(
+            (rule.action, len(p4.rules)))
+        uplinks[0].send(udp(src=0, dst=1))  # learn MAC0 + flood (dst unknown)
+        sim.run()
+        assert learns == [(MAC[0], 0, None)]
+        assert floods == [MAC[1]]
+        uplinks[0].send(udp(src=0, dst=1))  # steady: no re-learn
+        sim.run()
+        assert len(learns) == 1
+        p4 = NetworkInterposer(sim)
+        sw.attach_interposer(p4)
+        p4.add_rule(MatchAction(action="drop", dport=9))
+        assert rules == [("drop", 0)]  # fired before the rule landed
+
+    def test_ff_path_steady(self):
+        sim = Simulator()
+        sw, _, uplinks, _ = self._fluid_star(sim)
+        assert not sw.ff_path_steady(MAC[1], 1)  # nothing learned yet
+        uplinks[1].send(udp(src=1, dst=0))
+        sim.run()
+        assert sw.ff_path_steady(MAC[1], 1)
+        assert not sw.ff_path_steady(MAC[1], 2)  # wrong port
+        p4 = NetworkInterposer(sim)
+        sw.attach_interposer(p4)
+        assert sw.ff_path_steady(MAC[1], 1)  # empty ruleset is fine
+        p4.add_rule(MatchAction(action="allow"))
+        assert not sw.ff_path_steady(MAC[1], 1)  # any rule disqualifies
+
+    def test_interposer_drop_consulted_on_exact_path(self):
+        sim = Simulator()
+        sw, inboxes, uplinks = build_star(sim, 2)
+        p4 = NetworkInterposer(sim)
+        sw.attach_interposer(p4)
+        p4.add_rule(MatchAction(action="drop", dport=2000))
+        uplinks[0].send(udp(src=0, dst=1, dport=2000))
+        sim.run()
+        assert inboxes[1] == []
+        assert sw.metrics.counter("frames").value == 1
