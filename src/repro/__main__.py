@@ -5,7 +5,7 @@ Usage::
     python -m repro report [--quick]   # run every experiment, print tables
     python -m repro matrix             # just the E3 capability matrix
     python -m repro costs              # dump the calibrated cost model
-    python -m repro e1 .. e17 | e21 .. e23 | f1  # one experiment's table
+    python -m repro e1 .. e18 | e21 .. e23 | f1  # one experiment's table
     python -m repro trace [plane] [--out FILE]   # traced run -> Chrome JSON
     python -m repro profile <exp> [--top N]      # cProfile one experiment
 """
@@ -36,6 +36,7 @@ def _experiment_mains():
         e15_flow_fastpath,
         e16_latency_anatomy,
         e17_multi_tenant,
+        e18_cluster,
         e21_fidelity_crossover,
         e22_group_fastforward,
         e23_rack_fastforward,
@@ -61,6 +62,7 @@ def _experiment_mains():
         "e15": e15_flow_fastpath.main,
         "e16": e16_latency_anatomy.main,
         "e17": e17_multi_tenant.main,
+        "e18": e18_cluster.main,
         "e21": e21_fidelity_crossover.main,
         "e22": e22_group_fastforward.main,
         "e23": e23_rack_fastforward.main,

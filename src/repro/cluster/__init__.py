@@ -1,0 +1,37 @@
+"""Cluster scale-out: the in-switch L4 balancer and live flow migration.
+
+The rack stops being a two-host testbed and becomes N backends behind a
+VIP: :class:`L4LoadBalancer` is the switch's consistent-hashing nhop
+stage (steering changes are versioned policy commits), and
+:class:`MigrationCoordinator` moves a live flow — conntrack entry,
+fastpath verdicts, fluid-epoch demotion, atomic re-steer — from one
+backend to another without losing a packet or a counter tick.
+"""
+
+from .balancer import (
+    VIP_OUI,
+    HashRing,
+    L4LoadBalancer,
+    VirtualService,
+    vip_mac,
+)
+from .migration import (
+    MIGRATION_COMMITTED,
+    MIGRATION_DONE,
+    MIGRATION_PENDING,
+    FlowMigration,
+    MigrationCoordinator,
+)
+
+__all__ = [
+    "VIP_OUI",
+    "HashRing",
+    "L4LoadBalancer",
+    "VirtualService",
+    "vip_mac",
+    "FlowMigration",
+    "MigrationCoordinator",
+    "MIGRATION_PENDING",
+    "MIGRATION_COMMITTED",
+    "MIGRATION_DONE",
+]

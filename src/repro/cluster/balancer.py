@@ -1,0 +1,300 @@
+"""In-switch L4 load balancing (``CostModel.cluster_lb``).
+
+The paper's sharpest version of "the dataplane moved out of the kernel" is
+the dataplane moving *off the host entirely*: a P4-style switch that
+steers connections to backends (the ``load_balance.p4`` scenario — VIP →
+nhop rewrite, controller-driven updates). This module is that stage for
+our :class:`~repro.net.switch.L2Switch`, built so steering state keeps the
+properties the interposition plane (PR 3) guarantees everywhere else:
+
+* **Steering is policy.** The balancer owns an
+  :class:`~repro.interpose.InterpositionPoint` on a switch-control
+  :class:`~repro.interpose.PolicyEngine`; VIP installs and ring changes
+  are synchronous commits (``record_update``), per-flow re-steers are
+  *asynchronous* commits (``begin_commit`` + a completion signal modeling
+  the nhop-table MMIO write). Packets forwarded inside the window are
+  evaluated against the complete **old** table and tallied as stale
+  evals — never against a half-installed rule.
+* **Changes demote first.** Before any steering change takes effect the
+  balancer fires :meth:`~repro.net.switch.L2Switch.notify_state_change`,
+  so rack-bound fluid flows drop to packet-exact against the pre-change
+  switch, exactly like a MAC move or match-action rule install.
+
+Mechanically the balancer is an L2 nhop stage: each VIP owns a *virtual
+MAC* (a distinct OUI, never learned by the switch); hosts resolve the VIP
+to that MAC via their neighbor tables, and :meth:`L4LoadBalancer.steer`
+rewrites the destination MAC to the chosen backend's between the switch's
+source-learn and destination-lookup. The IP header is untouched — every
+backend answers for the VIP (DSR-style), which is what lets a migrated
+flow keep its five-tuple identity on the new machine.
+
+Backend choice is a consistent-hash ring (:class:`HashRing`,
+``lb_vnodes`` virtual nodes per backend, CRC32 — deterministic across
+processes, unlike salted ``hash()``) with per-flow exact-match overrides
+layered on top: an override is how a live migration re-steers one flow
+without disturbing the ring's assignment of everything else.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PolicyError
+from ..interpose import InterpositionPoint, PolicyEngine
+from ..net.addresses import IPv4Address, MacAddress
+from ..net.flow import FiveTuple
+from ..net.headers import EthernetHeader
+from ..net.packet import Packet
+from ..sim import MetricSet, Signal
+
+#: OUI for VIP virtual MACs — disjoint from host MACs
+#: (:meth:`MacAddress.from_index` defaults to ``02:00:00``), so a VIP MAC
+#: can never collide with, or be learned as, a real port.
+VIP_OUI = 0x02_00_01
+
+
+def vip_mac(index: int) -> MacAddress:
+    """The virtual MAC answering for VIP number ``index``."""
+    return MacAddress.from_index(index, oui=VIP_OUI)
+
+
+class HashRing:
+    """Consistent hashing over backend names.
+
+    Each backend contributes ``vnodes`` points at
+    ``crc32("{name}#{i}")``; a key maps to the first point clockwise of
+    ``crc32(key)``. CRC32 keeps the mapping stable across processes and
+    runs (Python's ``hash`` is salted), which the experiments' parity
+    legs depend on.
+    """
+
+    def __init__(self, vnodes: int = 32):
+        if vnodes < 1:
+            raise PolicyError(f"need at least one vnode, got {vnodes}")
+        self.vnodes = vnodes
+        self._names: List[str] = []
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+
+    def _rebuild(self) -> None:
+        points = [
+            (zlib.crc32(f"{name}#{i}".encode()) & 0xFFFFFFFF, name)
+            for name in self._names
+            for i in range(self.vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _name in points]
+
+    def add(self, name: str) -> None:
+        if name in self._names:
+            raise PolicyError(f"backend {name!r} already on the ring")
+        self._names.append(name)
+        self._rebuild()
+
+    def remove(self, name: str) -> None:
+        try:
+            self._names.remove(name)
+        except ValueError:
+            raise PolicyError(f"backend {name!r} not on the ring")
+        self._rebuild()
+
+    def lookup(self, key: str) -> str:
+        if not self._points:
+            raise PolicyError("hash ring has no backends")
+        h = zlib.crc32(key.encode()) & 0xFFFFFFFF
+        i = bisect_right(self._hashes, h)
+        if i == len(self._points):
+            i = 0
+        return self._points[i][1]
+
+    @property
+    def backends(self) -> List[str]:
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+class VirtualService:
+    """One VIP: its virtual MAC, its ring of backends, and per-backend
+    steering counts."""
+
+    __slots__ = ("ip", "mac", "ring", "steered_by_backend")
+
+    def __init__(self, ip: IPv4Address, mac: MacAddress, ring: HashRing):
+        self.ip = ip
+        self.mac = mac
+        self.ring = ring
+        self.steered_by_backend: Dict[str, int] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VirtualService {self.ip} backends={self.ring.backends}>"
+
+
+class L4LoadBalancer:
+    """The switch's VIP → backend nhop stage.
+
+    Hot path (:meth:`steer`): one dict probe per frame decides whether the
+    destination MAC is a VIP; non-VIP frames cost nothing beyond that
+    probe and are forwarded untouched (with ``cluster_lb`` off the stage
+    is never even attached, keeping the seed byte-identical). VIP frames
+    are counted as evaluations of the steering point — so an in-flight
+    re-steer commit's stale-eval tally is exact — and re-written to the
+    chosen backend's MAC.
+    """
+
+    def __init__(self, sim, switch, costs, name: str = "lb0"):
+        self.sim = sim
+        self.switch = switch
+        self.costs = costs
+        #: Switch-control engine: steering commits version/epoch here, not
+        #: on any host's engine — the switch is its own policy domain.
+        self.engine = PolicyEngine(sim)
+        self.point = self.engine.register(InterpositionPoint(
+            name="lb_steering", plane="switch", mechanism="match_action",
+            install_latency_ns=costs.table_update_ns, target=self,
+        ))
+        self._vips: Dict[IPv4Address, VirtualService] = {}
+        self._by_mac: Dict[MacAddress, VirtualService] = {}
+        self._backends: Dict[str, MacAddress] = {}
+        self._overrides: Dict[FiveTuple, str] = {}
+        self.metrics = MetricSet(name)
+        self._c_steered = self.metrics.counter("steered")
+        self._c_resteers = self.metrics.counter("resteers")
+        switch.attach_balancer(self)
+
+    # -- control plane -----------------------------------------------------
+
+    def register_backend(self, name: str, mac: MacAddress) -> None:
+        """Announce a backend machine (name → MAC). Pure registry — a
+        backend only receives VIP traffic once a VIP's ring includes it."""
+        if name in self._backends:
+            raise PolicyError(f"backend {name!r} already registered")
+        self._backends[name] = mac
+
+    def add_vip(self, ip: IPv4Address, mac: MacAddress,
+                backends: Sequence[str]) -> VirtualService:
+        """Install a VIP and its backend ring — one synchronous policy
+        commit (the switch-state change is announced first, so any bound
+        fluid flow demotes before the new steering exists)."""
+        if ip in self._vips:
+            raise PolicyError(f"VIP {ip} already installed")
+        for name in backends:
+            if name not in self._backends:
+                raise PolicyError(f"unknown backend {name!r} for VIP {ip}")
+        ring = HashRing(self.costs.lb_vnodes)
+        for name in backends:
+            ring.add(name)
+        vs = VirtualService(ip, mac, ring)
+        self.switch.notify_state_change(("vip", ip))
+        self._vips[ip] = vs
+        self._by_mac[mac] = vs
+        self.point.record_update()
+        return vs
+
+    def begin_resteer(self, flow: FiveTuple, backend: str) -> Signal:
+        """Stage a per-flow override (``flow`` → ``backend``) and submit it
+        as an asynchronous policy commit. The override is **invisible**
+        until the returned signal fires: frames forwarded meanwhile use
+        the complete old table (and count as stale evals on the steering
+        point). On success the switch is notified *before* the override
+        lands; on failure the old steering simply keeps running. The
+        caller fires the signal (usually after
+        ``costs.table_update_ns`` — see :meth:`commit_resteer`)."""
+        if backend not in self._backends:
+            raise PolicyError(f"unknown backend {backend!r}")
+        if self.vip_for(flow) is None:
+            raise PolicyError(f"flow {flow} is not VIP-steered")
+        done = Signal(f"lb.resteer.{flow}")
+
+        def _apply(sig: Signal) -> None:
+            if sig.failed:
+                return
+            self.switch.notify_state_change(("resteer", flow))
+            self._overrides[flow] = backend
+            self._c_resteers.inc()
+
+        done.add_callback(_apply)
+        self.point.begin_commit(done)
+        return done
+
+    def commit_resteer(self, flow: FiveTuple, backend: str) -> Signal:
+        """:meth:`begin_resteer` plus the usual completion schedule: the
+        nhop-table write lands after ``table_update_ns``."""
+        done = self.begin_resteer(flow, backend)
+        self.sim.after(self.costs.table_update_ns, done.succeed, True)
+        return done
+
+    # -- decision surface (no counters) ------------------------------------
+
+    def vip_for(self, flow: FiveTuple) -> Optional[VirtualService]:
+        return self._vips.get(flow.dst_ip)
+
+    def backend_for(self, flow: FiveTuple) -> Optional[str]:
+        """The backend this flow steers to right now (override-aware).
+        Pure read — the migration coordinator and tests use it."""
+        vs = self._vips.get(flow.dst_ip)
+        if vs is None:
+            return None
+        override = self._overrides.get(flow)
+        if override is not None:
+            return override
+        return vs.ring.lookup(str(flow))
+
+    # -- datapath ----------------------------------------------------------
+
+    def steer(self, pkt: Packet) -> Optional[Packet]:
+        """Called by the switch between source-learn and destination
+        lookup. Returns the re-written frame for VIP traffic, else None
+        (not ours — forward normally)."""
+        vs = self._by_mac.get(pkt.eth.dst)
+        if vs is None:
+            return None
+        ft = pkt.five_tuple
+        if ft is None:
+            return None
+        backend = self._overrides.get(ft)
+        if backend is None:
+            backend = vs.ring.lookup(str(ft))
+        self.point.record_eval(hit=True)
+        self._c_steered.inc()
+        vs.steered_by_backend[backend] = \
+            vs.steered_by_backend.get(backend, 0) + 1
+        new = Packet(
+            eth=EthernetHeader(dst=self._backends[backend], src=pkt.eth.src,
+                               ethertype=pkt.eth.ethertype),
+            ipv4=pkt.ipv4, l4=pkt.l4, payload_len=pkt.payload_len,
+        )
+        new.meta = pkt.meta  # the rewrite preserves attribution
+        return new
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def overrides(self) -> Dict[FiveTuple, str]:
+        return dict(self._overrides)
+
+    def vips(self) -> List[VirtualService]:
+        return list(self._vips.values())
+
+    def commit_stats(self) -> Dict[str, object]:
+        """Steering-commit accounting for the report: how many commits,
+        their install-latency distribution, and how many packets were
+        evaluated against an old table while a commit was in flight."""
+        hist = self.point.metrics.histogram("install_ns")
+        history = self.engine.commits_for(self.point.name)
+        return {
+            "commits": len(history),
+            "resteers": self._c_resteers.value,
+            "steered": self._c_steered.value,
+            "stale_evals": sum(c.stale_evals for c in history),
+            "install_ns": hist.summary() if hist.count else {},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<L4LoadBalancer vips={len(self._vips)} "
+                f"backends={len(self._backends)} "
+                f"overrides={len(self._overrides)}>")

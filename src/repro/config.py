@@ -206,6 +206,40 @@ class CostModel:
     default) keeps cross-host flows demoting at the wire, byte-identical
     to the per-host engine."""
 
+    # --- cluster scale-out (rack + in-switch L4 balancer, experiment E18) ---
+    cluster_lb: bool = False
+    """Grow the L2 switch an in-network L4 load-balancer stage (experiment
+    E18): frames addressed to a VIP's virtual MAC are steered to one of N
+    backend machines by a consistent-hash ring over the five-tuple, with
+    per-flow exact-match overrides. Steering state is owned by a
+    :class:`~repro.interpose.PolicyEngine` on the switch's control plane
+    and every change — VIP install, ring rebuild, per-flow re-steer — is a
+    versioned atomic policy commit, so half-installed rules are never
+    evaluated. Off (the default) builds no balancer and keeps the switch
+    byte-identical to the seed forwarding path."""
+
+    flow_migration: bool = False
+    """Allow live migration of established flows between backends
+    (experiment E18): drain the source's fluid epoch, serialize its
+    conntrack entry + flow-fastpath verdict, replay them on the target
+    machine stamped with the *target's* policy epoch, then atomically
+    commit the per-flow re-steering rule via the balancer's interposition
+    point. Loss-free and counter-conserving by construction — in-flight
+    packets finish on the source under the old rule. Requires
+    :attr:`cluster_lb`."""
+
+    lb_vnodes: int = 32
+    """Virtual nodes per backend on the balancer's consistent-hash ring
+    (more vnodes → smoother VIP load spread and smaller re-steered key
+    ranges when backends join/leave)."""
+
+    lb_migration_drain_ns: int = 4_000
+    """Drain window a migration waits after demoting the source flow, so
+    packets already in flight toward the source (wire + switch hop) are
+    served there before the state snapshot is taken. Must exceed one
+    link round trip; the default covers the default
+    :attr:`link_propagation_ns` several times over."""
+
     # --- multi-tenancy (tenant-aware dataplane, experiment E17) -------------
     tenants: bool = False
     """Resolve every resource touch to a first-class :class:`Tenant`
@@ -348,6 +382,13 @@ class CostModel:
                 "ff_cross_machine requires fast_forward: the end-to-end "
                 "epoch binds two per-machine controllers, so both must exist"
             )
+        if self.flow_migration and not self.cluster_lb:
+            raise ConfigError(
+                "flow_migration requires cluster_lb: re-steering a migrated "
+                "flow is a balancer policy commit, so the balancer must exist"
+            )
+        if self.lb_vnodes < 1:
+            raise ConfigError(f"lb_vnodes must be >= 1, got {self.lb_vnodes}")
         for knob in ("ff_promote_after", "ff_epoch_packets", "ff_horizon_ns",
                      "ff_qdisc_backlog"):
             if getattr(self, knob) < 1:

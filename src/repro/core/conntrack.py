@@ -119,6 +119,80 @@ class ConntrackTable:
             self.metrics.counter("expired").inc(len(stale))
         return len(stale)
 
+    # -- live flow migration (cluster scale-out, E18) ----------------------
+
+    def snapshot(self, flow: FiveTuple) -> Optional[Dict[str, object]]:
+        """Serializable copy of the exact-key entry for ``flow`` (no
+        reverse-direction fallback — migration moves one direction's state
+        under its own key). Pure read: no counters move, the entry stays."""
+        entry = self._entries.get(flow)
+        if entry is None:
+            return None
+        return {
+            "flow": entry.flow,
+            "state": entry.state,
+            "packets": entry.packets,
+            "bytes": entry.bytes,
+            "last_seen_ns": entry.last_seen_ns,
+            "tenant_tid": entry.tenant_tid,
+        }
+
+    def adopt(self, snap: Dict[str, object], now_ns: int,
+              tenant=None) -> Optional[CtEntry]:
+        """Replay a migrated-in :meth:`snapshot` onto this table.
+
+        Counters are *merged*, not overwritten: packets the new backend
+        already served before the snapshot arrived (re-steered traffic
+        racing the state transfer) stay counted, so source + target always
+        sum to what a no-migration run would have seen. Adoption writes a
+        table entry, so it is a policy commit (``record_update``) on this
+        machine's engine — the epoch bump is what invalidates any stale
+        verdicts cached here, extending the epoch-stamped invalidation
+        contract across machines. Returns None when SRAM is exhausted (the
+        flow arrives untracked, like any new flow under pressure)."""
+        ft = snap["flow"]
+        entry = self._entries.get(ft)
+        if entry is None:
+            try:
+                block = self.sram.alloc(CT_ENTRY_BYTES, "conntrack",
+                                        tenant=tenant)
+            except NicResourceExhausted:
+                self.metrics.counter("untracked").inc()
+                return None
+            entry = CtEntry(flow=ft, state=snap["state"], packets=0, bytes=0,
+                            last_seen_ns=snap["last_seen_ns"], sram=block,
+                            tenant_tid=snap["tenant_tid"])
+            self._entries[ft] = entry
+        entry.packets += snap["packets"]
+        entry.bytes += snap["bytes"]
+        if snap["state"] == STATE_ESTABLISHED:
+            entry.state = STATE_ESTABLISHED
+        entry.last_seen_ns = max(entry.last_seen_ns, snap["last_seen_ns"],
+                                 now_ns)
+        self.metrics.counter("adopted").inc()
+        if self.point is not None:
+            self.point.record_update()
+        return entry
+
+    def release_flow(self, flow: FiveTuple) -> Optional[Dict[str, object]]:
+        """Drop the exact-key entry for ``flow`` (migration hand-off
+        complete: the target owns the state now). Frees the SRAM block,
+        evicts the flow's cached verdicts, and returns a final
+        :meth:`snapshot` so the coordinator can reconcile packets the
+        source served after the first copy. The removal is itself a commit."""
+        entry = self._entries.get(flow)
+        if entry is None:
+            return None
+        snap = self.snapshot(flow)
+        self.sram.free(entry.sram)
+        del self._entries[flow]
+        self.metrics.counter("migrated_out").inc()
+        if self.fastpath is not None:
+            self.fastpath.evict_flow(flow)
+        if self.point is not None:
+            self.point.record_update()
+        return snap
+
     def entries(self) -> List[CtEntry]:
         return sorted(self._entries.values(), key=lambda e: str(e.flow))
 

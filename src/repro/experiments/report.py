@@ -30,6 +30,7 @@ from . import e14_policy_churn as e14
 from . import e15_flow_fastpath as e15
 from . import e16_latency_anatomy as e16
 from . import e17_multi_tenant as e17
+from . import e18_cluster as e18
 from . import e21_fidelity_crossover as e21
 from . import e22_group_fastforward as e22
 from . import e23_rack_fastforward as e23
@@ -55,6 +56,7 @@ SECTIONS = (
     ("E15 — flow fast path: megaflow-style verdict cache", e15.main),
     ("E16 — latency anatomy: attributed stage decomposition", e16.main),
     ("E17 — multi-tenant isolation: hog vs victims, per-tenant scheduler", e17.main),
+    ("E18 — cluster scale-out: in-switch L4 balancer + live flow migration", e18.main),
     ("E21 — fidelity crossover: hybrid fast-forward vs packet-exact", e21.main),
     ("E22 — group fast-forward: one epoch for many flows, TX absorbed", e22.main),
     ("E23 — rack fast-forward: end-to-end fluid epochs across the switch", e23.main),

@@ -194,6 +194,21 @@ class FlowFastPath:
             return None
         return entry
 
+    def entries_for(self, flow: FiveTuple):
+        """Every live entry keyed on exactly this flow (not its reverse),
+        in no particular order — the serialization surface a migration
+        coordinator reads before replaying verdicts on another machine.
+        Pure observation: stale entries are skipped, not discarded, and no
+        counters or LRU order move."""
+        keys = self._by_flow.get(flow, ())
+        epoch = self.engine.epoch
+        out = []
+        for key in keys:
+            entry = self._entries.get(key)
+            if entry is not None and entry.epoch == epoch:
+                out.append(entry)
+        return out
+
     def bulk_hit(self, chain: str, flow: FiveTuple,
                  scope: Optional[int] = None, n: int = 1,
                  points: Optional[Tuple[str, ...]] = None) -> None:

@@ -82,6 +82,12 @@ class KernelNetStack:
         self.filters = filters
         self.host_ip = host_ip
         self.host_mac = host_mac
+        #: Virtual IPs this host answers for (DSR-style cluster service
+        #: addresses). Demux is by (proto, dport) and is unaffected; the set
+        #: exists so introspection tools and experiments can ask which hosts
+        #: serve a VIP — the kernel keeps its global view even when the
+        #: steering decision lives in the switch.
+        self.vips: "set[IPv4Address]" = set()
         self.mac_for = mac_for
         self.metrics = MetricSet("netstack")
         self.egress = PacedQdiscRunner(
@@ -564,3 +570,10 @@ class KernelNetStack:
         """Record the peer (connection setup syscall)."""
         sock.connect(ip, port)
         return self.syscalls.invoke(proc, "connect")
+
+    def add_vip(self, ip: IPv4Address) -> None:
+        """Mark this host as a backend for a cluster virtual IP."""
+        self.vips.add(ip)
+
+    def serves_vip(self, ip: IPv4Address) -> bool:
+        return ip in self.vips

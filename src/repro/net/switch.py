@@ -40,6 +40,7 @@ class L2Switch:
         self._ports: List[Link] = []
         self._mac_table: Dict[MacAddress, int] = {}
         self._interposer: Optional["NetworkInterposer"] = None
+        self._balancer = None  # Optional[L4LoadBalancer], cluster_lb only
         self.metrics = MetricSet(name)
         # Hot-path handles: _forward runs once per cross-host frame.
         self._c_frames = self.metrics.counter("frames")
@@ -69,6 +70,23 @@ class L2Switch:
         if self.on_rule_change is not None:
             self.on_rule_change(rule)
 
+    def attach_balancer(self, balancer) -> None:
+        """Grow the L4 load-balancer stage (``CostModel.cluster_lb``):
+        frames whose destination MAC is one of the balancer's virtual MACs
+        are re-written to the chosen backend's MAC between the source learn
+        and the destination lookup, then forwarded normally. The balancer
+        announces its own steering-table changes through
+        :meth:`notify_state_change` so the demote-before-effect contract
+        extends to re-steering commits."""
+        self._balancer = balancer
+
+    def notify_state_change(self, what=None) -> None:
+        """A balancer steering-table change is a switch-state change: fire
+        the rule-change hook *before* the caller applies it, exactly like a
+        match-action rule install."""
+        if self.on_rule_change is not None:
+            self.on_rule_change(what)
+
     def ingress(self, port: int) -> Callable[[Packet], None]:
         """Receive handler for frames arriving on ``port``."""
         if not 0 <= port < len(self._ports):
@@ -93,6 +111,14 @@ class L2Switch:
             if self.on_table_change is not None:
                 self.on_table_change(src, in_port)
             table[src] = in_port
+        balancer = self._balancer
+        if balancer is not None:
+            steered = balancer.steer(pkt)
+            if steered is not None:
+                # VIP frame: destination MAC re-written to the chosen
+                # backend's; forwarding proceeds over the learned table.
+                pkt = steered
+                eth = pkt.eth
         dst = eth.dst
         out_port = table.get(dst)
         if dst.is_broadcast or out_port is None:

@@ -76,6 +76,17 @@ class SteeringTable:
             self.point.record_eval(hit=(conn is not None))
         return conn
 
+    def peek(self, flow: FiveTuple) -> Optional[int]:
+        """:meth:`lookup` without the side effects: no counters move and
+        the interposition point records nothing. Control-plane readers
+        (e.g. the migration coordinator resolving which connection a
+        replayed verdict should land on) must not perturb the datapath's
+        hit/miss accounting."""
+        conn = self._exact.get(flow)
+        if conn is None:
+            conn = self._dport.get((flow.proto, flow.dport))
+        return conn
+
     def rss_fallback(self, flow: FiveTuple) -> int:
         return rss_queue(flow, self.n_queues)
 

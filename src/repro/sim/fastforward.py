@@ -38,6 +38,9 @@ effect is simulated. Boundaries, and who wires them (see
 * ``switch_change`` — the switch hop under a cross-machine flow stops being
   a frozen path: a MAC-table learn/move, a flood, or a match-action rule
   install (:class:`RackFastForward`)
+* ``flow_migration`` — a live migration draining the flow off this machine
+  before its state is replayed on another backend
+  (:class:`~repro.cluster.MigrationCoordinator`)
 
 With ``CostModel.ff_cross_machine`` a :class:`RackFastForward` coordinator
 binds a sender's TX profile, the switch hop, and the receiver's RX profile
@@ -64,6 +67,7 @@ REASON_QDISC = "qdisc_pressure"
 REASON_PRESSURE = "cache_pressure"
 REASON_SHAPE = "shape_change"
 REASON_SWITCH = "switch_change"
+REASON_MIGRATE = "flow_migration"
 
 REASONS = (
     REASON_POLICY,
@@ -73,6 +77,7 @@ REASONS = (
     REASON_PRESSURE,
     REASON_SHAPE,
     REASON_SWITCH,
+    REASON_MIGRATE,
 )
 
 
@@ -578,6 +583,35 @@ class FastForwardController:
                 f"fluid_pkts={self.fluid_packets} epochs={self.epochs}>")
 
 
+def peer_path_ready(switch, peer: Optional["RackHost"], key) -> bool:
+    """Topology-agnostic far-end readiness check for a cross-machine
+    promotion: True when ``peer`` (the rack host owning the flow's
+    destination IP) can absorb fluid bulk for ``key`` end to end —
+
+    * its controller has already promoted the RX side of the flow,
+    * its downlink has a fluid receive entry to land epochs in, and
+    * the switch path to it is frozen (learned port, no match-action
+      rules).
+
+    Works for any number of hosts behind any one switch: the caller
+    resolves ``peer`` however its topology indexes machines (the rack
+    keeps an IP map), and this helper only interrogates that one
+    host + the switch between them. ``peer is None`` (destination not
+    on this switch) is never ready.
+    """
+    if peer is None:
+        return False
+    ctrl = peer.ctrl
+    if ctrl is None or not ctrl.promoted(key):
+        return False
+    if not peer.downlink.has_fluid_rx:
+        # A stack without a fluid RX entry (the kernel netstack's hot
+        # path) can still hold controller-promoted flows; epochs must
+        # not be aimed at a wire with nowhere to land.
+        return False
+    return switch.ff_path_steady(peer.mac, peer.port)
+
+
 class RackHost:
     """One machine's registration with the rack coordinator: which planes
     it promotes on, where it sits on the switch, and the links that carry
@@ -686,25 +720,14 @@ class RackFastForward:
 
     def _gate(self, host: RackHost, plane, key) -> bool:
         """TX promotions are held until the far end is ready: the receiver's
-        RX flow must already be fluid and the switch path frozen. RX
-        promotions are never gated — they are per-machine as before."""
+        RX flow must already be fluid and the switch path frozen
+        (:func:`peer_path_ready`). RX promotions are never gated — they are
+        per-machine as before. A destination this rack does not host (a
+        hairpin to self, or a VIP the balancer still owns) never binds."""
         if plane is not host.tx_plane:
             return True
         peer = self._host_by_ip.get(key.dst_ip)
-        if peer is None or peer is host:
-            self.gate_vetoes += 1
-            return False
-        peer_ctrl = peer.ctrl
-        if peer_ctrl is None or not peer_ctrl.promoted(key):
-            self.gate_vetoes += 1
-            return False
-        if not peer.downlink.has_fluid_rx:
-            # A stack without a fluid RX entry (the kernel netstack's hot
-            # path) can still hold controller-promoted flows; epochs must
-            # not be aimed at a wire with nowhere to land.
-            self.gate_vetoes += 1
-            return False
-        if not self.switch.ff_path_steady(peer.mac, peer.port):
+        if peer is host or not peer_path_ready(self.switch, peer, key):
             self.gate_vetoes += 1
             return False
         return True

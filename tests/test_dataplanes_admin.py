@@ -221,6 +221,75 @@ class TestDataMovement:
         }
 
 
+class TestCrossHostIsolation:
+    """Admin tools interpose on ONE host's dataplane: everything on host A
+    — filter listings, socket tables, connection state — shows host A
+    only. A rack does not grow a rack-wide /proc; host B's state is
+    invisible by construction, not by filtering (§2: interposition scope
+    is the machine boundary)."""
+
+    def _pair(self):
+        from repro.core import NormanOS
+        from repro.dataplanes.multihost import TwoHostTestbed
+
+        tb = TwoHostTestbed(KernelPathDataplane, NormanOS)
+        tb.run_all()  # overlay loads on the Norman side
+        return tb
+
+    def test_iptables_rules_do_not_leak_across_hosts(self):
+        from repro.tools import Iptables
+
+        tb = self._pair()
+        ipt_a = Iptables(tb.host_a.dataplane, tb.host_a.kernel)
+        ipt_b = Iptables(tb.host_b.dataplane, tb.host_b.kernel)
+        ipt_b("-A OUTPUT -p udp --dport 5432 -j DROP")
+        # B sees its rule; A's table is untouched.
+        assert "-j DROP" in ipt_b("-L OUTPUT")
+        assert "-j" not in ipt_a("-L OUTPUT")
+        # And A's traffic to the "dropped" port flows: B's rule interposes
+        # on B's dataplane only.
+        proc = tb.host_a.spawn("app", "bob", core_id=1)
+        ep = tb.host_a.dataplane.open_endpoint(proc, PROTO_UDP, 6000)
+        srv = tb.host_b.spawn("srv", "carol", core_id=1)
+        ep_b = tb.host_b.dataplane.open_endpoint(srv, PROTO_UDP, 5432)
+        tb.run_all()
+        ep.send(100, dst=(tb.host_b.ip, 5432))
+        tb.run_all()
+        got = []
+        ep_b.recv_burst(4, blocking=False).add_callback(
+            lambda s: got.extend(s.value) if s.ok else None)
+        tb.run_all()
+        assert len(got) == 1
+
+    def test_netstat_lists_only_local_sockets(self):
+        from repro.tools import Netstat
+
+        tb = self._pair()
+        pa = tb.host_a.spawn("alpha", "bob", core_id=1)
+        pb = tb.host_b.spawn("bravo", "carol", core_id=1)
+        tb.host_a.dataplane.open_endpoint(pa, PROTO_UDP, 7001)
+        tb.host_b.dataplane.open_endpoint(pb, PROTO_UDP, 7002)
+        tb.run_all()
+        out_a = Netstat(tb.host_a.kernel)()
+        out_b = Netstat(tb.host_b.kernel)()
+        assert "alpha" in out_a and "bravo" not in out_a
+        assert ":7001" in out_a and ":7002" not in out_a
+        assert ":7002" in out_b and ":7001" not in out_b
+
+    def test_ss_shows_only_local_nic_state(self):
+        from repro.tools import Ss
+
+        tb = self._pair()
+        pb = tb.host_b.spawn("bravo", "carol", core_id=1)
+        tb.host_b.dataplane.open_endpoint(pb, PROTO_UDP, 7002)
+        tb.run_all()
+        out_a = Ss(tb.host_a.dataplane, tb.host_a.kernel)()
+        out_b = Ss(tb.host_b.dataplane, tb.host_b.kernel)()
+        assert ":7002" in out_b
+        assert ":7002" not in out_a
+        assert "bravo" not in out_a
+
+
 class TestPortPartitionViolation:
     def test_bypass_lets_anyone_take_5432(self):
         """E5's core observation: without interposition the policy is

@@ -20,6 +20,7 @@ from repro.sim import Simulator
 from repro.sim.fastforward import (
     REASON_CONNTRACK,
     REASON_FASTPATH,
+    REASON_MIGRATE,
     REASON_POLICY,
     REASON_PRESSURE,
     REASON_QDISC,
@@ -190,6 +191,7 @@ class TestControllerUnit:
         assert set(stats["demotions"]) == {
             REASON_POLICY, REASON_FASTPATH, REASON_CONNTRACK,
             REASON_QDISC, REASON_PRESSURE, REASON_SHAPE, REASON_SWITCH,
+            REASON_MIGRATE,
         }
 
 
